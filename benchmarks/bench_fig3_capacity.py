@@ -1,0 +1,52 @@
+"""Figure 3: partition capacity and information density vs index length.
+
+Regenerates both curves (20- and 30-base primers) and checks the shape the
+paper reports: capacity peaks at 2^220 bits when the whole usable strand is
+index, density peaks at 2*110/150 bits/base with no index, and the 30-base
+design sits strictly below the 20-base design in both capacity and density.
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis.density import figure3_series, section43_overheads
+
+
+def compute_figure3():
+    series = figure3_series(strand_length=150, step=5)
+    overheads = section43_overheads()
+    return series, overheads
+
+
+def test_fig3_capacity_and_density(benchmark):
+    series, overheads = benchmark.pedantic(compute_figure3, rounds=1, iterations=1)
+
+    peak_log2_bytes = series.peak_capacity_log2_bytes()
+    max_density = series.max_bits_per_base()
+    assert peak_log2_bytes == pytest.approx(217.0)
+    assert max_density == pytest.approx(2 * 110 / 150)
+
+    # The 30-base-primer curves sit below the 20-base curves everywhere.
+    by_index_20 = {p.index_length: p for p in series.primer20}
+    for point30 in series.primer30:
+        point20 = by_index_20[point30.index_length]
+        assert point30.capacity_bytes_log2 <= point20.capacity_bytes_log2
+        assert point30.bits_per_base <= point20.bits_per_base
+
+    # Section 4.3 overheads: ~3% sparse index at 150 bases, ~0.3% at 1500;
+    # ~20% for 30-base primers at 150 bases.
+    assert overheads.sparse_index_overhead_150 == pytest.approx(0.033, abs=0.005)
+    assert overheads.sparse_index_overhead_1500 == pytest.approx(0.0033, abs=0.0005)
+    assert overheads.longer_primer_overhead_150 > 0.15
+
+    report(
+        "Figure 3 — capacity & density vs index length",
+        [
+            f"peak capacity (paper 2^217 B): 2^{peak_log2_bytes:.0f} B",
+            f"max density (paper ~1.47 b/base): {max_density:.3f} bits/base",
+            f"sparse-index overhead @150 (paper ~3%): {overheads.sparse_index_overhead_150:.1%}",
+            f"sparse-index overhead @1500 (paper ~0.3%): {overheads.sparse_index_overhead_1500:.2%}",
+            f"30-base-primer overhead @150 (paper ~22%): {overheads.longer_primer_overhead_150:.1%}",
+            f"30-base-primer overhead @1500 (paper ~2.2%): {overheads.longer_primer_overhead_1500:.1%}",
+        ],
+    )

@@ -1,0 +1,43 @@
+"""Figure 9a: read distribution after whole-partition random access.
+
+PCR with the main partition primers amplifies the whole Alice partition;
+the sequencing output should cover every block roughly uniformly (within a
+small skew), the three co-updated blocks should show about twice the reads
+(data + update share one prefix), and the target block should account for
+only ~0.34% of the output — the waste that motivates precise block access.
+"""
+
+import pytest
+
+from conftest import report
+
+
+def test_fig9a_whole_partition_access(benchmark, alice_experiment):
+    outcome = benchmark.pedantic(
+        alice_experiment.run_baseline_access, args=(531,), rounds=1, iterations=1
+    )
+    distribution = outcome.distribution
+    block_count = alice_experiment.partition.block_count
+
+    # Nearly every block is represented in the readout.
+    assert len(distribution.reads_per_block) >= 0.97 * block_count
+
+    # The target block is a tiny fraction of the output (paper: 0.34%).
+    assert outcome.target_fraction == pytest.approx(0.0034, abs=0.002)
+
+    # Updated blocks carry roughly twice the reads of the median block.
+    counts = distribution.reads_per_block
+    median = sorted(counts.values())[len(counts) // 2]
+    updated = alice_experiment.config.updated_blocks()
+    mean_updated = sum(counts.get(b, 0) for b in updated) / len(updated)
+    assert 1.4 * median <= mean_updated <= 3.0 * median
+
+    report(
+        "Figure 9a — whole-partition random access",
+        [
+            f"blocks represented: {len(counts)}/{block_count}",
+            f"target block 531 fraction (paper 0.34%): {outcome.target_fraction:.2%}",
+            f"updated-block reads vs median block (paper ~2x): {mean_updated / median:.2f}x",
+            f"per-block read-count skew: {distribution.skew():.1f}x",
+        ],
+    )

@@ -1,0 +1,47 @@
+"""Section 1 context: how many mutually compatible primers exist.
+
+The paper motivates the block architecture with the scarcity of mutually
+compatible main primers: roughly 1000-3000 at length 20 and only ~10K at
+length 30 (nowhere near the 4^10-fold growth of the raw space).  At the
+reduced search budget used here the absolute counts are smaller, but the
+shape must hold: the accepted-library size grows far slower than the
+candidate space, and length 30 buys well under a 10x improvement.
+"""
+
+from conftest import report
+from repro.primers.constraints import PrimerConstraints
+from repro.primers.library import library_scaling_experiment
+
+
+def run_scaling():
+    return library_scaling_experiment(
+        lengths=(20, 30),
+        base_constraints=PrimerConstraints(),
+        max_candidates=4000,
+        seed=11,
+    )
+
+
+def test_primer_library_scaling(benchmark):
+    libraries = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    count20 = len(libraries[20])
+    count30 = len(libraries[30])
+
+    assert count20 > 0 and count30 > 0
+    # Length 30 has 4^10 ~ 1M times more raw sequences, yet the compatible
+    # library grows by far less than 10x (the paper's observation).
+    assert count30 < 10 * count20
+    # The search saturates: acceptance rate is well below 100%.
+    assert libraries[20].acceptance_rate < 0.5
+    # Every accepted library respects the pairwise-distance constraint.
+    for length, library in libraries.items():
+        assert library.minimum_pairwise_distance() >= library.constraints.min_pairwise_hamming
+
+    report(
+        "Section 1 — compatible primer library scaling (reduced budget)",
+        [
+            f"length 20: {count20} primers accepted from {libraries[20].candidates_examined} candidates",
+            f"length 30: {count30} primers accepted from {libraries[30].candidates_examined} candidates",
+            f"growth factor 20->30 (paper ~3-10x, never ~4^10): {count30 / max(count20, 1):.2f}x",
+        ],
+    )

@@ -1,0 +1,75 @@
+"""Section 4.3 ablation: properties of the sparse PCR-navigable index.
+
+Checks the construction's guarantees across many tree sizes and seeds, and
+compares against the dense baseline indexing of prior work: GC balance in
+every even-length elongation, homopolymer runs capped at two, and at least
+a 2x increase in mean pairwise Hamming distance.
+"""
+
+import statistics
+
+from conftest import report
+from repro.core.index_tree import IndexTree
+from repro.sequence import gc_content, hamming_distance, max_homopolymer_run
+
+
+def analyze_trees():
+    results = {}
+    for leaf_count in (64, 256, 1024):
+        tree = IndexTree(leaf_count=leaf_count, seed=101)
+        dense = IndexTree(leaf_count=leaf_count, seed=101, sparse=False)
+        addresses = tree.all_addresses()
+        dense_addresses = dense.all_addresses()
+
+        worst_gc_deviation = 0.0
+        worst_homopolymer = 0
+        for address in addresses:
+            worst_homopolymer = max(worst_homopolymer, max_homopolymer_run(address))
+            for prefix_length in range(2, len(address) + 1, 2):
+                deviation = abs(gc_content(address[:prefix_length]) - 0.5)
+                worst_gc_deviation = max(worst_gc_deviation, deviation)
+
+        sample = addresses[:: max(1, leaf_count // 64)]
+        dense_sample = dense_addresses[:: max(1, leaf_count // 64)]
+        sparse_mean = statistics.mean(
+            hamming_distance(a, b)
+            for i, a in enumerate(sample)
+            for b in sample[i + 1 :]
+        )
+        dense_mean = statistics.mean(
+            hamming_distance(a, b)
+            for i, a in enumerate(dense_sample)
+            for b in dense_sample[i + 1 :]
+        )
+        min_sibling = min(
+            hamming_distance(tree.encode(leaf), sibling)
+            for leaf in range(0, leaf_count, 7)
+            for sibling in tree.sibling_addresses(leaf)
+        )
+        results[leaf_count] = {
+            "worst_gc_deviation": worst_gc_deviation,
+            "worst_homopolymer": worst_homopolymer,
+            "sparse_mean_distance": sparse_mean,
+            "dense_mean_distance": dense_mean,
+            "min_sibling_distance": min_sibling,
+        }
+    return results
+
+
+def test_sparse_index_properties(benchmark):
+    results = benchmark.pedantic(analyze_trees, rounds=1, iterations=1)
+    rows = []
+    for leaf_count, stats in results.items():
+        assert stats["worst_gc_deviation"] == 0.0
+        assert stats["worst_homopolymer"] <= 2
+        assert stats["min_sibling_distance"] >= 2
+        assert stats["sparse_mean_distance"] >= 2 * stats["dense_mean_distance"]
+        rows.append(
+            f"{leaf_count:5d} leaves: GC dev {stats['worst_gc_deviation']:.2f}, "
+            f"homopolymer <= {stats['worst_homopolymer']}, "
+            f"mean Hamming {stats['sparse_mean_distance']:.2f} vs dense "
+            f"{stats['dense_mean_distance']:.2f} "
+            f"({stats['sparse_mean_distance'] / stats['dense_mean_distance']:.1f}x), "
+            f"min sibling distance {stats['min_sibling_distance']}"
+        )
+    report("Section 4.3 — sparse index properties (paper: GC-balanced, runs <= 2, >= 2x distance)", rows)

@@ -1,0 +1,49 @@
+"""Sections 7.1-7.3: sequencing cost reduction of precise block access.
+
+Combines the measured read compositions of the baseline (Figure 9a) and
+precise (Figure 9b) retrievals into the paper's cost calculation: the
+baseline wastes ~99.66% of its output (293x unwanted data per unit of
+wanted data), the precise access wastes roughly half (~1.1x), and the
+implied sequencing-cost reduction is two orders of magnitude (~141x).
+"""
+
+from conftest import report
+from repro.analysis.cost_model import SequencingCostBreakdown, sequencing_cost_reduction
+
+
+def test_sec73_sequencing_cost_reduction(benchmark, alice_experiment, precise_access_531):
+    def run():
+        baseline = alice_experiment.run_baseline_access(531)
+        return baseline, precise_access_531
+
+    baseline, precise = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    baseline_target = baseline.distribution.reads_per_block.get(531, 0)
+    baseline_breakdown = SequencingCostBreakdown(
+        wanted_reads=baseline_target,
+        unwanted_reads=baseline.distribution.total_reads - baseline_target,
+    )
+    precise_breakdown = SequencingCostBreakdown(
+        wanted_reads=precise.distribution.on_target_reads,
+        unwanted_reads=precise.distribution.total_reads
+        - precise.distribution.on_target_reads,
+    )
+    reduction = sequencing_cost_reduction(baseline_breakdown, precise_breakdown)
+
+    # Paper: 293x unwanted per wanted in the baseline, ~1.08x precise, ~141x
+    # overall.  The shape: baseline waste is two orders of magnitude larger,
+    # and the overall reduction lands in the same order of magnitude.
+    assert baseline_breakdown.unwanted_per_wanted > 100
+    assert precise_breakdown.unwanted_per_wanted < 3
+    assert 50 <= reduction <= 400
+
+    report(
+        "Section 7.3 — sequencing cost reduction",
+        [
+            f"baseline unwanted per wanted read (paper 293x): "
+            f"{baseline_breakdown.unwanted_per_wanted:.0f}x",
+            f"precise unwanted per wanted read (paper 1.08x): "
+            f"{precise_breakdown.unwanted_per_wanted:.2f}x",
+            f"sequencing cost reduction (paper ~141x): {reduction:.0f}x",
+        ],
+    )

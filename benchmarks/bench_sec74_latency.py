@@ -1,0 +1,61 @@
+"""Section 7.4: sequencing latency reduction under NGS and nanopore models.
+
+The cost reduction of precise access translates into latency differently
+per technology: nanopore latency shrinks linearly (always ~141x here),
+while fixed-run Illumina sequencing only benefits once the partition needs
+more than one run — no reduction for a partition that fits a single run,
+proportional reduction for a 1 TB-class partition.
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis.latency_model import latency_reduction
+from repro.wetlab.sequencing import IlluminaRunModel, NanoporeRunModel
+
+#: Reads needed per unit of wanted data, from the Section 7.3 calculation.
+BASELINE_MULTIPLIER = 294.0
+PRECISE_MULTIPLIER = 2.08
+
+
+def compute_latencies():
+    results = {}
+    illumina = IlluminaRunModel(reads_per_run=10_000_000)
+    nanopore = NanoporeRunModel(reads_per_hour=2_000_000, setup_hours=0.0)
+    for label, block_reads in (("small partition", 30_000), ("1TB-class partition", 7_000_000)):
+        partition_reads = int(block_reads * BASELINE_MULTIPLIER / PRECISE_MULTIPLIER)
+        results[label] = latency_reduction(
+            partition_reads_required=partition_reads,
+            block_reads_required=block_reads,
+            illumina=illumina,
+            nanopore=nanopore,
+        )
+    return results
+
+
+def test_sec74_latency_reduction(benchmark):
+    results = benchmark.pedantic(compute_latencies, rounds=1, iterations=1)
+
+    small = results["small partition"]
+    large = results["1TB-class partition"]
+
+    # Nanopore: linear reduction regardless of partition size (paper ~141x).
+    assert small["nanopore"].reduction == pytest.approx(
+        BASELINE_MULTIPLIER / PRECISE_MULTIPLIER, rel=0.01
+    )
+    assert large["nanopore"].reduction == pytest.approx(
+        BASELINE_MULTIPLIER / PRECISE_MULTIPLIER, rel=0.01
+    )
+    # Illumina: no reduction when the partition fits one run, large reduction
+    # when it needs many runs.
+    assert small["illumina"].reduction == pytest.approx(1.0)
+    assert large["illumina"].reduction > 50
+
+    report(
+        "Section 7.4 — latency reduction of precise access",
+        [
+            f"nanopore, any partition size (paper ~141x): {small['nanopore'].reduction:.0f}x",
+            f"illumina, partition fits one run (paper: none): {small['illumina'].reduction:.1f}x",
+            f"illumina, 1TB-class partition (paper: ~linear in runs): {large['illumina'].reduction:.0f}x",
+        ],
+    )

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's evaluation (Figures 3, 9a/9b, 10 and
+the Section 7/8 headline numbers).  The wetlab-simulation benchmarks share
+one session-scoped :class:`AliceExperiment` at the paper's full scale
+(587 blocks, 8850 strands), with read counts reduced enough to keep the
+whole suite in the low minutes.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.alice import AliceExperiment, AliceExperimentConfig  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def alice_experiment():
+    """The paper's full-scale wetlab setup (587 blocks, 6 updates)."""
+    config = AliceExperimentConfig(baseline_reads=20_000, precise_reads=8_000)
+    return AliceExperiment(config)
+
+
+@pytest.fixture(scope="session")
+def precise_access_531(alice_experiment):
+    """The precise access for block 531 (Figure 9b), shared across benches."""
+    return alice_experiment.run_precise_access(531)
+
+
+def report(title, rows):
+    """Print a paper-vs-measured table that survives pytest's capture."""
+    lines = [f"\n=== {title} ==="]
+    for row in rows:
+        lines.append("  " + row)
+    text = "\n".join(lines)
+    print(text)
+    with open(Path(__file__).parent / "results.log", "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. in offline environments where ``pip install -e .`` cannot
+build an editable wheel).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

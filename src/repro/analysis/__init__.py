@@ -1,0 +1,31 @@
+"""Cost, latency and distribution analysis of retrieval experiments.
+
+These models turn simulated read-outs into the headline numbers of the
+paper's evaluation: the sequencing-cost reduction of precise block access
+(Section 7.3), the latency reduction under NGS and nanopore sequencing
+(Section 7.4), the synthesis/sequencing cost of updates under different
+baselines (Section 7.5), and the read-distribution statistics behind
+Figures 9 and 10.
+"""
+
+from repro.analysis.cost_model import (
+    RetrievalCostModel,
+    SequencingCostBreakdown,
+    UpdateCostComparison,
+    sequencing_cost_reduction,
+    update_cost_comparison,
+)
+from repro.analysis.latency_model import LatencyComparison, latency_reduction
+from repro.analysis.stats import ReadDistribution, read_distribution
+
+__all__ = [
+    "RetrievalCostModel",
+    "SequencingCostBreakdown",
+    "UpdateCostComparison",
+    "sequencing_cost_reduction",
+    "update_cost_comparison",
+    "LatencyComparison",
+    "latency_reduction",
+    "ReadDistribution",
+    "read_distribution",
+]

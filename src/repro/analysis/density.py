@@ -1,0 +1,88 @@
+"""Information-density analysis (Figure 3 and Section 4.3).
+
+Thin analysis layer over :class:`repro.core.capacity.PartitionCapacityModel`
+that produces the exact series plotted in Figure 3 (capacity and bits/base
+vs index length, for 20- and 30-base primers) and the overhead comparisons
+quoted in Section 4.3 (sparse index vs longer primers, 150- vs 1500-base
+strands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.capacity import (
+    CapacityPoint,
+    PartitionCapacityModel,
+    longer_primer_density_overhead,
+    sparse_index_density_overhead,
+)
+
+
+@dataclass(frozen=True)
+class Figure3Series:
+    """The four series of Figure 3.
+
+    Attributes:
+        primer20: capacity/density points for 20-base primers.
+        primer30: capacity/density points for 30-base primers.
+    """
+
+    primer20: list[CapacityPoint]
+    primer30: list[CapacityPoint]
+
+    def peak_capacity_log2_bytes(self) -> float:
+        """The peak capacity (log2 bytes) of the 20-base-primer design."""
+        return max(point.capacity_bytes_log2 for point in self.primer20)
+
+    def max_bits_per_base(self) -> float:
+        """The maximum information density of the 20-base-primer design."""
+        return max(point.bits_per_base for point in self.primer20)
+
+
+def figure3_series(
+    *, strand_length: int = 150, step: int = 5
+) -> Figure3Series:
+    """Compute the Figure 3 series for both primer lengths."""
+    primer20 = PartitionCapacityModel(
+        strand_length=strand_length, primer_length=20
+    ).sweep(step=step)
+    primer30 = PartitionCapacityModel(
+        strand_length=strand_length, primer_length=30
+    ).sweep(step=step)
+    return Figure3Series(primer20=primer20, primer30=primer30)
+
+
+@dataclass(frozen=True)
+class OverheadComparison:
+    """Section 4.3 density-overhead comparison.
+
+    Attributes:
+        sparse_index_overhead_150: overhead of the 10-vs-5-base sparse index
+            at strand length 150 (~3%).
+        sparse_index_overhead_1500: the same at strand length 1500 (~0.3%).
+        longer_primer_overhead_150: overhead of 30-base main primers at
+            strand length 150 (~22%).
+        longer_primer_overhead_1500: the same at strand length 1500 (~2.2%).
+    """
+
+    sparse_index_overhead_150: float
+    sparse_index_overhead_1500: float
+    longer_primer_overhead_150: float
+    longer_primer_overhead_1500: float
+
+
+def section43_overheads(
+    *, sparse_index_bases: int = 10, dense_index_bases: int = 5
+) -> OverheadComparison:
+    """Compute the Section 4.3 overhead comparison."""
+    return OverheadComparison(
+        sparse_index_overhead_150=sparse_index_density_overhead(
+            150, sparse_index_bases, dense_index_bases
+        ),
+        sparse_index_overhead_1500=sparse_index_density_overhead(
+            1500, sparse_index_bases, dense_index_bases
+        ),
+        longer_primer_overhead_150=longer_primer_density_overhead(150),
+        longer_primer_overhead_1500=longer_primer_density_overhead(1500),
+    )

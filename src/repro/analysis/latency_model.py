@@ -1,0 +1,73 @@
+"""Retrieval latency models (Section 7.4).
+
+The latency argument in the paper distinguishes two sequencing regimes:
+
+* **Fixed-run NGS (Illumina)** — a run takes a fixed time and produces a
+  fixed number of reads; latency only shrinks when precise access reduces
+  the number of *runs* needed (i.e. when the partition is larger than one
+  run's output).
+* **Streaming (nanopore)** — output is produced continuously and the run
+  stops once decoding succeeds, so latency shrinks linearly with the reads
+  needed regardless of partition size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DnaStorageError
+from repro.wetlab.sequencing import IlluminaRunModel, NanoporeRunModel
+
+
+@dataclass(frozen=True)
+class LatencyComparison:
+    """Latency of whole-partition vs precise-block retrieval.
+
+    Attributes:
+        baseline_hours: latency of retrieving the whole partition.
+        precise_hours: latency of retrieving just the target block.
+    """
+
+    baseline_hours: float
+    precise_hours: float
+
+    @property
+    def reduction(self) -> float:
+        """Latency reduction factor (baseline / precise)."""
+        if self.precise_hours <= 0:
+            raise DnaStorageError("precise_hours must be positive")
+        return self.baseline_hours / self.precise_hours
+
+
+def latency_reduction(
+    partition_reads_required: int,
+    block_reads_required: int,
+    *,
+    illumina: IlluminaRunModel | None = None,
+    nanopore: NanoporeRunModel | None = None,
+) -> dict[str, LatencyComparison]:
+    """Latency comparison under both sequencing regimes.
+
+    Args:
+        partition_reads_required: reads needed to decode the whole partition
+            at sufficient coverage.
+        block_reads_required: reads needed to decode the target block via
+            precise access.
+
+    Returns:
+        A mapping with ``"illumina"`` and ``"nanopore"`` comparisons.
+    """
+    if partition_reads_required <= 0 or block_reads_required <= 0:
+        raise DnaStorageError("read requirements must be positive")
+    illumina_model = illumina or IlluminaRunModel()
+    nanopore_model = nanopore or NanoporeRunModel()
+    return {
+        "illumina": LatencyComparison(
+            baseline_hours=illumina_model.latency_hours(partition_reads_required),
+            precise_hours=illumina_model.latency_hours(block_reads_required),
+        ),
+        "nanopore": LatencyComparison(
+            baseline_hours=nanopore_model.latency_hours(partition_reads_required),
+            precise_hours=nanopore_model.latency_hours(block_reads_required),
+        ),
+    }

@@ -1,0 +1,97 @@
+"""Read-distribution statistics behind Figures 9 and 10.
+
+These helpers aggregate a sequencing result into per-block read counts and
+the composition metrics the paper reports for precise access: the fraction
+of reads carrying the target prefix, the on-target fraction among those,
+and the overall on-target fraction (82%, 59% and 48% respectively for
+block 531 in Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.reads import has_prefix
+from repro.wetlab.sequencing import SequencingResult
+
+
+@dataclass
+class ReadDistribution:
+    """Per-block read counts plus precise-access composition metrics.
+
+    Attributes:
+        reads_per_block: mapping from block number to read count (reads whose
+            source strand is annotated with that block).
+        reads_per_slot: mapping from (block, slot) to read count.
+        total_reads: total reads in the sequencing output.
+        on_prefix_reads: reads carrying the expected (elongated) prefix.
+        on_target_reads: reads whose source strand belongs to the target
+            block (any slot).
+    """
+
+    reads_per_block: dict[int, int] = field(default_factory=dict)
+    reads_per_slot: dict[tuple[int, int], int] = field(default_factory=dict)
+    total_reads: int = 0
+    on_prefix_reads: int = 0
+    on_target_reads: int = 0
+
+    @property
+    def on_prefix_fraction(self) -> float:
+        """Fraction of reads carrying the expected prefix (82% for block 531)."""
+        return self.on_prefix_reads / self.total_reads if self.total_reads else 0.0
+
+    @property
+    def on_target_fraction(self) -> float:
+        """Fraction of all reads that belong to the target block (~48%)."""
+        return self.on_target_reads / self.total_reads if self.total_reads else 0.0
+
+    @property
+    def on_target_given_prefix(self) -> float:
+        """Fraction of on-prefix reads that belong to the target (~59%)."""
+        if self.on_prefix_reads == 0:
+            return 0.0
+        return self.on_target_reads / self.on_prefix_reads
+
+    def skew(self) -> float:
+        """Max-to-min read-count ratio across blocks (the <=2x of Fig. 9a)."""
+        counts = [count for count in self.reads_per_block.values() if count > 0]
+        if not counts:
+            return 1.0
+        return max(counts) / min(counts)
+
+
+def read_distribution(
+    result: SequencingResult,
+    *,
+    target_block: int | None = None,
+    target_prefix: str | None = None,
+    prefix_max_errors: int = 3,
+) -> ReadDistribution:
+    """Aggregate a sequencing result into a :class:`ReadDistribution`.
+
+    Args:
+        result: the sequencing output (reads annotated with block/slot via
+            the pool metadata attached at synthesis time).
+        target_block: the block targeted by a precise access, if any.
+        target_prefix: the elongated-primer prefix used for the access; when
+            given, each read is tested for the prefix to compute the
+            on-prefix fraction.
+        prefix_max_errors: edit tolerance for the prefix test.
+    """
+    distribution = ReadDistribution(total_reads=len(result.reads))
+    for read in result.reads:
+        block = read.annotations.get("block")
+        slot = read.annotations.get("slot", 0)
+        if block is not None:
+            distribution.reads_per_block[block] = (
+                distribution.reads_per_block.get(block, 0) + 1
+            )
+            key = (block, slot)
+            distribution.reads_per_slot[key] = distribution.reads_per_slot.get(key, 0) + 1
+            if target_block is not None and block == target_block:
+                distribution.on_target_reads += 1
+        if target_prefix is not None and has_prefix(
+            read.sequence, target_prefix, max_errors=prefix_max_errors
+        ):
+            distribution.on_prefix_reads += 1
+    return distribution

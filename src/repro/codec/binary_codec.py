@@ -1,0 +1,106 @@
+"""Unconstrained 2-bits-per-base codec between bytes and DNA.
+
+This is the maximum-density mapping used for the *payload* part of every
+molecule (Section 2.1.1): each byte becomes exactly four bases, most
+significant bit pair first, using the mapping A=00, C=01, G=10, T=11.
+"""
+
+from __future__ import annotations
+
+from repro.constants import BASE_TO_BITS, BITS_TO_BASE
+from repro.exceptions import DecodingError, EncodingError
+from repro.sequence import validate_sequence
+
+BASES_PER_BYTE = 4
+
+
+def bytes_to_dna(data: bytes) -> str:
+    """Encode ``data`` into a DNA string at 2 bits per base.
+
+    >>> bytes_to_dna(b"\\x00")
+    'AAAA'
+    >>> bytes_to_dna(b"\\x1b")
+    'ACGT'
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise EncodingError(f"expected bytes, got {type(data).__name__}")
+    bases = []
+    for byte in data:
+        for shift in (6, 4, 2, 0):
+            bases.append(BITS_TO_BASE[(byte >> shift) & 0b11])
+    return "".join(bases)
+
+
+def dna_to_bytes(sequence: str) -> bytes:
+    """Decode a DNA string produced by :func:`bytes_to_dna` back into bytes.
+
+    Raises:
+        DecodingError: if the sequence length is not a multiple of four or
+            contains invalid characters.
+    """
+    validate_sequence(sequence)
+    if len(sequence) % BASES_PER_BYTE != 0:
+        raise DecodingError(
+            f"sequence length {len(sequence)} is not a multiple of {BASES_PER_BYTE}"
+        )
+    out = bytearray()
+    for i in range(0, len(sequence), BASES_PER_BYTE):
+        value = 0
+        for base in sequence[i : i + BASES_PER_BYTE]:
+            value = (value << 2) | BASE_TO_BITS[base]
+        out.append(value)
+    return bytes(out)
+
+
+def bits_to_dna(bits: str) -> str:
+    """Encode a string of '0'/'1' characters (length multiple of 2) into DNA."""
+    if len(bits) % 2 != 0:
+        raise EncodingError("bit string length must be even")
+    bases = []
+    for i in range(0, len(bits), 2):
+        pair = bits[i : i + 2]
+        try:
+            value = int(pair, 2)
+        except ValueError as exc:
+            raise EncodingError(f"invalid bit pair {pair!r}") from exc
+        bases.append(BITS_TO_BASE[value])
+    return "".join(bases)
+
+
+def dna_to_bits(sequence: str) -> str:
+    """Decode a DNA string into a string of '0'/'1' characters."""
+    validate_sequence(sequence)
+    return "".join(format(BASE_TO_BITS[base], "02b") for base in sequence)
+
+
+def integer_to_dna(value: int, length: int) -> str:
+    """Encode a non-negative integer as a fixed-length dense base-4 DNA string.
+
+    Used for the intra-unit (orange) part of the address, which is decoded in
+    software and therefore does not need to be PCR-compatible.
+
+    >>> integer_to_dna(0, 2)
+    'AA'
+    >>> integer_to_dna(14, 2)
+    'TG'
+    """
+    if value < 0:
+        raise EncodingError("value must be non-negative")
+    if length <= 0:
+        raise EncodingError("length must be positive")
+    if value >= 4 ** length:
+        raise EncodingError(f"value {value} does not fit in {length} bases")
+    bases = []
+    for _ in range(length):
+        bases.append(BITS_TO_BASE[value & 0b11])
+        value >>= 2
+    return "".join(reversed(bases))
+
+
+def dna_to_integer(sequence: str) -> int:
+    """Decode a dense base-4 DNA string into the integer it represents."""
+    validate_sequence(sequence)
+    value = 0
+    for base in sequence:
+        value = (value << 2) | BASE_TO_BITS[base]
+    return value

@@ -1,0 +1,77 @@
+"""Constrained-coding predicates used for primers and sparse indexes.
+
+The paper uses unconstrained coding for payloads but a *constrained* scheme
+for internal addresses (Section 2.1.1 / Section 4), because addresses must be
+usable as PCR primer elongations.  This module collects the predicates that
+define "PCR-compatible": GC balance within a window, a cap on homopolymer
+runs, and (for elongations) GC balance in every prefix.
+"""
+
+from __future__ import annotations
+
+from repro.constants import (
+    PRIMER_GC_MAX,
+    PRIMER_GC_MIN,
+    PRIMER_MAX_HOMOPOLYMER,
+)
+from repro.sequence import gc_content, max_homopolymer_run, validate_sequence
+
+
+def is_gc_balanced(
+    sequence: str,
+    *,
+    minimum: float = PRIMER_GC_MIN,
+    maximum: float = PRIMER_GC_MAX,
+) -> bool:
+    """Return True if the GC content of ``sequence`` lies within the window."""
+    validate_sequence(sequence)
+    if not sequence:
+        return True
+    return minimum <= gc_content(sequence) <= maximum
+
+
+def satisfies_homopolymer_limit(
+    sequence: str, *, limit: int = PRIMER_MAX_HOMOPOLYMER
+) -> bool:
+    """Return True if no homopolymer run in ``sequence`` exceeds ``limit``."""
+    validate_sequence(sequence)
+    return max_homopolymer_run(sequence) <= limit
+
+
+def prefix_gc_deviation(sequence: str) -> float:
+    """Return the worst absolute deviation of GC content from 0.5 over all prefixes.
+
+    Elongated primers may stop at any point inside the index (Section 4.2), so
+    the GC content must be balanced *within every possible elongation*.  A
+    perfectly alternating GC/AT sequence has deviation 0.25 (from odd-length
+    prefixes); the sparse index construction keeps the deviation small for all
+    even-length prefixes.
+    """
+    validate_sequence(sequence)
+    if not sequence:
+        return 0.0
+    worst = 0.0
+    gc_count = 0
+    for i, base in enumerate(sequence, start=1):
+        if base in ("G", "C"):
+            gc_count += 1
+        worst = max(worst, abs(gc_count / i - 0.5))
+    return worst
+
+
+def is_pcr_compatible(
+    sequence: str,
+    *,
+    gc_min: float = PRIMER_GC_MIN,
+    gc_max: float = PRIMER_GC_MAX,
+    homopolymer_limit: int = PRIMER_MAX_HOMOPOLYMER,
+) -> bool:
+    """Return True if ``sequence`` could serve as (part of) a PCR primer.
+
+    This is the conjunction of the GC-content window and the homopolymer cap.
+    Cross-sequence constraints (pairwise distance, melting temperature) live
+    in :mod:`repro.primers.constraints` because they need more context.
+    """
+    return is_gc_balanced(sequence, minimum=gc_min, maximum=gc_max) and (
+        satisfies_homopolymer_limit(sequence, limit=homopolymer_limit)
+    )

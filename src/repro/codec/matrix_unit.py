@@ -1,0 +1,236 @@
+"""Encoding-unit matrix layout with an outer Reed-Solomon code.
+
+This reproduces Figure 1b/1c of the paper: the molecules of an encoding
+unit are the *columns* of a matrix, each row of the matrix is one
+Reed-Solomon codeword, the first ``d`` columns hold data and the last ``e``
+columns hold the row-wise parity symbols.  In the wetlab configuration one
+unit has 15 molecules (11 data + 4 ECC), each molecule carries 24 payload
+bytes (48 four-bit symbols), and the unit therefore stores 264 gross bytes
+of which 256 are user data and 8 are random padding.
+
+A missing molecule (never recovered from sequencing) erases one column,
+i.e. one known-location symbol in every row, which the Reed-Solomon code
+corrects as an erasure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codec.randomizer import Randomizer
+from repro.codec.reed_solomon import ReedSolomonCode
+from repro.constants import (
+    DEFAULT_DATA_MOLECULES_PER_UNIT,
+    DEFAULT_ECC_MOLECULES_PER_UNIT,
+    DEFAULT_PAYLOAD_BYTES,
+    DEFAULT_RS_SYMBOL_BITS,
+    DEFAULT_UNIT_DATA_BYTES,
+)
+from repro.exceptions import DecodingError, EncodingError
+
+
+@dataclass(frozen=True)
+class UnitLayout:
+    """Static geometry of an encoding unit.
+
+    Attributes:
+        data_molecules: number of data columns (``d`` in Figure 1c).
+        ecc_molecules: number of ECC columns (``e`` in Figure 1c).
+        payload_bytes: payload bytes carried by each molecule.
+        symbol_bits: Reed-Solomon symbol width in bits (must divide 8).
+        user_data_bytes: user-visible bytes per unit; the remaining
+            ``gross_data_bytes - user_data_bytes`` bytes are padding.
+    """
+
+    data_molecules: int = DEFAULT_DATA_MOLECULES_PER_UNIT
+    ecc_molecules: int = DEFAULT_ECC_MOLECULES_PER_UNIT
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES
+    symbol_bits: int = DEFAULT_RS_SYMBOL_BITS
+    user_data_bytes: int = DEFAULT_UNIT_DATA_BYTES
+
+    def __post_init__(self) -> None:
+        if self.data_molecules <= 0 or self.ecc_molecules < 0:
+            raise EncodingError("molecule counts must be positive")
+        if self.payload_bytes <= 0:
+            raise EncodingError("payload_bytes must be positive")
+        if 8 % self.symbol_bits != 0:
+            raise EncodingError("symbol_bits must divide 8")
+        if self.user_data_bytes > self.gross_data_bytes:
+            raise EncodingError(
+                f"user_data_bytes {self.user_data_bytes} exceeds unit capacity "
+                f"{self.gross_data_bytes}"
+            )
+
+    @property
+    def total_molecules(self) -> int:
+        """Total columns in the matrix (data + ECC)."""
+        return self.data_molecules + self.ecc_molecules
+
+    @property
+    def symbols_per_molecule(self) -> int:
+        """Number of RS symbols held by one molecule (rows of the matrix)."""
+        return self.payload_bytes * 8 // self.symbol_bits
+
+    @property
+    def gross_data_bytes(self) -> int:
+        """Bytes held by the data columns of one unit (incl. padding)."""
+        return self.data_molecules * self.payload_bytes
+
+    @property
+    def codeword_length(self) -> int:
+        """Length of each row codeword in symbols."""
+        return self.total_molecules
+
+    @property
+    def padding_bytes(self) -> int:
+        """Random padding bytes appended to user data to fill the unit."""
+        return self.gross_data_bytes - self.user_data_bytes
+
+
+def _bytes_to_symbols(data: bytes, symbol_bits: int) -> list[int]:
+    """Split bytes into fixed-width symbols, most significant bits first."""
+    symbols_per_byte = 8 // symbol_bits
+    mask = (1 << symbol_bits) - 1
+    symbols = []
+    for byte in data:
+        for i in range(symbols_per_byte - 1, -1, -1):
+            symbols.append((byte >> (i * symbol_bits)) & mask)
+    return symbols
+
+
+def _symbols_to_bytes(symbols: list[int], symbol_bits: int) -> bytes:
+    """Inverse of :func:`_bytes_to_symbols`."""
+    symbols_per_byte = 8 // symbol_bits
+    if len(symbols) % symbols_per_byte != 0:
+        raise DecodingError("symbol count does not align to byte boundary")
+    out = bytearray()
+    for i in range(0, len(symbols), symbols_per_byte):
+        value = 0
+        for symbol in symbols[i : i + symbols_per_byte]:
+            value = (value << symbol_bits) | symbol
+        out.append(value)
+    return bytes(out)
+
+
+@dataclass
+class EncodingUnit:
+    """Encoder/decoder for one encoding unit (matrix of molecules).
+
+    The unit owns a :class:`ReedSolomonCode` sized by its layout and a
+    :class:`Randomizer` used to generate deterministic padding (seeded so
+    that encode/decode round-trips are reproducible).
+    """
+
+    layout: UnitLayout = field(default_factory=UnitLayout)
+    padding_seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        self._code = ReedSolomonCode(
+            self.layout.codeword_length,
+            self.layout.data_molecules,
+            symbol_bits=self.layout.symbol_bits,
+        )
+        self._padding = Randomizer(self.padding_seed)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, user_data: bytes) -> list[bytes]:
+        """Encode user data into the payloads of every molecule in the unit.
+
+        Args:
+            user_data: at most ``layout.user_data_bytes`` bytes; shorter
+                inputs are padded (the true length must be tracked by the
+                caller, e.g. the partition's block table).
+
+        Returns:
+            A list of ``layout.total_molecules`` payloads of
+            ``layout.payload_bytes`` bytes each: data columns first, ECC
+            columns last — the column order of Figure 1c.
+        """
+        if len(user_data) > self.layout.user_data_bytes:
+            raise EncodingError(
+                f"user data of {len(user_data)} bytes exceeds unit capacity "
+                f"{self.layout.user_data_bytes}"
+            )
+        padded = self._pad(user_data)
+        symbols = _bytes_to_symbols(padded, self.layout.symbol_bits)
+
+        rows = self.layout.symbols_per_molecule
+        data_columns = self.layout.data_molecules
+        # Column-major fill (Figure 1c): molecule j holds symbols
+        # [j*rows, (j+1)*rows).
+        matrix = [
+            symbols[column * rows : (column + 1) * rows]
+            for column in range(data_columns)
+        ]
+        ecc_matrix = [[0] * rows for _ in range(self.layout.ecc_molecules)]
+        for row in range(rows):
+            codeword = self._code.encode([matrix[c][row] for c in range(data_columns)])
+            for e in range(self.layout.ecc_molecules):
+                ecc_matrix[e][row] = codeword[data_columns + e]
+
+        payloads = []
+        for column in matrix + ecc_matrix:
+            payloads.append(_symbols_to_bytes(column, self.layout.symbol_bits))
+        return payloads
+
+    def _pad(self, user_data: bytes) -> bytes:
+        shortfall = self.layout.gross_data_bytes - len(user_data)
+        if shortfall == 0:
+            return user_data
+        return user_data + self._padding.keystream(shortfall)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, payloads: dict[int, bytes]) -> bytes:
+        """Decode molecule payloads back into the unit's user data.
+
+        Args:
+            payloads: mapping from column index (0-based; data columns are
+                ``0..d-1``, ECC columns are ``d..d+e-1``) to the recovered
+                payload bytes.  Missing columns are treated as erasures.
+
+        Returns:
+            The ``layout.user_data_bytes`` bytes of user data.
+
+        Raises:
+            DecodingError: if a payload has the wrong size or a column index
+                is out of range.
+            ReedSolomonError: if too many columns are missing or corrupted.
+        """
+        total = self.layout.total_molecules
+        rows = self.layout.symbols_per_molecule
+        for column, payload in payloads.items():
+            if not 0 <= column < total:
+                raise DecodingError(f"column index {column} out of range")
+            if len(payload) != self.layout.payload_bytes:
+                raise DecodingError(
+                    f"payload for column {column} has {len(payload)} bytes, "
+                    f"expected {self.layout.payload_bytes}"
+                )
+
+        erasures = [column for column in range(total) if column not in payloads]
+        columns: list[list[int]] = []
+        for column in range(total):
+            if column in payloads:
+                columns.append(
+                    _bytes_to_symbols(payloads[column], self.layout.symbol_bits)
+                )
+            else:
+                columns.append([0] * rows)
+
+        data_columns = self.layout.data_molecules
+        recovered_symbols: list[list[int]] = [[] for _ in range(data_columns)]
+        for row in range(rows):
+            codeword = [columns[c][row] for c in range(total)]
+            corrected = self._code.decode(codeword, erasure_positions=erasures)
+            for c in range(data_columns):
+                recovered_symbols[c].append(corrected[c])
+
+        flattened: list[int] = []
+        for column_symbols in recovered_symbols:
+            flattened.extend(column_symbols)
+        gross = _symbols_to_bytes(flattened, self.layout.symbol_bits)
+        return gross[: self.layout.user_data_bytes]

@@ -1,0 +1,66 @@
+"""Seeded data randomization (whitening) for unconstrained coding.
+
+The paper (Section 2.1.1) uses unconstrained 2-bit-per-base coding and
+relies on *data randomization* to make long homopolymers and unbalanced GC
+content statistically unlikely.  The randomization seed is stored as
+partition-level metadata, exactly like the index-tree seed (Section 4.4),
+and the same seed must be used to de-randomize at decode time.
+
+The whitening stream is a xorshift64* generator implemented here so that
+the transformation is fully deterministic, self-inverse (XOR), and has no
+dependency on Python's global :mod:`random` state.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EncodingError
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class Randomizer:
+    """Deterministic byte-stream whitener keyed by a 64-bit seed.
+
+    The transformation is an XOR with a pseudo-random keystream, so applying
+    it twice with the same seed returns the original data:
+
+    >>> r = Randomizer(seed=42)
+    >>> payload = b"hello, dna storage"
+    >>> r.derandomize(r.randomize(payload)) == payload
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        if seed < 0:
+            raise EncodingError("randomizer seed must be non-negative")
+        # xorshift64* degenerates with a zero state; remap deterministically.
+        self._seed = (seed & _MASK64) or 0x9E37_79B9_7F4A_7C15
+
+    @property
+    def seed(self) -> int:
+        """The (remapped) 64-bit seed driving the keystream."""
+        return self._seed
+
+    def keystream(self, length: int) -> bytes:
+        """Return ``length`` bytes of deterministic keystream."""
+        if length < 0:
+            raise EncodingError("keystream length must be non-negative")
+        state = self._seed
+        out = bytearray()
+        while len(out) < length:
+            state ^= (state >> 12) & _MASK64
+            state = (state ^ (state << 25)) & _MASK64
+            state ^= (state >> 27) & _MASK64
+            word = (state * 0x2545F4914F6CDD1D) & _MASK64
+            out.extend(word.to_bytes(8, "little"))
+        return bytes(out[:length])
+
+    def randomize(self, data: bytes) -> bytes:
+        """Return ``data`` XORed with the keystream."""
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+    # XOR whitening is an involution, so derandomize is the same operation.
+    def derandomize(self, data: bytes) -> bytes:
+        """Inverse of :meth:`randomize` (identical XOR transformation)."""
+        return self.randomize(data)

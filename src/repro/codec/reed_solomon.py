@@ -1,0 +1,282 @@
+"""Systematic Reed-Solomon encoder/decoder over GF(2^m).
+
+The paper's outer code (Figure 1b/1c, Section 6.2) treats the molecules of
+an encoding unit as columns of a matrix and protects each row with a
+Reed-Solomon codeword.  The wetlab configuration uses 4-bit symbols, i.e.
+RS(15, 11) over GF(16): 11 data molecules plus 4 ECC molecules per unit.
+
+The decoder supports both *errors* (unknown locations) and *erasures*
+(known locations, e.g. a molecule that never showed up in the sequencing
+output).  It follows the classical pipeline — syndrome computation,
+Forney syndromes, Berlekamp-Massey, Chien search, and the Forney
+algorithm for error magnitudes — implemented from scratch on top of
+:class:`repro.codec.galois.GaloisField`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.codec.galois import GaloisField
+from repro.exceptions import ReedSolomonError
+
+
+class ReedSolomonCode:
+    """A systematic RS(n, k) code over GF(2^m).
+
+    Args:
+        n: codeword length in symbols; must satisfy ``n <= 2^m - 1``.
+        k: number of data symbols; ``n - k`` parity symbols are appended.
+        symbol_bits: symbol width ``m`` in bits (4 for the paper's setup).
+        first_consecutive_root: exponent of the first root of the generator
+            polynomial (``fcr``); 0 by convention here.
+
+    >>> rs = ReedSolomonCode(15, 11, symbol_bits=4)
+    >>> codeword = rs.encode([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11])
+    >>> corrupted = list(codeword)
+    >>> corrupted[3] ^= 0xF
+    >>> rs.decode(corrupted)[:11]
+    [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        *,
+        symbol_bits: int = 4,
+        first_consecutive_root: int = 0,
+    ) -> None:
+        if k <= 0 or n <= k:
+            raise ReedSolomonError(f"invalid RS parameters n={n}, k={k}")
+        self.field = GaloisField.cached(symbol_bits)
+        if n > self.field.max_value:
+            raise ReedSolomonError(
+                f"n={n} exceeds field limit {self.field.max_value} for m={symbol_bits}"
+            )
+        self.n = n
+        self.k = k
+        self.symbol_bits = symbol_bits
+        self.parity_symbols = n - k
+        self.fcr = first_consecutive_root
+        self._generator = self._build_generator_polynomial()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_generator_polynomial(self) -> list[int]:
+        gf = self.field
+        generator = [1]
+        for i in range(self.parity_symbols):
+            generator = gf.poly_multiply(generator, [1, gf.exp(i + self.fcr)])
+        return generator
+
+    @property
+    def max_correctable_errors(self) -> int:
+        """Errors correctable when there are no erasures: floor((n-k)/2)."""
+        return self.parity_symbols // 2
+
+    @property
+    def max_correctable_erasures(self) -> int:
+        """Erasures correctable when there are no errors: n-k."""
+        return self.parity_symbols
+
+    def _validate_symbols(self, symbols: Sequence[int], expected_length: int) -> None:
+        if len(symbols) != expected_length:
+            raise ReedSolomonError(
+                f"expected {expected_length} symbols, got {len(symbols)}"
+            )
+        for symbol in symbols:
+            if not 0 <= symbol <= self.field.max_value:
+                raise ReedSolomonError(
+                    f"symbol {symbol} out of range for GF(2^{self.symbol_bits})"
+                )
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, data: Sequence[int]) -> list[int]:
+        """Encode ``k`` data symbols into an ``n``-symbol systematic codeword."""
+        self._validate_symbols(data, self.k)
+        message = list(data) + [0] * self.parity_symbols
+        _, remainder = self.field.poly_divmod(message, self._generator)
+        parity = [0] * (self.parity_symbols - len(remainder)) + list(remainder)
+        return list(data) + parity
+
+    # ------------------------------------------------------------------
+    # Decoding primitives
+    # ------------------------------------------------------------------
+    def _syndromes(self, codeword: Sequence[int]) -> list[int]:
+        """Syndromes with a leading 0 pad (so index == root exponent + 1)."""
+        gf = self.field
+        syndromes = [
+            gf.poly_eval(list(codeword), gf.exp(i + self.fcr))
+            for i in range(self.parity_symbols)
+        ]
+        return [0] + syndromes
+
+    def _errata_locator(self, coefficient_positions: Sequence[int]) -> list[int]:
+        gf = self.field
+        locator = [1]
+        for position in coefficient_positions:
+            locator = gf.poly_multiply(locator, gf.poly_add([1], [gf.exp(position), 0]))
+        return locator
+
+    def _error_evaluator(
+        self, syndromes: Sequence[int], errata_locator: Sequence[int], nsym: int
+    ) -> list[int]:
+        gf = self.field
+        product = gf.poly_multiply(list(syndromes), list(errata_locator))
+        _, remainder = gf.poly_divmod(product, [1] + [0] * (nsym + 1))
+        return remainder
+
+    def _forney_syndromes(
+        self, syndromes: Sequence[int], erasure_positions: Sequence[int]
+    ) -> list[int]:
+        gf = self.field
+        erased_coefficients = [self.n - 1 - p for p in erasure_positions]
+        forney = list(syndromes[1:])  # drop the leading pad
+        for coefficient in erased_coefficients:
+            x = gf.exp(coefficient)
+            for j in range(len(forney) - 1):
+                forney[j] = gf.multiply(forney[j], x) ^ forney[j + 1]
+        return forney
+
+    def _berlekamp_massey(
+        self, syndromes: Sequence[int], erasure_count: int
+    ) -> list[int]:
+        gf = self.field
+        error_locator = [1]
+        old_locator = [1]
+        for i in range(self.parity_symbols - erasure_count):
+            delta = syndromes[i]
+            for j in range(1, len(error_locator)):
+                delta ^= gf.multiply(
+                    error_locator[-(j + 1)], syndromes[i - j]
+                )
+            old_locator = old_locator + [0]
+            if delta != 0:
+                if len(old_locator) > len(error_locator):
+                    new_locator = gf.poly_scale(old_locator, delta)
+                    old_locator = gf.poly_scale(error_locator, gf.inverse(delta))
+                    error_locator = new_locator
+                error_locator = gf.poly_add(
+                    error_locator, gf.poly_scale(old_locator, delta)
+                )
+        while error_locator and error_locator[0] == 0:
+            error_locator.pop(0)
+        errors = len(error_locator) - 1
+        if errors * 2 + erasure_count > self.parity_symbols:
+            raise ReedSolomonError("too many errors to correct")
+        return error_locator
+
+    def _find_error_positions(self, error_locator: Sequence[int]) -> list[int]:
+        gf = self.field
+        errors = len(error_locator) - 1
+        reversed_locator = list(reversed(list(error_locator)))
+        positions = []
+        for i in range(self.n):
+            if gf.poly_eval(reversed_locator, gf.exp(i)) == 0:
+                positions.append(self.n - 1 - i)
+        if len(positions) != errors:
+            raise ReedSolomonError(
+                "could not locate all errors (codeword too corrupted)"
+            )
+        return positions
+
+    def _correct_errata(
+        self,
+        codeword: list[int],
+        syndromes: Sequence[int],
+        errata_positions: Sequence[int],
+    ) -> list[int]:
+        gf = self.field
+        coefficient_positions = [self.n - 1 - p for p in errata_positions]
+        errata_locator = self._errata_locator(coefficient_positions)
+        evaluator = self._error_evaluator(
+            list(reversed(list(syndromes))), errata_locator, len(errata_locator) - 1
+        )
+        evaluator = list(reversed(evaluator))
+
+        roots = [gf.exp(position) for position in coefficient_positions]
+        corrected = list(codeword)
+        for i, x in enumerate(roots):
+            x_inverse = gf.inverse(x)
+            denominator = 1
+            for j, other in enumerate(roots):
+                if j == i:
+                    continue
+                denominator = gf.multiply(
+                    denominator, 1 ^ gf.multiply(x_inverse, other)
+                )
+            if denominator == 0:
+                raise ReedSolomonError("Forney algorithm failed (zero denominator)")
+            numerator = gf.poly_eval(list(reversed(evaluator)), x_inverse)
+            numerator = gf.multiply(numerator, gf.power(x, 1 - self.fcr))
+            magnitude = gf.divide(numerator, denominator)
+            corrected[errata_positions[i]] ^= magnitude
+        return corrected
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(
+        self,
+        codeword: Sequence[int],
+        erasure_positions: Sequence[int] = (),
+    ) -> list[int]:
+        """Decode an ``n``-symbol codeword, correcting errors and erasures.
+
+        Args:
+            codeword: the received symbols (erased positions may hold any
+                value; they are zeroed before decoding).
+            erasure_positions: indexes (0-based from the left) of symbols
+                known to be unreliable or missing.
+
+        Returns:
+            The corrected full codeword (``n`` symbols); take the first ``k``
+            for the data part.
+
+        Raises:
+            ReedSolomonError: if the errata exceed the code's capability.
+        """
+        self._validate_symbols(codeword, self.n)
+        erasure_positions = sorted(set(erasure_positions))
+        for position in erasure_positions:
+            if not 0 <= position < self.n:
+                raise ReedSolomonError(f"erasure position {position} out of range")
+        if len(erasure_positions) > self.parity_symbols:
+            raise ReedSolomonError("too many erasures to correct")
+
+        working = list(codeword)
+        for position in erasure_positions:
+            working[position] = 0
+
+        syndromes = self._syndromes(working)
+        if max(syndromes) == 0:
+            return working
+
+        forney_syndromes = self._forney_syndromes(syndromes, erasure_positions)
+        error_locator = self._berlekamp_massey(
+            forney_syndromes, len(erasure_positions)
+        )
+        if len(error_locator) > 1:
+            error_positions = self._find_error_positions(error_locator)
+        else:
+            error_positions = []
+
+        errata_positions = list(erasure_positions) + [
+            p for p in error_positions if p not in erasure_positions
+        ]
+        corrected = self._correct_errata(working, syndromes, errata_positions)
+        if max(self._syndromes(corrected)) != 0:
+            raise ReedSolomonError("decoding failed: residual syndromes nonzero")
+        return corrected
+
+    def decode_data(
+        self,
+        codeword: Sequence[int],
+        erasure_positions: Sequence[int] = (),
+    ) -> list[int]:
+        """Decode and return only the ``k`` data symbols."""
+        return self.decode(codeword, erasure_positions)[: self.k]

@@ -1,0 +1,134 @@
+"""Shared constants for the DNA block-storage reproduction.
+
+The values here mirror the wetlab configuration described in Section 6 of
+the paper (150-base strands, 20-base primers, 4-bit Reed-Solomon symbols,
+256-byte encoding units) and the physical constants of the DNA alphabet.
+"""
+
+from __future__ import annotations
+
+#: The DNA alphabet, in the canonical order used throughout the paper's
+#: prefix trees (edges of every node are labelled A, C, G, T in that order
+#: before randomization).
+DNA_ALPHABET: tuple[str, str, str, str] = ("A", "C", "G", "T")
+
+#: Mapping from base to its index in :data:`DNA_ALPHABET`.
+BASE_TO_INDEX: dict[str, int] = {base: i for i, base in enumerate(DNA_ALPHABET)}
+
+#: Watson-Crick complement of each base.
+COMPLEMENT: dict[str, str] = {"A": "T", "T": "A", "C": "G", "G": "C"}
+
+#: Bases that contribute to GC content.
+GC_BASES: frozenset[str] = frozenset({"G", "C"})
+
+#: Bases that do not contribute to GC content.
+AT_BASES: frozenset[str] = frozenset({"A", "T"})
+
+#: Two-bit value of each base under the unconstrained 2-bits-per-base codec.
+BASE_TO_BITS: dict[str, int] = {"A": 0, "C": 1, "G": 2, "T": 3}
+
+#: Inverse of :data:`BASE_TO_BITS`.
+BITS_TO_BASE: dict[int, str] = {v: k for k, v in BASE_TO_BITS.items()}
+
+#: Total strand length used in the wetlab evaluation (Section 6.2).
+DEFAULT_STRAND_LENGTH: int = 150
+
+#: Length of each main access primer (forward and reverse).
+DEFAULT_PRIMER_LENGTH: int = 20
+
+#: Number of bases reserved for the pair of main primers.
+DEFAULT_PRIMER_PAIR_BASES: int = 2 * DEFAULT_PRIMER_LENGTH
+
+#: A single synchronization base is inserted after the forward primer
+#: (Section 6.2), leaving 109 bases for index + payload on a 150-base strand.
+SYNC_BASE: str = "A"
+
+#: Payload bases per molecule in the wetlab configuration: 96 bases = 24 bytes.
+DEFAULT_PAYLOAD_BASES: int = 96
+
+#: Payload bytes per molecule (96 bases at 2 bits per base).
+DEFAULT_PAYLOAD_BYTES: int = DEFAULT_PAYLOAD_BASES // 4
+
+#: Sparse, PCR-compatible index length (bases) for the encoding-unit address.
+DEFAULT_SPARSE_INDEX_BASES: int = 10
+
+#: Dense index length that the sparse index replaces (5 bases address 1024
+#: encoding units).
+DEFAULT_DENSE_INDEX_BASES: int = 5
+
+#: Extra base appended to the sparse index to distinguish the original block
+#: from its update slots (Section 6.3).
+DEFAULT_UPDATE_SLOT_BASES: int = 1
+
+#: Bases used for intra-matrix addressing (the orange part of Figure 1):
+#: two bases distinguish the 15 molecules of an encoding unit in software.
+DEFAULT_INTRA_UNIT_INDEX_BASES: int = 2
+
+#: Reed-Solomon symbol size in bits (Section 6.2 uses 4-bit symbols).
+DEFAULT_RS_SYMBOL_BITS: int = 4
+
+#: Codeword length for 4-bit symbols: 2**4 - 1 = 15 symbols.
+DEFAULT_RS_CODEWORD_SYMBOLS: int = 15
+
+#: Number of data molecules per encoding unit in the wetlab configuration.
+DEFAULT_DATA_MOLECULES_PER_UNIT: int = 11
+
+#: Number of ECC molecules per encoding unit in the wetlab configuration.
+DEFAULT_ECC_MOLECULES_PER_UNIT: int = 4
+
+#: Molecules per encoding unit (data + ECC).
+DEFAULT_MOLECULES_PER_UNIT: int = (
+    DEFAULT_DATA_MOLECULES_PER_UNIT + DEFAULT_ECC_MOLECULES_PER_UNIT
+)
+
+#: Usable data bytes in one encoding unit (256 B of user data + 8 B padding).
+DEFAULT_UNIT_DATA_BYTES: int = 256
+
+#: Gross bytes held by the data molecules of one encoding unit (264 B).
+DEFAULT_UNIT_GROSS_BYTES: int = (
+    DEFAULT_DATA_MOLECULES_PER_UNIT * DEFAULT_PAYLOAD_BYTES
+)
+
+#: Number of leaf indexes in the wetlab index tree (Section 4.1).
+DEFAULT_LEAF_COUNT: int = 1024
+
+#: Number of encoding units (blocks) in the Alice partition (Section 7.6).
+ALICE_BLOCK_COUNT: int = 587
+
+#: Total number of distinct strands in the synthesized Alice partition
+#: (587 blocks x 15 strands, which the paper rounds to 8805).
+ALICE_STRAND_COUNT: int = ALICE_BLOCK_COUNT * DEFAULT_MOLECULES_PER_UNIT
+
+#: Number of files encoded in the paper's DNA pool (12 fillers + Alice).
+DEFAULT_FILE_COUNT: int = 13
+
+#: Blocks that received updates co-synthesized with the original Twist pool.
+TWIST_UPDATED_BLOCKS: tuple[int, int, int] = (144, 307, 531)
+
+#: Blocks that received updates synthesized later by IDT and mixed in.
+IDT_UPDATED_BLOCKS: tuple[int, int, int] = (243, 374, 556)
+
+#: Concentration mismatch between the IDT update pool and the Twist pool
+#: before mixing (Section 6.4.1).
+IDT_CONCENTRATION_RATIO: float = 50_000.0
+
+#: Length of the elongated forward primers used in the wetlab (Section 6.5).
+DEFAULT_ELONGATED_PRIMER_LENGTH: int = 31
+
+#: Acceptable GC-content window for PCR primers (Section 6.5 reports 48-52%).
+PRIMER_GC_MIN: float = 0.40
+PRIMER_GC_MAX: float = 0.60
+
+#: Maximum homopolymer run length allowed in a PCR primer.
+PRIMER_MAX_HOMOPOLYMER: int = 3
+
+#: Maximum homopolymer run produced by the sparse index construction
+#: (Section 4.3 guarantees runs of at most two).
+SPARSE_INDEX_MAX_HOMOPOLYMER: int = 2
+
+#: Bytes of user data representable by one base under 2-bit encoding.
+BITS_PER_BASE_UNCONSTRAINED: float = 2.0
+
+#: Reads produced by one Illumina MiSeq run expressed as user gigabytes
+#: (Section 7.4: "one run of Illumina MiSeq can only produce around 1GB").
+MISEQ_RUN_OUTPUT_BYTES: int = 10 ** 9

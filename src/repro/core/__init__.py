@@ -1,0 +1,55 @@
+"""Core block-storage architecture (the paper's primary contribution).
+
+* :mod:`repro.core.index_tree` — the PCR-navigable index tree of Section 4:
+  randomized edge order, GC-complementary separator bases, deterministic
+  reconstruction from a seed.
+* :mod:`repro.core.addressing` — block addresses and update-slot encoding.
+* :mod:`repro.core.prefix_cover` — minimal prefix covers for contiguous
+  block ranges (sequential access, Section 3.1).
+* :mod:`repro.core.elongation` — construction of elongated PCR primers.
+* :mod:`repro.core.capacity` — the capacity / information-density model of
+  Figure 3.
+* :mod:`repro.core.updates` — update patches and their semantics
+  (Section 5.4 / 6.4).
+* :mod:`repro.core.address_space` — placement policies for updates in the
+  internal address space (Figures 6, 7, 8) plus the naive rewrite baseline.
+* :mod:`repro.core.partition` — the partition: a blocked, independently
+  managed storage unit behind one primer pair.
+* :mod:`repro.core.pool_manager` — a multi-partition DNA pool (the "13
+  files" of the wetlab evaluation).
+"""
+
+from repro.core.addressing import BlockAddress
+from repro.core.address_space import (
+    AddressSpacePolicy,
+    DedicatedUpdatePartitionPolicy,
+    InterleavedUpdatePolicy,
+    NaiveRewritePolicy,
+    TwoStackPolicy,
+)
+from repro.core.capacity import PartitionCapacityModel
+from repro.core.elongation import ElongatedPrimer, build_elongated_primer
+from repro.core.index_tree import IndexTree
+from repro.core.partition import Partition, PartitionConfig
+from repro.core.pool_manager import DnaPoolManager
+from repro.core.prefix_cover import prefix_cover_for_range
+from repro.core.updates import UpdatePatch, apply_patch
+
+__all__ = [
+    "BlockAddress",
+    "AddressSpacePolicy",
+    "DedicatedUpdatePartitionPolicy",
+    "InterleavedUpdatePolicy",
+    "NaiveRewritePolicy",
+    "TwoStackPolicy",
+    "PartitionCapacityModel",
+    "ElongatedPrimer",
+    "build_elongated_primer",
+    "IndexTree",
+    "Partition",
+    "PartitionConfig",
+    "DnaPoolManager",
+    "prefix_cover_for_range",
+    "UpdatePatch",
+    "apply_patch",
+]

@@ -1,0 +1,234 @@
+"""Placement policies for updates in the internal address space (Section 5).
+
+The paper walks through four ways of placing update patches relative to the
+data they update, and the costs of each:
+
+* :class:`NaiveRewritePolicy` (Section 5.1) — re-synthesize the whole
+  partition under a fresh primer pair for every update.
+* :class:`DedicatedUpdatePartitionPolicy` (Figure 6) — log every update of
+  every partition into one special partition; reading anything that *might*
+  have been updated requires reading the entire update log.
+* :class:`TwoStackPolicy` (Figure 7) — data and updates share a partition's
+  address space, growing towards each other; one PCR retrieves data plus
+  updates, but it retrieves *all* of both.
+* :class:`InterleavedUpdatePolicy` (Figure 8) — update slots are provisioned
+  right next to each block so a single precise PCR retrieves a block and
+  exactly its own updates; overflow beyond the provisioned slots spills into
+  a shared overflow log.
+
+Each policy exposes the same cost accounting so the ablation benchmark
+(`bench_sec75_update_cost.py`) can compare them directly, and the
+interleaved policy additionally provides the address assignment used by the
+real :class:`repro.core.partition.Partition`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.addressing import BlockAddress
+from repro.exceptions import UpdateError
+
+
+@dataclass(frozen=True)
+class PartitionShape:
+    """The quantities a placement policy needs for cost accounting.
+
+    Attributes:
+        blocks: number of data blocks in the partition.
+        molecules_per_block: strands per encoding unit (15 in the wetlab).
+        molecules_per_update: strands per update patch (usually the same).
+        pool_partitions: number of partitions sharing the DNA pool.
+        updates_in_partition: total updates already logged in this partition.
+        updates_in_pool: total updates logged across all partitions.
+    """
+
+    blocks: int
+    molecules_per_block: int = 15
+    molecules_per_update: int = 15
+    pool_partitions: int = 1
+    updates_in_partition: int = 0
+    updates_in_pool: int = 0
+
+    @property
+    def partition_molecules(self) -> int:
+        """Strands holding original data in this partition."""
+        return self.blocks * self.molecules_per_block
+
+
+@dataclass(frozen=True)
+class UpdateCost:
+    """Cost of performing one update and of reading the updated block.
+
+    Attributes:
+        synthesis_molecules: distinct strands that must be synthesized to
+            perform the update.
+        read_molecules: distinct strands that must be retrieved (amplified
+            and sequenced at nominal coverage) to read the updated block.
+        new_primer_pairs: main primer pairs consumed by the update.
+    """
+
+    synthesis_molecules: int
+    read_molecules: int
+    new_primer_pairs: int = 0
+
+
+class AddressSpacePolicy(ABC):
+    """Interface shared by every update-placement policy."""
+
+    #: Short human-readable policy name used in benchmark tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def update_cost(self, shape: PartitionShape, target_updates: int = 1) -> UpdateCost:
+        """Return the cost of one update and of reading the updated block.
+
+        Args:
+            shape: the partition / pool geometry.
+            target_updates: number of updates the target block has received
+                (including the one being costed).
+        """
+
+    def supports_precise_block_read(self) -> bool:
+        """True if a single precise PCR retrieves only the block + its updates."""
+        return False
+
+
+class NaiveRewritePolicy(AddressSpacePolicy):
+    """Re-synthesize the whole partition with a new primer pair (Section 5.1)."""
+
+    name = "naive-rewrite"
+
+    def update_cost(self, shape: PartitionShape, target_updates: int = 1) -> UpdateCost:
+        """Every update re-synthesizes and re-reads the whole partition."""
+        del target_updates
+        return UpdateCost(
+            synthesis_molecules=shape.partition_molecules,
+            read_molecules=shape.partition_molecules,
+            new_primer_pairs=1,
+        )
+
+
+class DedicatedUpdatePartitionPolicy(AddressSpacePolicy):
+    """All updates of all partitions share one dedicated partition (Figure 6)."""
+
+    name = "dedicated-update-partition"
+
+    def update_cost(self, shape: PartitionShape, target_updates: int = 1) -> UpdateCost:
+        """Synthesis is minimal but reads must scan the global update log."""
+        read = (
+            shape.partition_molecules
+            + shape.updates_in_pool * shape.molecules_per_update
+            + target_updates * shape.molecules_per_update
+        )
+        return UpdateCost(
+            synthesis_molecules=shape.molecules_per_update,
+            read_molecules=read,
+            new_primer_pairs=0,
+        )
+
+
+class TwoStackPolicy(AddressSpacePolicy):
+    """Data and updates share the partition address space (Figure 7)."""
+
+    name = "two-stack"
+
+    def update_cost(self, shape: PartitionShape, target_updates: int = 1) -> UpdateCost:
+        """One PCR retrieves the partition's data and its own updates only."""
+        read = (
+            shape.partition_molecules
+            + (shape.updates_in_partition + target_updates)
+            * shape.molecules_per_update
+        )
+        return UpdateCost(
+            synthesis_molecules=shape.molecules_per_update,
+            read_molecules=read,
+            new_primer_pairs=0,
+        )
+
+
+class InterleavedUpdatePolicy(AddressSpacePolicy):
+    """Update slots interleaved next to each block (Figure 8).
+
+    Attributes:
+        slots_per_block: address-space slots provisioned per block, counting
+            the original data (slot 0); the wetlab setup uses 4 (one base).
+    """
+
+    name = "interleaved-slots"
+
+    def __init__(self, slots_per_block: int = 4) -> None:
+        if slots_per_block < 2:
+            raise UpdateError("interleaving needs at least one update slot per block")
+        self.slots_per_block = slots_per_block
+
+    def supports_precise_block_read(self) -> bool:
+        """A precise PCR on the shared prefix returns the block + its updates."""
+        return True
+
+    @property
+    def update_slots_per_block(self) -> int:
+        """Slots available to updates (excluding the data slot)."""
+        return self.slots_per_block - 1
+
+    def slot_for_update(self, block: int, version: int) -> BlockAddress:
+        """Address of the ``version``-th update of ``block`` (1-based version).
+
+        Raises:
+            UpdateError: if the version exceeds the provisioned slots; the
+                caller must then spill into the overflow log
+                (:meth:`overflow_address`).
+        """
+        if version < 1:
+            raise UpdateError("update versions start at 1")
+        if version > self.update_slots_per_block:
+            raise UpdateError(
+                f"version {version} exceeds the {self.update_slots_per_block} "
+                "provisioned update slots; use the overflow log"
+            )
+        return BlockAddress(block=block, slot=version)
+
+    def overflow_address(self, shape: PartitionShape, overflow_index: int) -> BlockAddress:
+        """Address in the common overflow log for updates beyond the slots.
+
+        The overflow log occupies the tail of the partition's leaf space
+        (blocks past the data region), mirroring Figure 8's "overflow
+        updates" area.
+        """
+        if overflow_index < 0:
+            raise UpdateError("overflow_index must be non-negative")
+        return BlockAddress(block=shape.blocks + overflow_index, slot=0)
+
+    def update_cost(self, shape: PartitionShape, target_updates: int = 1) -> UpdateCost:
+        """Synthesis is one patch; a precise read returns the block + its updates."""
+        in_slot_updates = min(target_updates, self.update_slots_per_block)
+        overflow_updates = max(0, target_updates - self.update_slots_per_block)
+        read = (
+            shape.molecules_per_block
+            + in_slot_updates * shape.molecules_per_update
+            # Overflowed updates require a second precise PCR into the
+            # overflow log; their molecules still need to be sequenced.
+            + overflow_updates * shape.molecules_per_update
+        )
+        return UpdateCost(
+            synthesis_molecules=shape.molecules_per_update,
+            read_molecules=read,
+            new_primer_pairs=0,
+        )
+
+
+def compare_policies(
+    shape: PartitionShape,
+    target_updates: int = 1,
+    *,
+    slots_per_block: int = 4,
+) -> dict[str, UpdateCost]:
+    """Return the update cost of every policy for the same partition shape."""
+    policies: list[AddressSpacePolicy] = [
+        NaiveRewritePolicy(),
+        DedicatedUpdatePartitionPolicy(),
+        TwoStackPolicy(),
+        InterleavedUpdatePolicy(slots_per_block=slots_per_block),
+    ]
+    return {policy.name: policy.update_cost(shape, target_updates) for policy in policies}

@@ -1,0 +1,127 @@
+"""Block addresses and update-slot encoding.
+
+A *block address* names one encoding unit within a partition plus the
+version slot it occupies (Section 5.3 / 6.3): slot 0 holds the original
+data, slots 1..s hold successive update patches.  In the molecule layout
+the slot is encoded as one extra base appended to the block's sparse index
+(the paper's example: object ``ACGT`` stored as ``ACGTA``, first update as
+``ACGTC``, second as ``ACGTG``), so that a PCR on the shared prefix
+retrieves the block together with all of its updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import BASE_TO_INDEX, DNA_ALPHABET
+from repro.core.index_tree import IndexTree
+from repro.exceptions import AddressError
+
+
+@dataclass(frozen=True, order=True)
+class BlockAddress:
+    """Address of one encoding unit: a block number and an update slot.
+
+    Attributes:
+        block: the logical block number within the partition.
+        slot: the version slot (0 = original data, 1.. = updates in order).
+    """
+
+    block: int
+    slot: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block < 0:
+            raise AddressError("block number must be non-negative")
+        if self.slot < 0:
+            raise AddressError("slot must be non-negative")
+
+    @property
+    def is_original(self) -> bool:
+        """True if this address holds original data rather than an update."""
+        return self.slot == 0
+
+    def with_slot(self, slot: int) -> "BlockAddress":
+        """Return the same block address at a different version slot."""
+        return BlockAddress(block=self.block, slot=slot)
+
+
+class AddressCodec:
+    """Translates :class:`BlockAddress` objects to and from DNA unit indexes.
+
+    The unit index written into every molecule is the concatenation of the
+    block's sparse tree address and ``slot_bases`` slot base(s).  With one
+    slot base a block supports up to three in-place update slots before the
+    last slot must point into an overflow log (Figure 8).
+    """
+
+    def __init__(self, tree: IndexTree, *, slot_bases: int = 1, slots_per_block: int | None = None) -> None:
+        if slot_bases < 0:
+            raise AddressError("slot_bases must be non-negative")
+        self.tree = tree
+        self.slot_bases = slot_bases
+        max_slots = 4 ** slot_bases if slot_bases else 1
+        self.slots_per_block = slots_per_block if slots_per_block is not None else max_slots
+        if not 1 <= self.slots_per_block <= max_slots:
+            raise AddressError(
+                f"slots_per_block {self.slots_per_block} must be in [1, {max_slots}]"
+            )
+
+    @property
+    def unit_index_length(self) -> int:
+        """Total unit-index length in bases (sparse address + slot bases)."""
+        return self.tree.address_length + self.slot_bases
+
+    def encode(self, address: BlockAddress) -> str:
+        """Return the DNA unit index for ``address``."""
+        if address.slot >= self.slots_per_block:
+            raise AddressError(
+                f"slot {address.slot} exceeds slots_per_block {self.slots_per_block}"
+            )
+        prefix = self.tree.encode(address.block)
+        if self.slot_bases == 0:
+            return prefix
+        slot_dna = self._encode_slot(address.slot)
+        return prefix + slot_dna
+
+    def _encode_slot(self, slot: int) -> str:
+        bases = []
+        remaining = slot
+        for _ in range(self.slot_bases):
+            bases.append(DNA_ALPHABET[remaining & 0b11])
+            remaining >>= 2
+        return "".join(reversed(bases))
+
+    def decode(self, unit_index: str) -> BlockAddress:
+        """Parse a DNA unit index back into a :class:`BlockAddress`."""
+        if len(unit_index) != self.unit_index_length:
+            raise AddressError(
+                f"unit index of {len(unit_index)} bases, expected {self.unit_index_length}"
+            )
+        tree_part = unit_index[: self.tree.address_length]
+        slot_part = unit_index[self.tree.address_length :]
+        block = self.tree.decode(tree_part)
+        slot = 0
+        for base in slot_part:
+            if base not in BASE_TO_INDEX:
+                raise AddressError(f"invalid slot base {base!r}")
+            slot = (slot << 2) | BASE_TO_INDEX[base]
+        if slot >= self.slots_per_block:
+            raise AddressError(f"decoded slot {slot} exceeds slots_per_block")
+        return BlockAddress(block=block, slot=slot)
+
+    def try_decode(self, unit_index: str) -> BlockAddress | None:
+        """Like :meth:`decode` but returns ``None`` on malformed indexes."""
+        try:
+            return self.decode(unit_index)
+        except AddressError:
+            return None
+
+    def shared_prefix(self, block: int) -> str:
+        """The DNA prefix shared by a block and all of its update slots.
+
+        This is the string used to elongate the PCR primer for a precise
+        block read: it stops just before the slot base, so the original data
+        and every update are amplified together (Section 5.3).
+        """
+        return self.tree.encode(block)

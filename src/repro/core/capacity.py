@@ -1,0 +1,190 @@
+"""Partition capacity and information-density model (Figure 3, Section 3).
+
+A partition is defined by a pair of primers; the remaining bases of every
+strand are split between an internal index of length ``L`` and data.  The
+figure plots, as a function of ``L``:
+
+* the storage capacity of the partition in bytes (log2 scale in the paper),
+  which grows as ``4^L`` addresses times the per-strand payload, peaking at
+  ``L = usable_bases`` where a strand carries no payload at all and the mere
+  presence/absence of each possible index is the stored bit; and
+* the information density in bits per base of synthesized DNA, which is
+  maximal at ``L = 0`` and decreases linearly as indexing consumes bases.
+
+The model also covers the 30-base-primer variant (dashed lines in Figure 3)
+and the density overheads quoted in Section 4.3 (3% for the sparse index at
+strand length 150, 0.3% at 1500; 22% for 30-base primers at 150, 2.2% at
+1500).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import (
+    BITS_PER_BASE_UNCONSTRAINED,
+    DEFAULT_PRIMER_LENGTH,
+    DEFAULT_STRAND_LENGTH,
+)
+from repro.exceptions import CapacityError
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One point of the Figure 3 curves."""
+
+    index_length: int
+    capacity_bytes_log2: float
+    bits_per_base: float
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Capacity in bytes (may overflow floats for huge L; use the log)."""
+        return 2.0 ** self.capacity_bytes_log2
+
+
+@dataclass(frozen=True)
+class PartitionCapacityModel:
+    """Analytic capacity/density model of a single partition.
+
+    Attributes:
+        strand_length: total strand length in bases (150 in the wetlab).
+        primer_length: length of each of the two main primers.
+        sync_bases: synchronization bases after the forward primer.
+    """
+
+    strand_length: int = DEFAULT_STRAND_LENGTH
+    primer_length: int = DEFAULT_PRIMER_LENGTH
+    sync_bases: int = 0
+
+    def __post_init__(self) -> None:
+        if self.usable_bases <= 0:
+            raise CapacityError(
+                "strand too short for the requested primers and sync bases"
+            )
+
+    @property
+    def usable_bases(self) -> int:
+        """Bases available for index + payload once primers are subtracted."""
+        return self.strand_length - 2 * self.primer_length - self.sync_bases
+
+    @property
+    def max_index_length(self) -> int:
+        """Largest index length (the whole usable region)."""
+        return self.usable_bases
+
+    # ------------------------------------------------------------------
+    # Core model
+    # ------------------------------------------------------------------
+    def payload_bases(self, index_length: int) -> int:
+        """Payload bases per strand for a given index length."""
+        self._check_index_length(index_length)
+        return self.usable_bases - index_length
+
+    def capacity_bits_log2(self, index_length: int) -> float:
+        """log2 of the partition capacity in bits for a given index length.
+
+        For ``L < usable_bases`` the capacity is ``4^L`` strands times
+        ``2 * payload_bases`` bits.  At ``L == usable_bases`` there is no
+        payload; the presence/absence of each of the ``4^L`` addresses
+        encodes one bit, giving the 2^220-bit peak of Figure 3.
+        """
+        self._check_index_length(index_length)
+        payload = self.payload_bases(index_length)
+        if payload == 0:
+            return 2.0 * index_length
+        return 2.0 * index_length + math.log2(
+            BITS_PER_BASE_UNCONSTRAINED * payload
+        )
+
+    def capacity_bytes_log2(self, index_length: int) -> float:
+        """log2 of the partition capacity in bytes."""
+        return self.capacity_bits_log2(index_length) - 3.0
+
+    def bits_per_base(self, index_length: int) -> float:
+        """Information density (payload bits per synthesized base).
+
+        Every synthesized strand costs ``strand_length`` bases including its
+        primers; for the degenerate presence/absence design each *possible*
+        address stores one bit but only present strands are synthesized, so
+        the density is computed against one strand per stored bit.
+        """
+        self._check_index_length(index_length)
+        payload = self.payload_bases(index_length)
+        if payload == 0:
+            return 1.0 / self.strand_length
+        return BITS_PER_BASE_UNCONSTRAINED * payload / self.strand_length
+
+    def density_loss_versus(self, other: "PartitionCapacityModel", index_length: int) -> float:
+        """Fractional density loss of ``self`` relative to ``other``.
+
+        Used for the Section 4.3 comparisons (sparse index vs dense index,
+        20- vs 30-base primers, 150- vs 1500-base strands).
+        """
+        own = self.bits_per_base(index_length)
+        reference = other.bits_per_base(index_length)
+        if reference == 0:
+            raise CapacityError("reference density is zero")
+        return 1.0 - own / reference
+
+    def _check_index_length(self, index_length: int) -> None:
+        if not 0 <= index_length <= self.usable_bases:
+            raise CapacityError(
+                f"index length {index_length} out of range [0, {self.usable_bases}]"
+            )
+
+    # ------------------------------------------------------------------
+    # Figure 3 sweep
+    # ------------------------------------------------------------------
+    def sweep(self, step: int = 5) -> list[CapacityPoint]:
+        """Return the Figure 3 series for this configuration."""
+        if step <= 0:
+            raise CapacityError("step must be positive")
+        points = []
+        for index_length in range(0, self.usable_bases + 1, step):
+            points.append(
+                CapacityPoint(
+                    index_length=index_length,
+                    capacity_bytes_log2=self.capacity_bytes_log2(index_length),
+                    bits_per_base=self.bits_per_base(index_length),
+                )
+            )
+        return points
+
+
+def sparse_index_density_overhead(
+    strand_length: int,
+    sparse_index_bases: int,
+    dense_index_bases: int,
+) -> float:
+    """Fractional density overhead of the sparse index (Section 4.3).
+
+    The sparse index spends ``sparse_index_bases - dense_index_bases`` extra
+    bases per strand; relative to the strand length this is ~3% for 150-base
+    strands (10 vs 5 bases) and ~0.3% for 1500-base strands.
+    """
+    if strand_length <= 0:
+        raise CapacityError("strand_length must be positive")
+    if sparse_index_bases < dense_index_bases:
+        raise CapacityError("sparse index cannot be shorter than dense index")
+    return (sparse_index_bases - dense_index_bases) / strand_length
+
+
+def longer_primer_density_overhead(
+    strand_length: int,
+    baseline_primer_length: int = 20,
+    longer_primer_length: int = 30,
+) -> float:
+    """Fractional density overhead of using longer main primers (Section 4.3).
+
+    Two primers of +10 bases each cost 20 extra bases per strand: ~22% of the
+    109 payload-capable bases of a 150-base strand, ~2.2% at 1500 bases.
+    """
+    if strand_length <= 0:
+        raise CapacityError("strand_length must be positive")
+    extra = 2 * (longer_primer_length - baseline_primer_length)
+    usable_baseline = strand_length - 2 * baseline_primer_length - 1
+    if usable_baseline <= 0:
+        raise CapacityError("strand too short for the baseline primers")
+    return extra / usable_baseline

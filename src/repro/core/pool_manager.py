@@ -1,0 +1,141 @@
+"""Management of a multi-partition DNA pool.
+
+The paper's wetlab pool contains 13 files, each in its own partition behind
+its own primer pair (Section 6.1).  The pool manager allocates primer pairs
+(from an explicit list or a generated :class:`PrimerLibrary`), creates
+partitions with distinct tree/randomizer seeds (Section 4.4 requires
+different seeds per partition), and gathers the full synthesis order across
+partitions for the wetlab simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codec.matrix_unit import UnitLayout
+from repro.codec.molecule import MoleculeLayout
+from repro.constants import DEFAULT_LEAF_COUNT
+from repro.codec.molecule import Molecule
+from repro.core.partition import Partition, PartitionConfig
+from repro.exceptions import PartitionError
+from repro.primers.constraints import PrimerConstraints
+from repro.primers.library import PrimerLibrary, PrimerPair, generate_primer_library
+
+
+@dataclass
+class DnaPoolManager:
+    """Creates and tracks the partitions that share one physical DNA pool.
+
+    Attributes:
+        primer_pairs: primer pairs available for allocation; if empty, a
+            library is generated on demand from ``primer_constraints``.
+        base_seed: partitions receive deterministic, distinct tree and
+            randomizer seeds derived from this value.
+    """
+
+    primer_pairs: list[PrimerPair] = field(default_factory=list)
+    primer_constraints: PrimerConstraints = field(default_factory=PrimerConstraints)
+    base_seed: int = 1000
+    _partitions: dict[str, Partition] = field(default_factory=dict, init=False)
+    _allocated_pairs: int = field(default=0, init=False)
+
+    # ------------------------------------------------------------------
+    # Primer allocation
+    # ------------------------------------------------------------------
+    def _ensure_primer_pairs(self, needed: int) -> None:
+        if len(self.primer_pairs) >= needed:
+            return
+        missing = needed - len(self.primer_pairs)
+        library: PrimerLibrary = generate_primer_library(
+            self.primer_constraints,
+            target_size=2 * missing + 2,
+            max_candidates=200_000,
+            seed=self.base_seed,
+        )
+        pairs = library.pairs()
+        if len(pairs) < missing:
+            raise PartitionError(
+                f"could not generate {missing} additional primer pairs "
+                f"(got {len(pairs)})"
+            )
+        self.primer_pairs.extend(pairs[:missing])
+
+    def allocate_primer_pair(self) -> PrimerPair:
+        """Allocate the next unused primer pair (generating more if needed)."""
+        self._ensure_primer_pairs(self._allocated_pairs + 1)
+        pair = self.primer_pairs[self._allocated_pairs]
+        self._allocated_pairs += 1
+        return pair
+
+    @property
+    def allocated_pairs(self) -> int:
+        """Number of primer pairs handed out so far."""
+        return self._allocated_pairs
+
+    # ------------------------------------------------------------------
+    # Partition lifecycle
+    # ------------------------------------------------------------------
+    def create_partition(
+        self,
+        name: str,
+        *,
+        leaf_count: int = DEFAULT_LEAF_COUNT,
+        slots_per_block: int = 4,
+        unit_layout: UnitLayout | None = None,
+        molecule_layout: MoleculeLayout | None = None,
+        sparse_index: bool = True,
+        primers: PrimerPair | None = None,
+    ) -> Partition:
+        """Create a named partition with its own primer pair and seeds.
+
+        Raises:
+            PartitionError: if the name is already in use.
+        """
+        if name in self._partitions:
+            raise PartitionError(f"partition {name!r} already exists")
+        pair = primers if primers is not None else self.allocate_primer_pair()
+        index = len(self._partitions)
+        config = PartitionConfig(
+            primers=pair,
+            leaf_count=leaf_count,
+            tree_seed=self.base_seed + 7919 * (index + 1),
+            randomizer_seed=self.base_seed + 104729 * (index + 1),
+            slots_per_block=slots_per_block,
+            unit_layout=unit_layout or UnitLayout(),
+            molecule_layout=molecule_layout or MoleculeLayout(),
+            sparse_index=sparse_index,
+        )
+        partition = Partition(config)
+        self._partitions[name] = partition
+        return partition
+
+    def partition(self, name: str) -> Partition:
+        """Return the partition registered under ``name``."""
+        try:
+            return self._partitions[name]
+        except KeyError as exc:
+            raise PartitionError(f"unknown partition {name!r}") from exc
+
+    def partition_names(self) -> list[str]:
+        """Names of all partitions, in creation order."""
+        return list(self._partitions)
+
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._partitions
+
+    # ------------------------------------------------------------------
+    # Synthesis order
+    # ------------------------------------------------------------------
+    def all_molecules(self, *, include_updates: bool = True) -> list[Molecule]:
+        """The synthesis order across every partition in the pool."""
+        molecules: list[Molecule] = []
+        for partition in self._partitions.values():
+            molecules.extend(partition.all_molecules(include_updates=include_updates))
+        return molecules
+
+    def molecule_count(self) -> int:
+        """Total number of distinct molecules across the pool."""
+        return len(self.all_molecules())

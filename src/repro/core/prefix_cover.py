@@ -1,0 +1,149 @@
+"""Minimal prefix covers for contiguous block ranges.
+
+Section 3.1 observes that in a full, balanced index tree any contiguous
+index range "can be precisely described with a few prefixes, or less
+precisely with their longest common prefix".  This module computes those
+covers: the minimal set of tree paths whose union of leaves is exactly the
+requested block range.  Each path maps to one elongated primer, so the
+cover size is the number of PCR reactions (or multiplexed primers) needed
+for an exact sequential access; alternatively the longest common prefix
+gives a single-primer superset retrieval whose overshoot we also quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.index_tree import IndexTree
+from repro.exceptions import AddressError
+
+
+@dataclass(frozen=True)
+class PrefixCover:
+    """The result of covering a block range with tree prefixes.
+
+    Attributes:
+        start / end: the covered block range (``end`` inclusive).
+        paths: minimal list of tree paths (tuples of base-4 digits) whose
+            leaves exactly tile ``[start, end]``.
+        addresses: the sparse DNA prefix of each path, usable directly as a
+            primer elongation.
+        common_prefix_path: the longest common tree path of the range
+            (single-primer, imprecise alternative).
+        common_prefix_address: DNA prefix of ``common_prefix_path``.
+        common_prefix_leaf_count: number of leaves amplified when using only
+            the common prefix (>= the exact range size).
+    """
+
+    start: int
+    end: int
+    paths: tuple[tuple[int, ...], ...]
+    addresses: tuple[str, ...]
+    common_prefix_path: tuple[int, ...]
+    common_prefix_address: str
+    common_prefix_leaf_count: int
+
+    @property
+    def range_size(self) -> int:
+        """Number of blocks in the requested range."""
+        return self.end - self.start + 1
+
+    @property
+    def primer_count(self) -> int:
+        """Number of elongated primers needed for an exact retrieval."""
+        return len(self.paths)
+
+    @property
+    def overshoot_ratio(self) -> float:
+        """How much extra data the common-prefix retrieval would amplify."""
+        return self.common_prefix_leaf_count / self.range_size
+
+
+def _digits(leaf: int, depth: int) -> tuple[int, ...]:
+    out = []
+    for _ in range(depth):
+        out.append(leaf & 0b11)
+        leaf >>= 2
+    return tuple(reversed(out))
+
+
+def minimal_prefix_paths(
+    start: int, end: int, depth: int
+) -> list[tuple[int, ...]]:
+    """Return the minimal set of tree paths exactly covering ``[start, end]``.
+
+    This is the canonical decomposition of an integer interval into aligned
+    base-4 subtrees (the same construction used for CIDR aggregation or
+    segment trees): repeatedly take the largest aligned subtree that starts
+    at the current position and does not overshoot the end.
+    """
+    if start < 0 or end < start:
+        raise AddressError(f"invalid range [{start}, {end}]")
+    if end >= 4 ** depth:
+        raise AddressError(f"range end {end} exceeds address space 4^{depth}")
+    paths: list[tuple[int, ...]] = []
+    position = start
+    while position <= end:
+        # Largest power-of-four subtree aligned at `position`...
+        span = 1
+        while (
+            position % (span * 4) == 0
+            and position + span * 4 - 1 <= end
+            and span * 4 <= 4 ** depth
+        ):
+            span *= 4
+        # `span` = 4^k leaves; the path is the first depth-k digits.
+        levels = depth
+        remaining_span = span
+        while remaining_span > 1:
+            remaining_span //= 4
+            levels -= 1
+        paths.append(_digits(position, depth)[:levels])
+        position += span
+    return paths
+
+
+def longest_common_path(start: int, end: int, depth: int) -> tuple[int, ...]:
+    """Return the longest tree path that is an ancestor of every leaf in range."""
+    if start < 0 or end < start:
+        raise AddressError(f"invalid range [{start}, {end}]")
+    start_digits = _digits(start, depth)
+    end_digits = _digits(end, depth)
+    common: list[int] = []
+    for a, b in zip(start_digits, end_digits):
+        if a != b:
+            break
+        common.append(a)
+    return tuple(common)
+
+
+def prefix_cover_for_range(tree: IndexTree, start: int, end: int) -> PrefixCover:
+    """Compute the exact prefix cover and common-prefix alternative for a range.
+
+    Args:
+        tree: the partition's index tree.
+        start: first block of the range.
+        end: last block of the range (inclusive).
+
+    Returns:
+        A :class:`PrefixCover` with both the exact multi-primer cover and the
+        single-primer common-prefix alternative.
+    """
+    if not 0 <= start <= end < tree.leaf_count:
+        raise AddressError(
+            f"range [{start}, {end}] outside partition of {tree.leaf_count} blocks"
+        )
+    paths = tuple(minimal_prefix_paths(start, end, tree.depth))
+    addresses = tuple(tree.encode_path(path) for path in paths)
+    common_path = longest_common_path(start, end, tree.depth)
+    common_address = tree.encode_path(common_path)
+    covered = tree.leaves_under_prefix(common_path)
+    return PrefixCover(
+        start=start,
+        end=end,
+        paths=paths,
+        addresses=addresses,
+        common_prefix_path=common_path,
+        common_prefix_address=common_address,
+        common_prefix_leaf_count=len(covered),
+    )

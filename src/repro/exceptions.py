@@ -1,0 +1,76 @@
+"""Exception hierarchy for the DNA block-storage library.
+
+Every error raised by the library derives from :class:`DnaStorageError`,
+so callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class DnaStorageError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EncodingError(DnaStorageError):
+    """Raised when binary data cannot be encoded into DNA."""
+
+
+class DecodingError(DnaStorageError):
+    """Raised when DNA reads cannot be decoded back into binary data."""
+
+
+class SequenceError(DnaStorageError):
+    """Raised for malformed DNA sequences (bad alphabet, bad length...)."""
+
+
+class PrimerDesignError(DnaStorageError):
+    """Raised when a primer or primer library cannot satisfy its constraints."""
+
+
+class IndexTreeError(DnaStorageError):
+    """Raised for invalid index-tree construction or address lookups."""
+
+
+class AddressError(DnaStorageError):
+    """Raised when a block address is out of range or malformed."""
+
+
+class PartitionError(DnaStorageError):
+    """Raised for invalid partition-level operations."""
+
+
+class UpdateError(DnaStorageError):
+    """Raised when an update patch is malformed or cannot be applied."""
+
+
+class CapacityError(DnaStorageError):
+    """Raised when data does not fit in the configured address space."""
+
+
+class WetlabError(DnaStorageError):
+    """Raised by the wetlab channel simulator for invalid protocols."""
+
+
+class PCRError(WetlabError):
+    """Raised when a simulated PCR reaction is configured incorrectly."""
+
+
+class SequencingError(WetlabError):
+    """Raised when a simulated sequencing run is configured incorrectly."""
+
+
+class MixingError(WetlabError):
+    """Raised when a pool-mixing protocol is configured incorrectly."""
+
+
+class ReedSolomonError(DnaStorageError):
+    """Raised when Reed-Solomon decoding fails (too many errors/erasures)."""
+
+
+class ClusteringError(DnaStorageError):
+    """Raised when read clustering cannot be performed."""
+
+
+class ReconstructionError(DnaStorageError):
+    """Raised when trace reconstruction cannot produce a consensus strand."""

@@ -1,0 +1,28 @@
+"""Reproductions of the paper's wetlab experiments on the simulator.
+
+The :mod:`repro.experiments.alice` module builds the exact experimental
+setup of Section 6 — the 150 KB Alice-like file split into 587 blocks of
+256 bytes behind one primer pair, three updates co-synthesized with the
+original pool and three synthesized later by a second vendor at 50 000x
+concentration — and re-runs every evaluation experiment of Section 7/8 on
+the wetlab channel simulator.  Benchmarks, integration tests and examples
+all share this code so that the reported numbers come from one place.
+"""
+
+from repro.experiments.alice import (
+    AliceExperiment,
+    AliceExperimentConfig,
+    BaselineAccessOutcome,
+    DecodingOutcome,
+    MixingOutcome,
+    PreciseAccessOutcome,
+)
+
+__all__ = [
+    "AliceExperiment",
+    "AliceExperimentConfig",
+    "BaselineAccessOutcome",
+    "DecodingOutcome",
+    "MixingOutcome",
+    "PreciseAccessOutcome",
+]

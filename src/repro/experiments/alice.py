@@ -1,0 +1,354 @@
+"""The Alice-in-Wonderland experimental setup of Sections 6-8, simulated.
+
+The paper's wetlab evaluation stores a 150 KB book as 587 encoding units of
+256 bytes (15 molecules each, 4 of them ECC) behind one primer pair, with a
+PCR-compatible 1024-leaf index.  Six blocks are updated: three update
+patches are co-synthesized with the original Twist pool, three more are
+synthesized later by IDT at 50 000x concentration and mixed in.  The
+experiments then measure:
+
+* the read distribution of a whole-partition random access (Figure 9a),
+* the read composition of precise block accesses with elongated primers
+  (Figures 9b/9c) and the implied sequencing-cost reduction (Section 7.3),
+* the balance achieved by the two mixing protocols (Figure 10),
+* and the decode-from-few-reads behaviour (Section 8).
+
+This module is the single source of truth for that setup; benchmarks,
+integration tests and examples all instantiate :class:`AliceExperiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import ReadDistribution, read_distribution
+from repro.codec.molecule import Molecule
+from repro.core.addressing import BlockAddress
+from repro.constants import (
+    ALICE_BLOCK_COUNT,
+    IDT_UPDATED_BLOCKS,
+    TWIST_UPDATED_BLOCKS,
+)
+from repro.core.partition import Partition, PartitionConfig
+from repro.core.updates import UpdatePatch
+from repro.exceptions import DnaStorageError
+from repro.pipeline.decoder import BlockDecoder, DecodeReport
+from repro.primers.library import PrimerPair
+from repro.wetlab.errors import ErrorModel
+from repro.wetlab.mixing import MixReport, amplify_then_measure, measure_then_amplify
+from repro.wetlab.pcr import PCRConfig, PCRSimulator
+from repro.wetlab.pool import MolecularPool
+from repro.wetlab.sequencing import Sequencer, SequencingResult
+from repro.wetlab.synthesis import SynthesisVendor, synthesize
+from repro.workloads.text import alice_like_text
+
+#: The primer pair used for the Alice partition in every experiment.  The
+#: sequences are GC-balanced, homopolymer-free and far apart in Hamming
+#: distance; any pair satisfying the primer constraints would do.
+ALICE_PRIMERS = PrimerPair(
+    forward="ATCGTGCAAGCTTGACCTGA",
+    reverse="CGTAGACTTGCAACTGGACT",
+)
+
+
+@dataclass(frozen=True)
+class AliceExperimentConfig:
+    """Parameters of the simulated wetlab setup.
+
+    The defaults reproduce the paper's configuration; tests shrink
+    ``block_count`` and read counts to keep runtimes low.
+    """
+
+    block_count: int = ALICE_BLOCK_COUNT
+    block_size: int = 256
+    leaf_count: int = 1024
+    twist_updated_blocks: tuple[int, ...] = TWIST_UPDATED_BLOCKS
+    idt_updated_blocks: tuple[int, ...] = IDT_UPDATED_BLOCKS
+    tree_seed: int = 23
+    randomizer_seed: int = 29
+    synthesis_seed: int = 31
+    sequencing_seed: int = 37
+    baseline_reads: int = 50_000
+    precise_reads: int = 20_000
+    error_model: ErrorModel = field(default_factory=ErrorModel)
+
+    def updated_blocks(self) -> tuple[int, ...]:
+        """All six updated blocks."""
+        return tuple(self.twist_updated_blocks) + tuple(self.idt_updated_blocks)
+
+
+@dataclass
+class BaselineAccessOutcome:
+    """Result of the whole-partition random access (Figure 9a)."""
+
+    distribution: ReadDistribution
+    target_block: int
+
+    @property
+    def target_fraction(self) -> float:
+        """Fraction of reads belonging to the target block (0.34% in the paper)."""
+        if self.distribution.total_reads == 0:
+            return 0.0
+        return (
+            self.distribution.reads_per_block.get(self.target_block, 0)
+            / self.distribution.total_reads
+        )
+
+
+@dataclass
+class PreciseAccessOutcome:
+    """Result of a precise block access with an elongated primer (Figure 9b)."""
+
+    distribution: ReadDistribution
+    target_block: int
+    sequencing: SequencingResult
+
+    @property
+    def on_prefix_fraction(self) -> float:
+        """Reads carrying the elongated prefix (82% in the paper)."""
+        return self.distribution.on_prefix_fraction
+
+    @property
+    def on_target_fraction(self) -> float:
+        """Reads belonging to the target block (48% in the paper)."""
+        return self.distribution.on_target_fraction
+
+    @property
+    def on_target_given_prefix(self) -> float:
+        """On-target fraction among prefix-carrying reads (59% in the paper)."""
+        return self.distribution.on_target_given_prefix
+
+
+@dataclass
+class MixingOutcome:
+    """Result of mixing the IDT update pool into the Twist pool (Figure 10)."""
+
+    protocol: str
+    report: MixReport
+    reads_per_block_original: dict[int, int]
+    reads_per_block_update: dict[int, int]
+
+
+@dataclass
+class DecodingOutcome:
+    """Result of decoding the target block from few reads (Section 8)."""
+
+    report: DecodeReport
+    reads_used: int
+    correct: bool
+
+
+class AliceExperiment:
+    """Builds and runs the simulated Alice wetlab evaluation."""
+
+    def __init__(self, config: AliceExperimentConfig | None = None) -> None:
+        self.config = config or AliceExperimentConfig()
+        if self.config.block_count > self.config.leaf_count:
+            raise DnaStorageError("block_count cannot exceed leaf_count")
+        self.partition = self._build_partition()
+        self._apply_updates()
+        self._twist_pool: MolecularPool | None = None
+        self._idt_pool: MolecularPool | None = None
+        self._mixed_pool: MolecularPool | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_partition(self) -> Partition:
+        partition = Partition(
+            PartitionConfig(
+                primers=ALICE_PRIMERS,
+                leaf_count=self.config.leaf_count,
+                tree_seed=self.config.tree_seed,
+                randomizer_seed=self.config.randomizer_seed,
+            )
+        )
+        text = alice_like_text(self.config.block_count * self.config.block_size)
+        partition.write(text)
+        return partition
+
+    def _patch_for_block(self, block: int) -> UpdatePatch:
+        """A small deterministic edit, different for every updated block."""
+        insert = f"[updated paragraph {block}]".encode("ascii")
+        return UpdatePatch(
+            delete_start=(block * 7) % 128,
+            delete_length=(block % 11) + 1,
+            insert_position=(block * 7) % 128,
+            insert_bytes=insert,
+        )
+
+    def _apply_updates(self) -> None:
+        for block in self.config.updated_blocks():
+            if block < self.partition.block_count:
+                self.partition.update_block(block, self._patch_for_block(block))
+
+    def _existing(self, blocks: tuple[int, ...]) -> list[int]:
+        return [block for block in blocks if block < self.partition.block_count]
+
+    # ------------------------------------------------------------------
+    # Pools (synthesis)
+    # ------------------------------------------------------------------
+    def _annotate(self, pool: MolecularPool, molecules: list[Molecule]) -> None:
+        for molecule in molecules:
+            address = self.partition.parse_unit_index(molecule.unit_index)
+            if address is None:
+                continue
+            strand = molecule.to_strand()
+            if strand in pool.species:
+                pool.metadata.setdefault(strand, {}).update(
+                    block=address.block, slot=address.slot
+                )
+
+    def twist_pool(self) -> MolecularPool:
+        """The original synthesized pool: all data + the Twist-batch updates."""
+        if self._twist_pool is not None:
+            return self._twist_pool
+        molecules: list[Molecule] = []
+        for block in self.partition.written_blocks():
+            molecules.extend(
+                self.partition.molecules_for_address(BlockAddress(block, 0))
+            )
+        for block in self._existing(self.config.twist_updated_blocks):
+            molecules.extend(self.partition.update_molecules(block, 1))
+        pool = synthesize(
+            molecules,
+            SynthesisVendor.twist(),
+            seed=self.config.synthesis_seed,
+            pool_name="alice-twist",
+        )
+        self._annotate(pool, molecules)
+        self._twist_pool = pool
+        return pool
+
+    def idt_pool(self) -> MolecularPool:
+        """The late-synthesized update pool (3 patches, 50 000x concentrated)."""
+        if self._idt_pool is not None:
+            return self._idt_pool
+        molecules = []
+        for block in self._existing(self.config.idt_updated_blocks):
+            molecules.extend(self.partition.update_molecules(block, 1))
+        pool = synthesize(
+            molecules,
+            SynthesisVendor.idt(),
+            seed=self.config.synthesis_seed + 1,
+            pool_name="alice-idt-updates",
+        )
+        self._annotate(pool, molecules)
+        self._idt_pool = pool
+        return pool
+
+    # ------------------------------------------------------------------
+    # Mixing (Figure 10)
+    # ------------------------------------------------------------------
+    def run_mixing(self, protocol: str = "amplify-then-measure") -> MixingOutcome:
+        """Mix the IDT update pool into the Twist pool and sequence the result."""
+        twist = self.twist_pool()
+        idt = self.idt_pool()
+        if protocol == "amplify-then-measure":
+            report = amplify_then_measure(
+                twist, idt, ALICE_PRIMERS.forward, ALICE_PRIMERS.reverse,
+                seed=self.config.sequencing_seed,
+            )
+        elif protocol == "measure-then-amplify":
+            report = measure_then_amplify(
+                twist, idt, ALICE_PRIMERS.forward, ALICE_PRIMERS.reverse,
+                seed=self.config.sequencing_seed,
+            )
+        else:
+            raise DnaStorageError(f"unknown mixing protocol {protocol!r}")
+        self._mixed_pool = report.mixed_pool
+
+        sequencer = Sequencer(self.config.error_model, seed=self.config.sequencing_seed)
+        result = sequencer.sequence(report.mixed_pool, self.config.baseline_reads)
+        originals: dict[int, int] = {}
+        updates: dict[int, int] = {}
+        for read in result.reads:
+            block = read.annotations.get("block")
+            slot = read.annotations.get("slot", 0)
+            if block is None:
+                continue
+            if slot == 0:
+                originals[block] = originals.get(block, 0) + 1
+            else:
+                updates[block] = updates.get(block, 0) + 1
+        return MixingOutcome(
+            protocol=protocol,
+            report=report,
+            reads_per_block_original=originals,
+            reads_per_block_update=updates,
+        )
+
+    def mixed_pool(self) -> MolecularPool:
+        """The combined data + updates pool (built on first use)."""
+        if self._mixed_pool is None:
+            self.run_mixing("amplify-then-measure")
+        assert self._mixed_pool is not None
+        return self._mixed_pool
+
+    # ------------------------------------------------------------------
+    # Figure 9a: whole-partition random access
+    # ------------------------------------------------------------------
+    def run_baseline_access(self, target_block: int = 531) -> BaselineAccessOutcome:
+        """PCR with the main partition primers, then sequence the whole output."""
+        pool = self.mixed_pool()
+        amplified = PCRSimulator(PCRConfig.preamplification()).amplify(
+            pool, ALICE_PRIMERS.forward, ALICE_PRIMERS.reverse, name="alice-baseline"
+        )
+        sequencer = Sequencer(self.config.error_model, seed=self.config.sequencing_seed + 2)
+        result = sequencer.sequence(amplified, self.config.baseline_reads)
+        distribution = read_distribution(result, target_block=target_block)
+        return BaselineAccessOutcome(distribution=distribution, target_block=target_block)
+
+    # ------------------------------------------------------------------
+    # Figure 9b/9c: precise block access
+    # ------------------------------------------------------------------
+    def run_precise_access(
+        self,
+        target_block: int = 531,
+        *,
+        pcr_config: PCRConfig | None = None,
+        multiplex_blocks: tuple[int, ...] = (),
+    ) -> PreciseAccessOutcome:
+        """Touchdown PCR with the elongated primer(s), then sequence."""
+        pool = self.mixed_pool()
+        primers = [self.partition.primer_for_block(target_block)]
+        for block in multiplex_blocks:
+            if block != target_block:
+                primers.append(self.partition.primer_for_block(block))
+        config = pcr_config or PCRConfig.touchdown()
+        amplified = PCRSimulator(config).amplify(
+            pool,
+            primers,
+            ALICE_PRIMERS.reverse,
+            residual_forward_primer=ALICE_PRIMERS.forward,
+            name=f"alice-precise-{target_block}",
+        )
+        sequencer = Sequencer(self.config.error_model, seed=self.config.sequencing_seed + 3)
+        result = sequencer.sequence(amplified, self.config.precise_reads)
+        distribution = read_distribution(
+            result,
+            target_block=target_block,
+            target_prefix=self.partition.primer_for_block(target_block).sequence,
+        )
+        return PreciseAccessOutcome(
+            distribution=distribution, target_block=target_block, sequencing=result
+        )
+
+    # ------------------------------------------------------------------
+    # Section 8: decoding from few reads
+    # ------------------------------------------------------------------
+    def run_decoding(
+        self,
+        precise: PreciseAccessOutcome,
+        *,
+        reads_to_use: int = 225,
+    ) -> DecodingOutcome:
+        """Decode the target block from the first few reads of a precise access."""
+        decoder = BlockDecoder(self.partition)
+        reads = precise.sequencing.sequences()[:reads_to_use]
+        report = decoder.decode_block(reads, precise.target_block)
+        expected = self.partition.read_block_reference(precise.target_block)
+        correct = bool(report.success) and report.data is not None and (
+            report.data[: len(expected)] == expected
+        )
+        return DecodingOutcome(report=report, reads_used=len(reads), correct=correct)

@@ -1,0 +1,129 @@
+"""Clustering of sequencing reads by originating strand.
+
+Follows the approach of the clustering algorithm the paper uses
+(Rashtchian et al.): reads are first binned by a cheap signature so that
+the expensive edit-distance comparisons only happen within small candidate
+sets, then agglomerated greedily around representatives.
+
+For this architecture the natural signature is the address region of the
+read (the unit index plus the intra-unit index), which is error-free for
+the large majority of reads; reads whose address region is corrupted are
+routed to the nearest existing bucket by edit distance over the short
+signature, which is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ClusteringError
+from repro.sequence import kmer_similarity, levenshtein_distance
+
+
+@dataclass
+class ReadCluster:
+    """A cluster of reads presumed to originate from the same strand.
+
+    Attributes:
+        signature: the address-region signature the cluster was keyed on.
+        reads: the member reads (full read strings).
+    """
+
+    signature: str
+    reads: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.reads)
+
+    @property
+    def size(self) -> int:
+        """Number of reads in the cluster."""
+        return len(self.reads)
+
+    @property
+    def representative(self) -> str:
+        """The read used to represent the cluster in comparisons."""
+        if not self.reads:
+            raise ClusteringError("cluster has no reads")
+        return self.reads[0]
+
+
+def _signature(read: str, signature_start: int, signature_length: int) -> str:
+    return read[signature_start : signature_start + signature_length]
+
+
+def cluster_reads(
+    reads: list[str],
+    *,
+    signature_start: int,
+    signature_length: int,
+    max_signature_errors: int = 2,
+    max_read_distance: int = 12,
+    min_kmer_similarity: float = 0.35,
+) -> list[ReadCluster]:
+    """Cluster reads into per-strand groups.
+
+    Args:
+        reads: the read strings (already primer-filtered if desired).
+        signature_start: offset of the address region within a clean read.
+        signature_length: length of the address region.
+        max_signature_errors: how far (edit distance) a read's signature may
+            be from a bucket's signature to be routed into that bucket.
+        max_read_distance: maximum edit distance between a read and a
+            cluster representative for membership; reads farther than this
+            from every representative in their bucket start a new cluster
+            (this is what separates misprimed payloads that share the
+            target's address from the target's own reads).
+        min_kmer_similarity: cheap k-mer prefilter threshold applied before
+            computing edit distance against a representative.
+
+    Returns:
+        Clusters sorted by decreasing size (the order in which the decoder
+        consumes them, per Section 8).
+    """
+    if signature_length <= 0:
+        raise ClusteringError("signature_length must be positive")
+    buckets: dict[str, list[ReadCluster]] = {}
+
+    for read in reads:
+        if len(read) < signature_start + signature_length:
+            continue
+        signature = _signature(read, signature_start, signature_length)
+        bucket = buckets.get(signature)
+        if bucket is None:
+            # Route to the nearest existing bucket if the signature is a
+            # slightly corrupted version of one we have seen.
+            nearest_key = None
+            nearest_distance = max_signature_errors + 1
+            for key in buckets:
+                distance = levenshtein_distance(
+                    signature, key, upper_bound=max_signature_errors
+                )
+                if distance < nearest_distance:
+                    nearest_distance = distance
+                    nearest_key = key
+            if nearest_key is not None:
+                signature = nearest_key
+                bucket = buckets[nearest_key]
+            else:
+                bucket = []
+                buckets[signature] = bucket
+
+        placed = False
+        for cluster in bucket:
+            representative = cluster.representative
+            if kmer_similarity(read, representative) < min_kmer_similarity:
+                continue
+            if (
+                levenshtein_distance(read, representative, upper_bound=max_read_distance)
+                <= max_read_distance
+            ):
+                cluster.reads.append(read)
+                placed = True
+                break
+        if not placed:
+            bucket.append(ReadCluster(signature=signature, reads=[read]))
+
+    clusters = [cluster for bucket in buckets.values() for cluster in bucket]
+    clusters.sort(key=lambda cluster: cluster.size, reverse=True)
+    return clusters

@@ -1,0 +1,29 @@
+"""Primer design substrate.
+
+PCR primers are the chemical keys of a DNA storage system.  This package
+implements the constraints the paper relies on (Sections 1, 2.1.4, 4.2):
+
+* per-primer constraints — GC window, homopolymer cap, melting temperature
+  range, self-complementarity (:mod:`repro.primers.constraints`,
+  :mod:`repro.primers.melting`);
+* cross-primer constraints — minimum pairwise Hamming distance between all
+  primers in the same pool;
+* library construction — a greedy search that reproduces the paper's
+  observation that only on the order of a thousand mutually-compatible
+  primers of length 20 exist, and that length 30 only helps roughly
+  linearly (:mod:`repro.primers.library`).
+"""
+
+from repro.primers.constraints import PrimerConstraints, check_primer
+from repro.primers.library import PrimerLibrary, PrimerPair, generate_primer_library
+from repro.primers.melting import melting_temperature_wallace, melting_temperature
+
+__all__ = [
+    "PrimerConstraints",
+    "check_primer",
+    "PrimerLibrary",
+    "PrimerPair",
+    "generate_primer_library",
+    "melting_temperature_wallace",
+    "melting_temperature",
+]

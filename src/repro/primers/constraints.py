@@ -1,0 +1,150 @@
+"""Per-primer and cross-primer constraints.
+
+These encode the rules quoted in Sections 1 and 2.1.4 of the paper: primers
+must have balanced GC content, avoid long homopolymer runs, avoid strong
+self-complementarity (hairpins / self-dimers), sit in a workable melting
+temperature range, and — critically — every pair of primers used in the
+same DNA pool must be far apart in Hamming distance to prevent unwanted
+amplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import PRIMER_GC_MAX, PRIMER_GC_MIN, PRIMER_MAX_HOMOPOLYMER
+from repro.exceptions import PrimerDesignError
+from repro.primers.melting import melting_temperature
+from repro.sequence import (
+    gc_content,
+    hamming_distance,
+    max_homopolymer_run,
+    reverse_complement,
+    validate_sequence,
+)
+
+
+@dataclass(frozen=True)
+class PrimerConstraints:
+    """The full constraint set applied to candidate primers.
+
+    Attributes:
+        length: required primer length in bases.
+        gc_min / gc_max: allowed GC-content window.
+        max_homopolymer: longest allowed run of identical bases.
+        tm_min / tm_max: allowed melting-temperature window (degC).
+        min_pairwise_hamming: minimum Hamming distance to every primer
+            already accepted into the same library.  The paper notes that
+            this inter-primer distance constraint is the binding one: it
+            limits compatible 20-base primer libraries to roughly 1000-3000
+            members.
+        max_self_complement_run: longest allowed perfect complementarity
+            between the primer and its own reverse complement (a proxy for
+            hairpin / self-dimer propensity).
+    """
+
+    length: int = 20
+    gc_min: float = PRIMER_GC_MIN
+    gc_max: float = PRIMER_GC_MAX
+    max_homopolymer: int = PRIMER_MAX_HOMOPOLYMER
+    tm_min: float = 48.0
+    tm_max: float = 65.0
+    min_pairwise_hamming: int = 10
+    max_self_complement_run: int = 8
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise PrimerDesignError("primer length must be positive")
+        if not 0.0 <= self.gc_min <= self.gc_max <= 1.0:
+            raise PrimerDesignError("invalid GC window")
+        if self.min_pairwise_hamming < 0:
+            raise PrimerDesignError("min_pairwise_hamming must be non-negative")
+
+    def scaled_to_length(self, length: int) -> "PrimerConstraints":
+        """Return the same constraints re-targeted to a different length.
+
+        The pairwise-distance threshold scales proportionally with length,
+        matching the methodology the paper reuses from prior work when it
+        evaluates 30-base primers.
+        """
+        factor = length / self.length
+        return PrimerConstraints(
+            length=length,
+            gc_min=self.gc_min,
+            gc_max=self.gc_max,
+            max_homopolymer=self.max_homopolymer,
+            tm_min=self.tm_min + (length - self.length) * 0.6,
+            tm_max=self.tm_max + (length - self.length) * 0.6,
+            min_pairwise_hamming=max(1, round(self.min_pairwise_hamming * factor)),
+            max_self_complement_run=self.max_self_complement_run,
+        )
+
+
+def longest_self_complement_run(sequence: str) -> int:
+    """Length of the longest substring that also appears in the reverse complement.
+
+    This is a simple proxy for hairpin and self-dimer formation: a primer
+    whose 3' end can anneal to another copy of itself (or fold back on
+    itself) will form primer-dimers during PCR.
+    """
+    validate_sequence(sequence)
+    rc = reverse_complement(sequence)
+    longest = 0
+    n = len(sequence)
+    # Dynamic program over common substrings of sequence and its reverse
+    # complement; n is ~20-60 so the quadratic cost is negligible.
+    previous = [0] * (n + 1)
+    for i in range(1, n + 1):
+        current = [0] * (n + 1)
+        for j in range(1, n + 1):
+            if sequence[i - 1] == rc[j - 1]:
+                current[j] = previous[j - 1] + 1
+                longest = max(longest, current[j])
+        previous = current
+    return longest
+
+
+def check_primer(
+    candidate: str,
+    constraints: PrimerConstraints,
+    existing: list[str] | tuple[str, ...] = (),
+) -> list[str]:
+    """Return the list of constraint violations for ``candidate``.
+
+    An empty list means the candidate is acceptable.  Violations are
+    human-readable strings so library construction can log *why* candidates
+    were rejected.
+    """
+    validate_sequence(candidate)
+    violations: list[str] = []
+    if len(candidate) != constraints.length:
+        violations.append(
+            f"length {len(candidate)} != required {constraints.length}"
+        )
+        return violations
+
+    gc = gc_content(candidate)
+    if not constraints.gc_min <= gc <= constraints.gc_max:
+        violations.append(f"GC content {gc:.2f} outside window")
+    if max_homopolymer_run(candidate) > constraints.max_homopolymer:
+        violations.append("homopolymer run too long")
+    tm = melting_temperature(candidate)
+    if not constraints.tm_min <= tm <= constraints.tm_max:
+        violations.append(f"melting temperature {tm:.1f} outside window")
+    if longest_self_complement_run(candidate) > constraints.max_self_complement_run:
+        violations.append("self-complementary run too long")
+    for other in existing:
+        if len(other) == len(candidate):
+            if hamming_distance(candidate, other) < constraints.min_pairwise_hamming:
+                violations.append("too close to an existing primer")
+                break
+    return violations
+
+
+def is_valid_primer(
+    candidate: str,
+    constraints: PrimerConstraints,
+    existing: list[str] | tuple[str, ...] = (),
+) -> bool:
+    """True if ``candidate`` satisfies every constraint."""
+    return not check_primer(candidate, constraints, existing)

@@ -1,0 +1,214 @@
+"""Low-level utilities for working with DNA sequences.
+
+These helpers are used across the codec, primer-design, index-tree and
+wetlab-simulation subsystems.  They operate on plain Python strings over the
+alphabet ``{A, C, G, T}`` for clarity; hot loops that need vectorization
+(e.g. the error channel) convert to numpy arrays internally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.constants import COMPLEMENT, DNA_ALPHABET, GC_BASES
+from repro.exceptions import SequenceError
+
+_VALID_BASES = frozenset(DNA_ALPHABET)
+
+
+def validate_sequence(sequence: str) -> str:
+    """Return ``sequence`` if it is a valid DNA string, else raise.
+
+    Raises:
+        SequenceError: if the sequence contains characters outside ACGT.
+    """
+    if not isinstance(sequence, str):
+        raise SequenceError(f"expected str, got {type(sequence).__name__}")
+    invalid = set(sequence) - _VALID_BASES
+    if invalid:
+        raise SequenceError(
+            f"sequence contains invalid characters: {sorted(invalid)!r}"
+        )
+    return sequence
+
+
+def is_valid_sequence(sequence: str) -> bool:
+    """Return ``True`` if ``sequence`` only contains ACGT characters."""
+    return isinstance(sequence, str) and set(sequence) <= _VALID_BASES
+
+
+def gc_content(sequence: str) -> float:
+    """Return the fraction of G/C bases in ``sequence``.
+
+    An empty sequence has a GC content of 0.0 by convention.
+    """
+    if not sequence:
+        return 0.0
+    gc = sum(1 for base in sequence if base in GC_BASES)
+    return gc / len(sequence)
+
+
+def gc_count(sequence: str) -> int:
+    """Return the number of G/C bases in ``sequence``."""
+    return sum(1 for base in sequence if base in GC_BASES)
+
+
+def max_homopolymer_run(sequence: str) -> int:
+    """Return the length of the longest homopolymer run in ``sequence``."""
+    if not sequence:
+        return 0
+    longest = 1
+    current = 1
+    for previous, base in zip(sequence, sequence[1:]):
+        if base == previous:
+            current += 1
+            longest = max(longest, current)
+        else:
+            current = 1
+    return longest
+
+
+def complement(sequence: str) -> str:
+    """Return the Watson-Crick complement of ``sequence``."""
+    try:
+        return "".join(COMPLEMENT[base] for base in sequence)
+    except KeyError as exc:
+        raise SequenceError(f"invalid base {exc.args[0]!r}") from exc
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement of ``sequence``."""
+    return complement(sequence)[::-1]
+
+
+def hamming_distance(left: str, right: str) -> int:
+    """Return the Hamming distance between two equal-length strings.
+
+    Raises:
+        SequenceError: if the strings have different lengths.
+    """
+    if len(left) != len(right):
+        raise SequenceError(
+            f"hamming_distance requires equal lengths, got {len(left)} and {len(right)}"
+        )
+    return sum(1 for a, b in zip(left, right) if a != b)
+
+
+def levenshtein_distance(left: str, right: str, *, upper_bound: int | None = None) -> int:
+    """Return the Levenshtein (edit) distance between two strings.
+
+    Args:
+        left: first string.
+        right: second string.
+        upper_bound: if given, the computation may stop early and return
+            ``upper_bound + 1`` as soon as the distance is known to exceed
+            the bound.  This makes clustering over many reads affordable.
+
+    Returns:
+        The minimum number of insertions, deletions and substitutions needed
+        to turn ``left`` into ``right`` (possibly capped as described above).
+    """
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if upper_bound is not None and abs(len(left) - len(right)) > upper_bound:
+        return upper_bound + 1
+
+    # Classic two-row dynamic program; strings in this library are short
+    # (reads of ~150 bases), so O(n*m) with early-exit banding is fine.
+    previous = list(range(len(right) + 1))
+    for i, a in enumerate(left, start=1):
+        current = [i] + [0] * len(right)
+        row_minimum = i
+        for j, b in enumerate(right, start=1):
+            cost = 0 if a == b else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost, # substitution
+            )
+            row_minimum = min(row_minimum, current[j])
+        if upper_bound is not None and row_minimum > upper_bound:
+            return upper_bound + 1
+        previous = current
+    return previous[-1]
+
+
+def kmer_set(sequence: str, k: int) -> frozenset[str]:
+    """Return the set of all k-mers of ``sequence``.
+
+    Used as a cheap similarity prefilter before computing edit distances
+    during clustering.
+    """
+    if k <= 0:
+        raise SequenceError("k must be positive")
+    if len(sequence) < k:
+        return frozenset()
+    return frozenset(sequence[i : i + k] for i in range(len(sequence) - k + 1))
+
+
+def kmer_similarity(left: str, right: str, k: int = 6) -> float:
+    """Return the Jaccard similarity of the k-mer sets of two sequences."""
+    left_kmers = kmer_set(left, k)
+    right_kmers = kmer_set(right, k)
+    if not left_kmers and not right_kmers:
+        return 1.0
+    if not left_kmers or not right_kmers:
+        return 0.0
+    intersection = len(left_kmers & right_kmers)
+    union = len(left_kmers | right_kmers)
+    return intersection / union
+
+
+def longest_common_prefix(sequences: Iterable[str]) -> str:
+    """Return the longest common prefix of a collection of strings."""
+    iterator = iter(sequences)
+    try:
+        prefix = next(iterator)
+    except StopIteration:
+        return ""
+    for sequence in iterator:
+        limit = min(len(prefix), len(sequence))
+        i = 0
+        while i < limit and prefix[i] == sequence[i]:
+            i += 1
+        prefix = prefix[:i]
+        if not prefix:
+            break
+    return prefix
+
+
+def sliding_windows(sequence: str, width: int) -> list[str]:
+    """Return every contiguous window of ``width`` bases in ``sequence``."""
+    if width <= 0:
+        raise SequenceError("width must be positive")
+    if width > len(sequence):
+        return []
+    return [sequence[i : i + width] for i in range(len(sequence) - width + 1)]
+
+
+def chunk_sequence(sequence: str, size: int) -> list[str]:
+    """Split ``sequence`` into consecutive chunks of at most ``size`` bases."""
+    if size <= 0:
+        raise SequenceError("size must be positive")
+    return [sequence[i : i + size] for i in range(0, len(sequence), size)]
+
+
+def pairwise_min_hamming(sequences: Sequence[str]) -> int:
+    """Return the minimum pairwise Hamming distance among equal-length strings.
+
+    Returns a large sentinel (``len(sequences[0]) + 1``) when fewer than two
+    sequences are given so callers can treat "no constraint violated" simply.
+    """
+    if len(sequences) < 2:
+        return (len(sequences[0]) + 1) if sequences else 0
+    best = len(sequences[0]) + 1
+    for i in range(len(sequences)):
+        for j in range(i + 1, len(sequences)):
+            best = min(best, hamming_distance(sequences[i], sequences[j]))
+            if best == 0:
+                return 0
+    return best

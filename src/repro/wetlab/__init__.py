@@ -1,0 +1,52 @@
+"""Wetlab channel simulator.
+
+The paper's evaluation is a wetlab proof of concept (Twist/IDT synthesis,
+touchdown PCR, Illumina sequencing).  This package substitutes every
+chemical step with a simulator that exercises the same code paths and
+reproduces the published distributions (see DESIGN.md §2 for the
+substitution rationale):
+
+* :mod:`repro.wetlab.pool` — a molecular pool: species (strand sequences)
+  with fractional copy counts, dilution and mixing arithmetic.
+* :mod:`repro.wetlab.synthesis` — synthesis vendor models with lognormal
+  copy-count skew and vendor-specific base concentrations (the 50 000x
+  Twist/IDT mismatch of Section 6.4.1).
+* :mod:`repro.wetlab.errors` — the insertion/deletion/substitution error
+  channel applied to sequencing reads.
+* :mod:`repro.wetlab.pcr` — cycle-by-cycle PCR with primer annealing,
+  mispriming (index overwrite) and residual-primer carry-over.
+* :mod:`repro.wetlab.sequencing` — read sampling at a chosen depth plus
+  Illumina/Nanopore latency models.
+* :mod:`repro.wetlab.quantification` — noisy concentration measurement.
+* :mod:`repro.wetlab.mixing` — the Measure-then-Amplify and
+  Amplify-then-Measure mixing protocols of Section 6.4.2.
+"""
+
+from repro.wetlab.errors import ErrorModel
+from repro.wetlab.mixing import amplify_then_measure, measure_then_amplify
+from repro.wetlab.pcr import PCRConfig, PCRSimulator
+from repro.wetlab.pool import MolecularPool
+from repro.wetlab.quantification import measure_concentration
+from repro.wetlab.sequencing import (
+    IlluminaRunModel,
+    NanoporeRunModel,
+    SequencingResult,
+    Sequencer,
+)
+from repro.wetlab.synthesis import SynthesisVendor, synthesize
+
+__all__ = [
+    "ErrorModel",
+    "amplify_then_measure",
+    "measure_then_amplify",
+    "PCRConfig",
+    "PCRSimulator",
+    "MolecularPool",
+    "measure_concentration",
+    "IlluminaRunModel",
+    "NanoporeRunModel",
+    "SequencingResult",
+    "Sequencer",
+    "SynthesisVendor",
+    "synthesize",
+]

@@ -1,0 +1,102 @@
+"""Insertion/deletion/substitution (IDS) error channel.
+
+Synthesis, storage, PCR and sequencing all introduce errors that show up in
+the final reads (Section 2.1.2).  Following the DNA-storage channel
+simulators the paper cites (Keoliya et al.), we model the end-to-end read
+channel as independent per-base substitution, insertion and deletion
+events with configurable rates.  Default rates are in the range typically
+reported for Illumina sequencing of synthesized oligo pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DNA_ALPHABET
+from repro.exceptions import WetlabError
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Per-base IDS error rates for the read channel.
+
+    Attributes:
+        substitution_rate: probability a base is read as a different base.
+        insertion_rate: probability a random base is inserted before a base.
+        deletion_rate: probability a base is dropped from the read.
+
+    The defaults reflect an Illumina-class short-read channel over a
+    synthesized oligo pool (substitutions dominate, indels are rare); use
+    :meth:`nanopore` for a long-read profile and :meth:`noiseless` to
+    isolate pipeline behaviour from channel noise.
+    """
+
+    substitution_rate: float = 0.002
+    insertion_rate: float = 0.0005
+    deletion_rate: float = 0.0005
+
+    def __post_init__(self) -> None:
+        for name, rate in (
+            ("substitution_rate", self.substitution_rate),
+            ("insertion_rate", self.insertion_rate),
+            ("deletion_rate", self.deletion_rate),
+        ):
+            if not 0.0 <= rate < 1.0:
+                raise WetlabError(f"{name} must be in [0, 1), got {rate}")
+
+    @property
+    def total_error_rate(self) -> float:
+        """Aggregate per-base error probability."""
+        return self.substitution_rate + self.insertion_rate + self.deletion_rate
+
+    @classmethod
+    def noiseless(cls) -> "ErrorModel":
+        """An error-free channel (useful for isolating pipeline behaviour)."""
+        return cls(substitution_rate=0.0, insertion_rate=0.0, deletion_rate=0.0)
+
+    @classmethod
+    def nanopore(cls) -> "ErrorModel":
+        """A higher-error profile typical of nanopore sequencing."""
+        return cls(substitution_rate=0.02, insertion_rate=0.02, deletion_rate=0.03)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def corrupt(self, sequence: str, rng: np.random.Generator) -> str:
+        """Return a noisy copy of ``sequence`` under this error model."""
+        if self.total_error_rate == 0.0:
+            return sequence
+        bases = []
+        alphabet = DNA_ALPHABET
+        n = len(sequence)
+        # Draw all random numbers in bulk for speed.
+        substitution_draws = rng.random(n)
+        insertion_draws = rng.random(n + 1)
+        deletion_draws = rng.random(n)
+        random_bases = rng.integers(0, 4, size=2 * n + 2)
+        random_cursor = 0
+        for i in range(n):
+            if insertion_draws[i] < self.insertion_rate:
+                bases.append(alphabet[random_bases[random_cursor]])
+                random_cursor += 1
+            if deletion_draws[i] < self.deletion_rate:
+                continue
+            base = sequence[i]
+            if substitution_draws[i] < self.substitution_rate:
+                replacement = alphabet[random_bases[random_cursor]]
+                random_cursor += 1
+                if replacement == base:
+                    replacement = alphabet[(alphabet.index(base) + 1) % 4]
+                base = replacement
+            bases.append(base)
+        if insertion_draws[n] < self.insertion_rate:
+            bases.append(alphabet[random_bases[random_cursor]])
+        return "".join(bases)
+
+    def corrupt_many(
+        self, sequences: list[str], rng: np.random.Generator
+    ) -> list[str]:
+        """Corrupt a batch of sequences."""
+        return [self.corrupt(sequence, rng) for sequence in sequences]

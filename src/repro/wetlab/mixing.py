@@ -1,0 +1,156 @@
+"""Protocols for mixing the original data pool with update pools.
+
+Section 5.5 explains why concentrations must be matched when combining the
+original data with later-synthesized update patches: any per-molecule
+concentration mismatch inflates sequencing cost proportionally.  Section
+6.4.2 describes two protocols, both reproduced here:
+
+* **Measure-then-Amplify** — measure the unamplified pools, dilute the
+  update pool so its per-molecule concentration matches the original pool,
+  combine, then amplify the mix with the main partition primers.
+* **Amplify-then-Measure** — amplify each pool separately with the main
+  primers (simulating the case where the original synthesis is no longer
+  available), clean up, measure, and mix in proportion to the number of
+  unique oligos in each pool.
+
+Both return the mixed pool plus a report with the achieved per-molecule
+balance, which `bench_fig10_mixing.py` turns into the Figure 10 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MixingError
+from repro.wetlab.pcr import PCRConfig, PCRSimulator
+from repro.wetlab.pool import MolecularPool
+from repro.wetlab.quantification import measure_concentration
+
+
+@dataclass(frozen=True)
+class MixReport:
+    """Outcome of a mixing protocol.
+
+    Attributes:
+        mixed_pool: the combined pool.
+        data_mean_copies: mean copies per distinct species contributed by
+            the original data pool.
+        update_mean_copies: mean copies per distinct species contributed by
+            the update pool.
+    """
+
+    mixed_pool: MolecularPool
+    data_mean_copies: float
+    update_mean_copies: float
+
+    @property
+    def concentration_ratio(self) -> float:
+        """Update-to-data per-molecule concentration ratio (1.0 is perfect)."""
+        if self.data_mean_copies == 0:
+            raise MixingError("data pool contributed no copies")
+        return self.update_mean_copies / self.data_mean_copies
+
+
+def _mean_copies(pool: MolecularPool, members: set[str]) -> float:
+    values = [pool.copies(seq) for seq in members if seq in pool.species]
+    if not values:
+        return 0.0
+    return float(np.mean(values))
+
+
+def measure_then_amplify(
+    data_pool: MolecularPool,
+    update_pool: MolecularPool,
+    forward_primer: str,
+    reverse_primer: str,
+    *,
+    amplification: PCRConfig | None = None,
+    measurement_sigma: float = 0.05,
+    seed: int = 0,
+) -> MixReport:
+    """Mix unamplified pools by measured concentration, then amplify the mix.
+
+    The update pool is diluted so that its *per-distinct-molecule*
+    concentration matches the data pool's, based on noisy measurements of
+    each pool and the known number of unique oligos in each, and the
+    combined sample is amplified with the main partition primers
+    (15 cycles in the paper).
+    """
+    rng = np.random.default_rng(seed)
+    measured_data = measure_concentration(data_pool, error_sigma=measurement_sigma, rng=rng)
+    measured_update = measure_concentration(update_pool, error_sigma=measurement_sigma, rng=rng)
+    data_per_molecule = measured_data / max(data_pool.distinct_species(), 1)
+    update_per_molecule = measured_update / max(update_pool.distinct_species(), 1)
+    if update_per_molecule <= 0:
+        raise MixingError("update pool has no measurable material")
+    dilution = data_per_molecule / update_per_molecule
+    diluted_update = update_pool.scaled(dilution, name=f"{update_pool.name}-diluted")
+
+    combined = data_pool.merged_with(diluted_update, name="measure-then-amplify-mix")
+    config = amplification or PCRConfig.preamplification()
+    amplified = PCRSimulator(config).amplify(
+        combined, forward_primer, reverse_primer, name="measure-then-amplify-amplified"
+    )
+    data_members = set(data_pool.species)
+    update_members = set(update_pool.species)
+    return MixReport(
+        mixed_pool=amplified,
+        data_mean_copies=_mean_copies(amplified, data_members),
+        update_mean_copies=_mean_copies(amplified, update_members),
+    )
+
+
+def amplify_then_measure(
+    data_pool: MolecularPool,
+    update_pool: MolecularPool,
+    forward_primer: str,
+    reverse_primer: str,
+    *,
+    amplification: PCRConfig | None = None,
+    measurement_sigma: float = 0.05,
+    seed: int = 0,
+) -> MixReport:
+    """Amplify each pool separately, then mix by measured concentration.
+
+    Models the situation where the original synthesized pools are no longer
+    available: each pool is first PCR-amplified with the main partition
+    primers (and implicitly cleaned up), the amplified pools are measured,
+    and they are mixed in proportion to the number of unique oligos each
+    contains so that per-molecule concentrations match.
+    """
+    rng = np.random.default_rng(seed)
+    config = amplification or PCRConfig.preamplification()
+    simulator = PCRSimulator(config)
+    amplified_data = simulator.amplify(
+        data_pool, forward_primer, reverse_primer, name=f"{data_pool.name}-amplified"
+    )
+    amplified_update = simulator.amplify(
+        update_pool, forward_primer, reverse_primer, name=f"{update_pool.name}-amplified"
+    )
+
+    measured_data = measure_concentration(
+        amplified_data, error_sigma=measurement_sigma, rng=rng
+    )
+    measured_update = measure_concentration(
+        amplified_update, error_sigma=measurement_sigma, rng=rng
+    )
+    data_unique = max(amplified_data.distinct_species(), 1)
+    update_unique = max(amplified_update.distinct_species(), 1)
+    data_per_molecule = measured_data / data_unique
+    update_per_molecule = measured_update / update_unique
+    if update_per_molecule <= 0:
+        raise MixingError("update pool has no measurable material")
+    dilution = data_per_molecule / update_per_molecule
+    diluted_update = amplified_update.scaled(
+        dilution, name=f"{update_pool.name}-amplified-diluted"
+    )
+    mixed = amplified_data.merged_with(diluted_update, name="amplify-then-measure-mix")
+    data_members = set(data_pool.species)
+    update_members = set(update_pool.species)
+    return MixReport(
+        mixed_pool=mixed,
+        data_mean_copies=_mean_copies(mixed, data_members),
+        update_mean_copies=_mean_copies(mixed, update_members),
+    )

@@ -1,0 +1,273 @@
+"""Cycle-by-cycle PCR simulation with mispriming and primer overwrite.
+
+The simulator models the mechanisms the paper identifies as relevant for
+precise block access (Sections 3.2, 7.2, 8.1):
+
+* **Exponential amplification** of strands whose prefix matches the forward
+  primer and whose suffix matches the reverse primer, at a per-cycle
+  efficiency below the theoretical doubling.
+* **Mispriming**: a primer can anneal to a strand whose prefix is *close*
+  (in edit distance) to the primer; the probability decays per unit of
+  distance.  Crucially, the product of such an event carries the primer's
+  sequence — the strand's index is overwritten (Section 8.1) — so the
+  misprimed product amplifies at full efficiency in later cycles while
+  retaining the foreign payload.  This is what produces the "handful of
+  other blocks" visible in Figure 9b.
+* **Residual primers**: leftover main (non-elongated) primers carried over
+  from a previous amplification keep amplifying the whole partition at some
+  lower activity, producing the ~18% of off-prefix reads the paper reports
+  discarding.
+* **Touchdown PCR**: higher annealing temperatures in the early cycles
+  suppress mispriming; the paper uses 10 touchdown cycles followed by 18
+  regular cycles (Section 6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.elongation import ElongatedPrimer
+from repro.exceptions import PCRError
+from repro.sequence import levenshtein_distance
+from repro.wetlab.pool import MolecularPool
+
+
+@dataclass(frozen=True)
+class PCRConfig:
+    """Reaction parameters for a simulated PCR.
+
+    Attributes:
+        cycles: number of thermal cycles.
+        max_efficiency: per-cycle amplification efficiency of a perfectly
+            matched primer pair (1.0 would be ideal doubling).
+        mismatch_penalty: multiplicative annealing penalty per unit of edit
+            distance between a primer and the strand prefix it anneals to.
+        max_mispriming_distance: strands whose prefix is farther than this
+            from the primer never anneal.
+        residual_primer_efficiency: per-cycle efficiency of leftover main
+            primers that amplify every strand of the partition regardless of
+            the elongation (0 disables the effect).
+        overwrite_prefix: if True, misprimed products take the primer's own
+            sequence as their new prefix (index overwrite, Section 8.1).
+        touchdown_cycles: number of initial high-stringency cycles.
+        touchdown_mispriming_factor: multiplier applied to mispriming
+            efficiency during the touchdown cycles (0 = no mispriming while
+            touching down).
+    """
+
+    cycles: int = 15
+    max_efficiency: float = 0.95
+    mismatch_penalty: float = 0.30
+    max_mispriming_distance: int = 5
+    residual_primer_efficiency: float = 0.0
+    overwrite_prefix: bool = True
+    touchdown_cycles: int = 0
+    touchdown_mispriming_factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise PCRError("cycles must be positive")
+        if not 0.0 < self.max_efficiency <= 1.0:
+            raise PCRError("max_efficiency must be in (0, 1]")
+        if not 0.0 <= self.mismatch_penalty < 1.0:
+            raise PCRError("mismatch_penalty must be in [0, 1)")
+        if self.max_mispriming_distance < 0:
+            raise PCRError("max_mispriming_distance must be non-negative")
+        if self.residual_primer_efficiency < 0:
+            raise PCRError("residual_primer_efficiency must be non-negative")
+        if self.touchdown_cycles < 0 or self.touchdown_cycles > self.cycles:
+            raise PCRError("touchdown_cycles must be in [0, cycles]")
+
+    @classmethod
+    def preamplification(cls, cycles: int = 15) -> "PCRConfig":
+        """The paper's 15-cycle main-primer pre-amplification (Section 6.4.2)."""
+        return cls(cycles=cycles, residual_primer_efficiency=0.0)
+
+    @classmethod
+    def touchdown(
+        cls,
+        *,
+        touchdown_cycles: int = 10,
+        regular_cycles: int = 18,
+        residual_primer_efficiency: float = 0.52,
+        mismatch_penalty: float = 0.38,
+    ) -> "PCRConfig":
+        """The paper's touchdown protocol for precise block access (Section 6.5).
+
+        The default residual-primer activity and mismatch penalty are
+        calibrated so that the read composition of the wetlab experiment
+        (Figure 9b: ~18% leftover-primer reads, ~59% on-target among
+        prefix-matching reads) emerges for the Alice-scale partition.
+        """
+        return cls(
+            cycles=touchdown_cycles + regular_cycles,
+            touchdown_cycles=touchdown_cycles,
+            residual_primer_efficiency=residual_primer_efficiency,
+            mismatch_penalty=mismatch_penalty,
+        )
+
+
+@dataclass
+class _PrimerBinding:
+    """Pre-computed binding behaviour of one primer against one species."""
+
+    exact: bool
+    mispriming_efficiency: float
+    product: str | None
+
+
+class PCRSimulator:
+    """Simulates PCR amplification over a :class:`MolecularPool`.
+
+    The simulator is deterministic: copy counts are expected values, not
+    stochastic samples (the stochasticity of the physical process is folded
+    into the synthesis skew and the sequencing sampling steps).
+    """
+
+    def __init__(self, config: PCRConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Primer handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _primer_sequence(primer: str | ElongatedPrimer) -> str:
+        if isinstance(primer, ElongatedPrimer):
+            return primer.sequence
+        return primer
+
+    def _binding(
+        self,
+        strand: str,
+        annotations: dict,
+        forward: str,
+        reverse: str,
+    ) -> _PrimerBinding:
+        """Compute how a forward primer binds to a strand."""
+        config = self.config
+        if not strand.endswith(reverse):
+            return _PrimerBinding(exact=False, mispriming_efficiency=0.0, product=None)
+        footprint = strand[: len(forward)]
+        if footprint == forward:
+            return _PrimerBinding(exact=True, mispriming_efficiency=0.0, product=None)
+        distance = levenshtein_distance(
+            footprint, forward, upper_bound=config.max_mispriming_distance
+        )
+        if distance > config.max_mispriming_distance:
+            return _PrimerBinding(exact=False, mispriming_efficiency=0.0, product=None)
+        efficiency = config.max_efficiency * (config.mismatch_penalty ** distance)
+        product = None
+        if config.overwrite_prefix:
+            product = forward + strand[len(forward):]
+        del annotations
+        return _PrimerBinding(
+            exact=False, mispriming_efficiency=efficiency, product=product
+        )
+
+    # ------------------------------------------------------------------
+    # Amplification
+    # ------------------------------------------------------------------
+    def amplify(
+        self,
+        pool: MolecularPool,
+        forward_primers: str | ElongatedPrimer | list[str | ElongatedPrimer],
+        reverse_primer: str,
+        *,
+        residual_forward_primer: str | None = None,
+        name: str | None = None,
+    ) -> MolecularPool:
+        """Run the configured number of PCR cycles and return the new pool.
+
+        Args:
+            pool: the input sample.
+            forward_primers: one forward primer or a list of them (multiplex
+                PCR uses several elongated primers in the same tube).
+            reverse_primer: the reverse primer (sense-strand orientation, as
+                stored in :class:`repro.codec.molecule.Molecule`).
+            residual_forward_primer: the main (non-elongated) forward primer
+                carried over from a previous reaction; only used when the
+                config's ``residual_primer_efficiency`` is positive.
+            name: name of the output pool.
+
+        Returns:
+            A new :class:`MolecularPool`; input copy counts are preserved
+            and amplification products are added on top (PCR does not
+            consume templates).
+        """
+        if isinstance(forward_primers, (str, ElongatedPrimer)):
+            primer_list = [forward_primers]
+        else:
+            primer_list = list(forward_primers)
+        if not primer_list:
+            raise PCRError("at least one forward primer is required")
+        forward_sequences = [self._primer_sequence(p) for p in primer_list]
+
+        result = MolecularPool(
+            name=name or f"{pool.name}-pcr",
+            species=dict(pool.species),
+            metadata={seq: dict(meta) for seq, meta in pool.metadata.items()},
+        )
+
+        # Pre-compute bindings for the initial species.  Products created by
+        # prefix overwrite match their primer exactly, so their binding is
+        # known without re-computation.
+        bindings: dict[str, list[_PrimerBinding]] = {}
+
+        def bindings_for(strand: str) -> list[_PrimerBinding]:
+            if strand not in bindings:
+                bindings[strand] = [
+                    self._binding(strand, result.annotations(strand), fwd, reverse_primer)
+                    for fwd in forward_sequences
+                ]
+            return bindings[strand]
+
+        exact_prefix_set = set(forward_sequences)
+        residual_efficiency = self.config.residual_primer_efficiency
+        residual_primer = residual_forward_primer
+
+        for cycle in range(self.config.cycles):
+            in_touchdown = cycle < self.config.touchdown_cycles
+            misprime_factor = (
+                self.config.touchdown_mispriming_factor if in_touchdown else 1.0
+            )
+            additions: dict[str, float] = {}
+            new_products: dict[str, dict] = {}
+            max_gain = self.config.max_efficiency
+            for strand, copies in result.species.items():
+                if copies <= 0.0:
+                    continue
+                # Per-cycle gain of any single template is physically capped
+                # at one additional copy per existing copy (doubling), no
+                # matter how many primers can bind it.
+                self_gain = 0.0
+                # Products that start with a primer sequence amplify exactly.
+                if any(strand.startswith(fwd) for fwd in exact_prefix_set) and strand.endswith(reverse_primer):
+                    self_gain = max_gain
+                else:
+                    for binding in bindings_for(strand):
+                        if binding.exact:
+                            self_gain = max(self_gain, max_gain)
+                        elif binding.mispriming_efficiency > 0.0:
+                            gain = copies * binding.mispriming_efficiency * misprime_factor
+                            if gain <= 0.0:
+                                continue
+                            product = binding.product or strand
+                            additions[product] = additions.get(product, 0.0) + gain
+                            if product not in result.species and product not in new_products:
+                                source_meta = dict(result.annotations(strand))
+                                source_meta["misprimed"] = True
+                                new_products[product] = source_meta
+                # Residual main primers amplify everything in the partition.
+                if residual_efficiency > 0.0 and residual_primer is not None:
+                    if strand.startswith(residual_primer) and strand.endswith(reverse_primer):
+                        self_gain = max(self_gain, residual_efficiency)
+                if self_gain > 0.0:
+                    additions[strand] = additions.get(strand, 0.0) + copies * min(
+                        self_gain, max_gain
+                    )
+            for strand, gain in additions.items():
+                result.species[strand] = result.species.get(strand, 0.0) + gain
+            for strand, meta in new_products.items():
+                if meta:
+                    result.metadata.setdefault(strand, {}).update(meta)
+        return result

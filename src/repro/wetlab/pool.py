@@ -1,0 +1,166 @@
+"""A simulated molecular pool: strand species and their copy numbers.
+
+A pool maps each distinct strand sequence (a *species*) to a fractional
+copy count.  Copy counts are relative concentrations, not integer molecule
+counts: dilution, PCR amplification and mixing all scale them, and the
+sequencer samples reads proportionally to them.  Optional per-species
+metadata (which partition / block / slot the strand belongs to) is carried
+along so that benchmark plots can attribute reads without re-parsing
+sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import WetlabError
+
+
+@dataclass
+class MolecularPool:
+    """A pool of DNA species with relative copy counts.
+
+    Attributes:
+        name: a label used in logs and benchmark output.
+        species: mapping from strand sequence to copy count.
+        metadata: optional mapping from strand sequence to arbitrary
+            caller-supplied annotations (block number, slot, origin...).
+    """
+
+    name: str = "pool"
+    species: dict[str, float] = field(default_factory=dict)
+    metadata: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, sequence: str, copies: float, **annotations: Any) -> None:
+        """Add ``copies`` of a strand (accumulating if it already exists)."""
+        if copies < 0:
+            raise WetlabError("copies must be non-negative")
+        if not sequence:
+            raise WetlabError("cannot add an empty sequence")
+        self.species[sequence] = self.species.get(sequence, 0.0) + copies
+        if annotations:
+            existing = self.metadata.setdefault(sequence, {})
+            existing.update(annotations)
+
+    @classmethod
+    def from_sequences(
+        cls,
+        sequences: Iterable[str],
+        *,
+        copies_per_sequence: float = 1.0,
+        name: str = "pool",
+    ) -> "MolecularPool":
+        """Build a pool with a uniform copy count per sequence."""
+        pool = cls(name=name)
+        for sequence in sequences:
+            pool.add(sequence, copies_per_sequence)
+        return pool
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.species)
+
+    def __contains__(self, sequence: str) -> bool:
+        return sequence in self.species
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.species)
+
+    def copies(self, sequence: str) -> float:
+        """Copy count of one species (0.0 if absent)."""
+        return self.species.get(sequence, 0.0)
+
+    def total_copies(self) -> float:
+        """Sum of all copy counts in the pool."""
+        return sum(self.species.values())
+
+    def distinct_species(self) -> int:
+        """Number of distinct strand sequences present."""
+        return len(self.species)
+
+    def mean_copies(self) -> float:
+        """Average copies per distinct species."""
+        if not self.species:
+            return 0.0
+        return self.total_copies() / len(self.species)
+
+    def fraction(self, sequence: str) -> float:
+        """The species' share of the total pool."""
+        total = self.total_copies()
+        if total == 0:
+            return 0.0
+        return self.copies(sequence) / total
+
+    def annotations(self, sequence: str) -> dict[str, Any]:
+        """Metadata recorded for a species (empty dict if none)."""
+        return self.metadata.get(sequence, {})
+
+    # ------------------------------------------------------------------
+    # Manipulation
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float, *, name: str | None = None) -> "MolecularPool":
+        """Return a copy of the pool with every copy count scaled (dilution)."""
+        if factor < 0:
+            raise WetlabError("scale factor must be non-negative")
+        scaled = MolecularPool(
+            name=name or f"{self.name}-scaled",
+            species={seq: copies * factor for seq, copies in self.species.items()},
+            metadata={seq: dict(meta) for seq, meta in self.metadata.items()},
+        )
+        return scaled
+
+    def diluted_to_total(self, target_total: float, *, name: str | None = None) -> "MolecularPool":
+        """Return a copy of the pool diluted (or concentrated) to a target total."""
+        total = self.total_copies()
+        if total == 0:
+            raise WetlabError("cannot dilute an empty pool")
+        return self.scaled(target_total / total, name=name)
+
+    def merged_with(self, other: "MolecularPool", *, name: str | None = None) -> "MolecularPool":
+        """Return a new pool that physically combines two samples."""
+        merged = MolecularPool(
+            name=name or f"{self.name}+{other.name}",
+            species=dict(self.species),
+            metadata={seq: dict(meta) for seq, meta in self.metadata.items()},
+        )
+        for sequence, copies in other.species.items():
+            merged.species[sequence] = merged.species.get(sequence, 0.0) + copies
+        for sequence, meta in other.metadata.items():
+            existing = merged.metadata.setdefault(sequence, {})
+            for key, value in meta.items():
+                existing.setdefault(key, value)
+        return merged
+
+    def subset(self, predicate, *, name: str | None = None) -> "MolecularPool":
+        """Return the sub-pool of species whose (sequence, annotations) satisfy a predicate."""
+        result = MolecularPool(name=name or f"{self.name}-subset")
+        for sequence, copies in self.species.items():
+            if predicate(sequence, self.annotations(sequence)):
+                result.add(sequence, copies, **self.annotations(sequence))
+        return result
+
+    # ------------------------------------------------------------------
+    # Statistics used by benchmarks
+    # ------------------------------------------------------------------
+    def copies_by_annotation(self, key: str) -> dict[Any, float]:
+        """Aggregate copy counts by one metadata key (e.g. ``"block"``)."""
+        totals: dict[Any, float] = {}
+        for sequence, copies in self.species.items():
+            value = self.annotations(sequence).get(key)
+            totals[value] = totals.get(value, 0.0) + copies
+        return totals
+
+    def skew(self) -> float:
+        """Max-to-min copy ratio across species (the <=2x bias of Fig. 9a)."""
+        if not self.species:
+            return 1.0
+        values = [copies for copies in self.species.values() if copies > 0]
+        if not values:
+            return 1.0
+        return max(values) / min(values)

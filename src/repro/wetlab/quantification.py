@@ -1,0 +1,62 @@
+"""Concentration measurement (nanodrop) with realistic noise.
+
+The mixing protocols of Section 6.4.2 rely on measuring the concentration
+of each pool before dilution.  Spectrophotometric quantification is
+accurate only to within a few percent (and the paper notes that better
+methods exist); we model the measurement as the true total copy count
+scaled by a multiplicative lognormal error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WetlabError
+from repro.wetlab.pool import MolecularPool
+
+
+def measure_concentration(
+    pool: MolecularPool,
+    *,
+    error_sigma: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Return a noisy measurement of the pool's total copy count.
+
+    Args:
+        pool: the pool to quantify.
+        error_sigma: sigma of the multiplicative lognormal measurement error
+            (0.05 is a typical nanodrop-level precision).
+        rng: optional numpy generator for reproducibility.
+
+    Returns:
+        The measured total copies (true total times a lognormal factor).
+    """
+    if error_sigma < 0:
+        raise WetlabError("error_sigma must be non-negative")
+    total = pool.total_copies()
+    if total <= 0:
+        raise WetlabError("cannot measure an empty pool")
+    if error_sigma == 0:
+        return total
+    generator = rng if rng is not None else np.random.default_rng()
+    return float(total * generator.lognormal(mean=0.0, sigma=error_sigma))
+
+
+def measure_mean_copies_per_species(
+    pool: MolecularPool,
+    distinct_species: int,
+    *,
+    error_sigma: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Measured concentration normalized by the known number of distinct oligos.
+
+    This is the quantity the Amplify-then-Measure protocol actually uses:
+    the total measured concentration divided by the number of unique oligos
+    in the pool (8850 for the amplified Alice pool, 45 for the IDT update
+    pool in the paper).
+    """
+    if distinct_species <= 0:
+        raise WetlabError("distinct_species must be positive")
+    return measure_concentration(pool, error_sigma=error_sigma, rng=rng) / distinct_species

@@ -1,0 +1,157 @@
+"""Sequencing simulation: read sampling, cost and latency models.
+
+Sequencing reads are sampled from the (amplified) pool proportionally to
+species copy counts and passed through the IDS error channel.  Two run
+models capture the latency behaviour discussed in Section 7.4:
+
+* :class:`IlluminaRunModel` — next-generation sequencing by synthesis:
+  every run takes a fixed wall-clock time and yields a fixed number of
+  reads; the output is only available at the end of the run, so latency is
+  quantized in whole runs.
+* :class:`NanoporeRunModel` — reads stream out continuously, so latency is
+  proportional to the number of reads needed and the run can stop as soon
+  as decoding succeeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SequencingError
+from repro.wetlab.errors import ErrorModel
+from repro.wetlab.pool import MolecularPool
+
+
+@dataclass(frozen=True)
+class SequencingRead:
+    """One sequencing read with provenance for benchmark attribution.
+
+    Attributes:
+        sequence: the (noisy) read sequence.
+        source: the original pool species the read was sampled from.
+        annotations: the pool's metadata for the source species.
+    """
+
+    sequence: str
+    source: str
+    annotations: dict = field(default_factory=dict)
+
+
+@dataclass
+class SequencingResult:
+    """The output of a sequencing run."""
+
+    reads: list[SequencingRead]
+    run_count: int = 1
+
+    def __len__(self) -> int:
+        return len(self.reads)
+
+    def sequences(self) -> list[str]:
+        """Just the read strings (what a FASTQ would contain)."""
+        return [read.sequence for read in self.reads]
+
+    def reads_by_annotation(self, key: str) -> dict:
+        """Group read counts by one annotation key (e.g. ``"block"``)."""
+        counts: dict = {}
+        for read in self.reads:
+            value = read.annotations.get(key)
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+
+class Sequencer:
+    """Samples reads from a pool at a requested depth.
+
+    Args:
+        error_model: the IDS channel applied to every read.
+        seed: RNG seed for sampling and errors.
+    """
+
+    def __init__(self, error_model: ErrorModel | None = None, *, seed: int = 0) -> None:
+        self.error_model = error_model or ErrorModel()
+        self._rng = np.random.default_rng(seed)
+
+    def sequence(self, pool: MolecularPool, read_count: int) -> SequencingResult:
+        """Sample ``read_count`` reads proportionally to pool copy counts."""
+        if read_count <= 0:
+            raise SequencingError("read_count must be positive")
+        if not len(pool):
+            raise SequencingError("cannot sequence an empty pool")
+        species = list(pool.species)
+        copies = np.array([pool.species[s] for s in species], dtype=float)
+        total = copies.sum()
+        if total <= 0:
+            raise SequencingError("pool has zero total copies")
+        probabilities = copies / total
+        counts = self._rng.multinomial(read_count, probabilities)
+        reads: list[SequencingRead] = []
+        for strand, count in zip(species, counts):
+            if count == 0:
+                continue
+            annotations = pool.annotations(strand)
+            for _ in range(int(count)):
+                noisy = self.error_model.corrupt(strand, self._rng)
+                reads.append(
+                    SequencingRead(
+                        sequence=noisy, source=strand, annotations=dict(annotations)
+                    )
+                )
+        self._rng.shuffle(reads)  # type: ignore[arg-type]
+        return SequencingResult(reads=list(reads))
+
+
+@dataclass(frozen=True)
+class IlluminaRunModel:
+    """Fixed-run NGS latency/cost model (Section 7.4).
+
+    Attributes:
+        reads_per_run: reads produced by one run.
+        run_hours: wall-clock duration of one run.
+        cost_per_read: sequencing cost attributed to each read.
+    """
+
+    reads_per_run: int = 25_000_000
+    run_hours: float = 24.0
+    cost_per_read: float = 1e-5
+
+    def runs_needed(self, reads_required: int) -> int:
+        """Whole runs needed to obtain ``reads_required`` reads."""
+        if reads_required <= 0:
+            return 0
+        return -(-reads_required // self.reads_per_run)
+
+    def latency_hours(self, reads_required: int) -> float:
+        """Latency: a whole number of fixed-duration runs."""
+        return self.runs_needed(reads_required) * self.run_hours
+
+    def cost(self, reads_required: int) -> float:
+        """Cost is proportional to the sequencing output actually produced."""
+        return self.runs_needed(reads_required) * self.reads_per_run * self.cost_per_read
+
+
+@dataclass(frozen=True)
+class NanoporeRunModel:
+    """Streaming (nanopore) latency/cost model (Section 7.4).
+
+    Attributes:
+        reads_per_hour: sustained read throughput of the flow cell.
+        cost_per_read: sequencing cost attributed to each read.
+        setup_hours: fixed per-run setup overhead.
+    """
+
+    reads_per_hour: int = 2_000_000
+    cost_per_read: float = 4e-5
+    setup_hours: float = 0.25
+
+    def latency_hours(self, reads_required: int) -> float:
+        """Latency grows linearly with the reads needed (stop when decoded)."""
+        if reads_required <= 0:
+            return 0.0
+        return self.setup_hours + reads_required / self.reads_per_hour
+
+    def cost(self, reads_required: int) -> float:
+        """Cost is proportional to reads actually produced."""
+        return reads_required * self.cost_per_read

@@ -1,0 +1,132 @@
+"""DNA synthesis vendor models.
+
+Synthesis turns a digital order (a list of molecules) into a physical pool.
+Two effects matter for the paper's experiments:
+
+* **per-species skew** — copy counts after synthesis are not perfectly
+  uniform; Figure 9a shows the resulting read-count bias is within about
+  2x.  We model per-species copy counts as lognormal around the vendor's
+  nominal concentration.
+* **vendor concentration scale** — different vendors/technologies yield
+  wildly different absolute concentrations; in the paper the IDT update
+  pool was 50 000x more concentrated than the Twist pool (Section 6.4.1),
+  which is exactly what the mixing protocols have to correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.codec.molecule import Molecule
+from repro.constants import IDT_CONCENTRATION_RATIO
+from repro.exceptions import WetlabError
+from repro.wetlab.pool import MolecularPool
+
+
+@dataclass(frozen=True)
+class SynthesisVendor:
+    """A synthesis vendor / technology profile.
+
+    Attributes:
+        name: vendor label.
+        nominal_copies: mean copies per distinct species in the delivered pool.
+        skew_sigma: sigma of the lognormal per-species skew (0 = perfectly
+            uniform).  A sigma of ~0.18 keeps ~99% of species within 2x of
+            each other, matching the bias visible in Figure 9a.
+        dropout_rate: probability that a requested species is entirely
+            missing from the delivered pool (synthesis failure).
+    """
+
+    name: str
+    nominal_copies: float = 1000.0
+    skew_sigma: float = 0.18
+    dropout_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nominal_copies <= 0:
+            raise WetlabError("nominal_copies must be positive")
+        if self.skew_sigma < 0:
+            raise WetlabError("skew_sigma must be non-negative")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise WetlabError("dropout_rate must be in [0, 1)")
+
+    @classmethod
+    def twist(cls) -> "SynthesisVendor":
+        """Profile used for the original 13-file pool (Section 6.1)."""
+        return cls(name="Twist", nominal_copies=1000.0, skew_sigma=0.18)
+
+    @classmethod
+    def idt(cls) -> "SynthesisVendor":
+        """Profile used for the small update pool (Section 6.4.1).
+
+        The IDT pool is delivered at a concentration 50 000x higher than the
+        Twist pool, per the paper.
+        """
+        return cls(
+            name="IDT",
+            nominal_copies=1000.0 * IDT_CONCENTRATION_RATIO,
+            skew_sigma=0.25,
+        )
+
+
+def synthesize(
+    molecules: Iterable[Molecule],
+    vendor: SynthesisVendor,
+    *,
+    seed: int = 0,
+    pool_name: str | None = None,
+) -> MolecularPool:
+    """Simulate synthesis of a molecule order by a vendor.
+
+    Args:
+        molecules: the molecules to synthesize (the partition's synthesis
+            order); annotations (block/slot/partition) are attached to the
+            pool species for later analysis.
+        vendor: the vendor profile.
+        seed: RNG seed controlling skew and dropout.
+        pool_name: optional name for the resulting pool.
+
+    Returns:
+        A :class:`MolecularPool` with lognormally skewed copy counts.
+    """
+    rng = np.random.default_rng(seed)
+    pool = MolecularPool(name=pool_name or f"{vendor.name}-pool")
+    for molecule in molecules:
+        if vendor.dropout_rate and rng.random() < vendor.dropout_rate:
+            continue
+        if vendor.skew_sigma > 0:
+            factor = float(rng.lognormal(mean=0.0, sigma=vendor.skew_sigma))
+        else:
+            factor = 1.0
+        copies = vendor.nominal_copies * factor
+        strand = molecule.to_strand()
+        pool.add(
+            strand,
+            copies,
+            forward_primer=molecule.forward_primer,
+            unit_index=molecule.unit_index,
+            intra_index=molecule.intra_index,
+            origin=vendor.name,
+        )
+    return pool
+
+
+def synthesize_sequences(
+    sequences: Iterable[str],
+    vendor: SynthesisVendor,
+    *,
+    seed: int = 0,
+    pool_name: str | None = None,
+) -> MolecularPool:
+    """Synthesize raw sequences (no molecule metadata) with vendor skew."""
+    rng = np.random.default_rng(seed)
+    pool = MolecularPool(name=pool_name or f"{vendor.name}-pool")
+    for sequence in sequences:
+        if vendor.dropout_rate and rng.random() < vendor.dropout_rate:
+            continue
+        factor = float(rng.lognormal(mean=0.0, sigma=vendor.skew_sigma)) if vendor.skew_sigma else 1.0
+        pool.add(sequence, vendor.nominal_copies * factor, origin=vendor.name)
+    return pool

@@ -1,0 +1,28 @@
+"""Workload generation for examples, tests and benchmarks.
+
+* :mod:`repro.workloads.text` — a deterministic paragraph-structured text
+  generator standing in for the 150 KB *Alice's Adventures in Wonderland*
+  file of the wetlab evaluation (the content is irrelevant to every result;
+  only the size and the paragraph/block mapping matter).
+* :mod:`repro.workloads.generator` — synthetic binary workloads, filler
+  partitions, Zipfian block-access traces and update-pattern generators.
+"""
+
+from repro.workloads.generator import (
+    UpdateEvent,
+    filler_file,
+    random_blocks,
+    update_trace,
+    zipfian_access_trace,
+)
+from repro.workloads.text import alice_like_text, paragraphs_to_blocks
+
+__all__ = [
+    "UpdateEvent",
+    "filler_file",
+    "random_blocks",
+    "update_trace",
+    "zipfian_access_trace",
+    "alice_like_text",
+    "paragraphs_to_blocks",
+]

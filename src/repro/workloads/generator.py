@@ -1,0 +1,109 @@
+"""Synthetic workloads: filler files, access traces and update patterns.
+
+Used by the benchmarks to populate the 12 filler partitions of the wetlab
+pool, to generate Zipfian block-access traces for the primer-elongation
+management discussion (Section 7.7.4), and to produce update events for the
+versioning experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.updates import UpdatePatch
+from repro.exceptions import DnaStorageError
+
+
+def random_blocks(count: int, block_size: int = 256, *, seed: int = 0) -> list[bytes]:
+    """Generate ``count`` random blocks of ``block_size`` bytes."""
+    if count < 0 or block_size <= 0:
+        raise DnaStorageError("count must be >= 0 and block_size positive")
+    rng = random.Random(seed)
+    return [bytes(rng.getrandbits(8) for _ in range(block_size)) for _ in range(count)]
+
+
+def filler_file(size_bytes: int, *, seed: int = 0) -> bytes:
+    """Generate one filler file (unrelated partition data) of a given size."""
+    if size_bytes < 0:
+        raise DnaStorageError("size_bytes must be non-negative")
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(size_bytes))
+
+
+def zipfian_access_trace(
+    block_count: int,
+    accesses: int,
+    *,
+    exponent: float = 1.1,
+    seed: int = 0,
+) -> list[int]:
+    """Generate a Zipfian block-access trace.
+
+    Section 7.7.4 argues that block popularity follows a Zipfian
+    distribution, so lazily synthesizing elongated primers only for
+    requested blocks amortizes well; this trace generator drives that
+    analysis.
+    """
+    if block_count <= 0 or accesses < 0:
+        raise DnaStorageError("block_count must be positive and accesses >= 0")
+    if exponent <= 0:
+        raise DnaStorageError("exponent must be positive")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, block_count + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    probabilities = weights / weights.sum()
+    # Randomly permute which block gets which popularity rank.
+    permutation = rng.permutation(block_count)
+    draws = rng.choice(block_count, size=accesses, p=probabilities)
+    return [int(permutation[draw]) for draw in draws]
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One update in a generated update trace."""
+
+    block: int
+    patch: UpdatePatch
+
+
+def update_trace(
+    blocks: list[int],
+    *,
+    block_size: int = 256,
+    max_insert: int = 32,
+    seed: int = 0,
+) -> list[UpdateEvent]:
+    """Generate one update patch per listed block.
+
+    Each patch deletes a small random span and inserts a small random ASCII
+    payload, staying within the one-byte offset limits of the wetlab patch
+    format.
+    """
+    if max_insert <= 0:
+        raise DnaStorageError("max_insert must be positive")
+    rng = random.Random(seed)
+    events = []
+    limit = min(block_size, 256) - 1
+    for block in blocks:
+        delete_start = rng.randint(0, max(0, limit - 8))
+        delete_length = rng.randint(0, min(8, limit - delete_start))
+        insert_position = rng.randint(0, max(0, limit - max_insert))
+        insert_length = rng.randint(1, max_insert)
+        insert_bytes = bytes(
+            rng.randint(0x61, 0x7A) for _ in range(insert_length)
+        )
+        events.append(
+            UpdateEvent(
+                block=block,
+                patch=UpdatePatch(
+                    delete_start=delete_start,
+                    delete_length=delete_length,
+                    insert_position=insert_position,
+                    insert_bytes=insert_bytes,
+                ),
+            )
+        )
+    return events

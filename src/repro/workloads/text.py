@@ -1,0 +1,73 @@
+"""Deterministic text workload standing in for the Alice corpus.
+
+The wetlab evaluation encodes the 150 KB book *Alice's Adventures in
+Wonderland* split into ~600 encoding units of 256 bytes, each unit holding
+about one paragraph (Section 6.1).  We cannot ship the book, and none of
+the results depend on its content, so this module generates a
+deterministic, paragraph-structured English-like text of any requested
+size.  The generator is seeded, so tests and benchmarks always see the same
+bytes.
+"""
+
+from __future__ import annotations
+
+import random
+
+_SENTENCE_STEMS = (
+    "Alice was beginning to get very tired of sitting by her sister on the bank",
+    "The rabbit hole went straight on like a tunnel for some way",
+    "There was nothing so very remarkable in that",
+    "She took down a jar from one of the shelves as she passed",
+    "Down, down, down, would the fall never come to an end",
+    "Either the well was very deep, or she fell very slowly",
+    "Presently she began again, wondering what latitude or longitude she had got to",
+    "There were doors all round the hall, but they were all locked",
+    "Suddenly she came upon a little three-legged table, all made of solid glass",
+    "It was all very well to say drink me, but the wise little Alice was not going to do that in a hurry",
+    "What a curious feeling, said Alice, I must be shutting up like a telescope",
+    "And so it was indeed: she was now only ten inches high",
+    "After a while, finding that nothing more happened, she decided on going into the garden at once",
+    "She generally gave herself very good advice, though she very seldom followed it",
+    "Curiouser and curiouser, cried Alice, she was so much surprised",
+    "The pool was getting quite crowded with the birds and animals that had fallen into it",
+)
+
+
+def alice_like_text(size_bytes: int, *, seed: int = 1865) -> bytes:
+    """Generate a deterministic paragraph-structured text of ``size_bytes``.
+
+    Paragraphs average a few hundred bytes (about the size of one encoding
+    unit), separated by blank lines, mirroring the structure the paper's
+    block-per-paragraph mapping relies on.
+
+    Args:
+        size_bytes: exact size of the returned byte string.
+        seed: RNG seed (the default references the book's publication year).
+
+    Returns:
+        ASCII bytes of exactly ``size_bytes`` length.
+    """
+    if size_bytes <= 0:
+        return b""
+    rng = random.Random(seed)
+    pieces: list[str] = []
+    total = 0
+    while total < size_bytes:
+        sentences = rng.randint(2, 5)
+        paragraph = ". ".join(rng.choice(_SENTENCE_STEMS) for _ in range(sentences))
+        paragraph += ".\n\n"
+        pieces.append(paragraph)
+        total += len(paragraph)
+    text = "".join(pieces).encode("ascii")
+    return text[:size_bytes]
+
+
+def paragraphs_to_blocks(text: bytes, block_size: int = 256) -> list[bytes]:
+    """Split a text into fixed-size blocks (the paper's paragraph blocks).
+
+    The paper assigns each ~256-byte encoding unit to one leaf of the index
+    tree sequentially; this helper performs the equivalent digital split.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    return [text[i : i + block_size] for i in range(0, len(text), block_size)]

@@ -1,0 +1,129 @@
+"""Tests for the update-placement policies (Figures 6, 7, 8 and Section 5.1)."""
+
+import pytest
+
+from repro.core.address_space import (
+    DedicatedUpdatePartitionPolicy,
+    InterleavedUpdatePolicy,
+    NaiveRewritePolicy,
+    PartitionShape,
+    TwoStackPolicy,
+    compare_policies,
+)
+from repro.core.addressing import BlockAddress
+from repro.exceptions import UpdateError
+
+ALICE_SHAPE = PartitionShape(blocks=587, molecules_per_block=15, molecules_per_update=15)
+
+
+class TestPartitionShape:
+    def test_partition_molecules(self):
+        assert ALICE_SHAPE.partition_molecules == 8805
+
+
+class TestNaiveRewrite:
+    def test_costs_whole_partition(self):
+        cost = NaiveRewritePolicy().update_cost(ALICE_SHAPE)
+        assert cost.synthesis_molecules == 8805
+        assert cost.read_molecules == 8805
+        assert cost.new_primer_pairs == 1
+
+    def test_no_precise_read(self):
+        assert not NaiveRewritePolicy().supports_precise_block_read()
+
+
+class TestDedicatedUpdatePartition:
+    def test_read_includes_global_update_log(self):
+        shape = PartitionShape(
+            blocks=100, updates_in_pool=50, molecules_per_update=15
+        )
+        cost = DedicatedUpdatePartitionPolicy().update_cost(shape)
+        assert cost.synthesis_molecules == 15
+        # Whole partition + all 50 pool-wide updates + the new one.
+        assert cost.read_molecules == 100 * 15 + 50 * 15 + 15
+
+    def test_unrelated_updates_inflate_reads(self):
+        quiet = PartitionShape(blocks=100, updates_in_pool=0)
+        noisy = PartitionShape(blocks=100, updates_in_pool=1000)
+        policy = DedicatedUpdatePartitionPolicy()
+        assert policy.update_cost(noisy).read_molecules > policy.update_cost(quiet).read_molecules
+
+
+class TestTwoStack:
+    def test_read_includes_partition_updates_only(self):
+        shape = PartitionShape(
+            blocks=100, updates_in_partition=5, updates_in_pool=1000
+        )
+        cost = TwoStackPolicy().update_cost(shape)
+        assert cost.read_molecules == 100 * 15 + 6 * 15
+        assert cost.synthesis_molecules == 15
+
+    def test_better_than_dedicated_when_pool_is_busy(self):
+        shape = PartitionShape(
+            blocks=100, updates_in_partition=5, updates_in_pool=1000
+        )
+        assert (
+            TwoStackPolicy().update_cost(shape).read_molecules
+            < DedicatedUpdatePartitionPolicy().update_cost(shape).read_molecules
+        )
+
+
+class TestInterleaved:
+    def test_precise_read_supported(self):
+        assert InterleavedUpdatePolicy().supports_precise_block_read()
+
+    def test_read_is_block_plus_own_updates(self):
+        cost = InterleavedUpdatePolicy().update_cost(ALICE_SHAPE, target_updates=1)
+        assert cost.read_molecules == 30
+        assert cost.synthesis_molecules == 15
+
+    def test_slot_addresses(self):
+        policy = InterleavedUpdatePolicy(slots_per_block=4)
+        assert policy.slot_for_update(531, 1) == BlockAddress(531, 1)
+        assert policy.slot_for_update(531, 3) == BlockAddress(531, 3)
+
+    def test_slot_overflow_rejected(self):
+        policy = InterleavedUpdatePolicy(slots_per_block=4)
+        with pytest.raises(UpdateError):
+            policy.slot_for_update(531, 4)
+        with pytest.raises(UpdateError):
+            policy.slot_for_update(531, 0)
+
+    def test_overflow_address_past_data_region(self):
+        policy = InterleavedUpdatePolicy()
+        address = policy.overflow_address(ALICE_SHAPE, 3)
+        assert address.block == 590
+
+    def test_overflow_reads_counted(self):
+        policy = InterleavedUpdatePolicy(slots_per_block=4)
+        cost = policy.update_cost(ALICE_SHAPE, target_updates=5)
+        # 3 in-slot + 2 overflow updates + the block itself.
+        assert cost.read_molecules == 15 + 3 * 15 + 2 * 15
+
+    def test_needs_at_least_one_update_slot(self):
+        with pytest.raises(UpdateError):
+            InterleavedUpdatePolicy(slots_per_block=1)
+
+
+class TestComparison:
+    def test_interleaved_reads_least(self):
+        costs = compare_policies(ALICE_SHAPE, target_updates=1)
+        interleaved = costs["interleaved-slots"].read_molecules
+        assert interleaved <= min(
+            costs["naive-rewrite"].read_molecules,
+            costs["dedicated-update-partition"].read_molecules,
+            costs["two-stack"].read_molecules,
+        )
+
+    def test_naive_synthesizes_most(self):
+        costs = compare_policies(ALICE_SHAPE)
+        naive = costs["naive-rewrite"].synthesis_molecules
+        assert naive >= max(cost.synthesis_molecules for cost in costs.values())
+
+    def test_paper_580x_synthesis_ratio(self):
+        costs = compare_policies(ALICE_SHAPE)
+        ratio = (
+            costs["naive-rewrite"].synthesis_molecules
+            / costs["interleaved-slots"].synthesis_molecules
+        )
+        assert ratio == pytest.approx(587.0)

@@ -1,0 +1,97 @@
+"""Tests for block addresses and the address codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import AddressCodec, BlockAddress
+from repro.core.index_tree import IndexTree
+from repro.exceptions import AddressError
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return AddressCodec(IndexTree(leaf_count=1024, seed=23), slot_bases=1, slots_per_block=4)
+
+
+class TestBlockAddress:
+    def test_original_slot(self):
+        assert BlockAddress(5).is_original
+        assert not BlockAddress(5, slot=1).is_original
+
+    def test_with_slot(self):
+        assert BlockAddress(5).with_slot(2) == BlockAddress(5, 2)
+
+    def test_ordering(self):
+        assert BlockAddress(1, 0) < BlockAddress(1, 1) < BlockAddress(2, 0)
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(AddressError):
+            BlockAddress(-1)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(AddressError):
+            BlockAddress(0, slot=-1)
+
+
+class TestAddressCodec:
+    def test_unit_index_length(self, codec):
+        # 10 sparse bases + 1 slot base (Section 6.3).
+        assert codec.unit_index_length == 11
+
+    def test_roundtrip_original(self, codec):
+        address = BlockAddress(531, 0)
+        assert codec.decode(codec.encode(address)) == address
+
+    def test_roundtrip_update_slots(self, codec):
+        for slot in range(4):
+            address = BlockAddress(144, slot)
+            assert codec.decode(codec.encode(address)) == address
+
+    def test_slot_beyond_limit_rejected(self, codec):
+        with pytest.raises(AddressError):
+            codec.encode(BlockAddress(10, slot=4))
+
+    def test_shared_prefix_links_data_and_updates(self, codec):
+        """The paper's key property (Section 5.3): a block and its updates
+        differ only in the final slot base, so they share a PCR prefix."""
+        shared = codec.shared_prefix(243)
+        for slot in range(4):
+            encoded = codec.encode(BlockAddress(243, slot))
+            assert encoded.startswith(shared)
+            assert len(encoded) == len(shared) + 1
+
+    def test_decode_wrong_length(self, codec):
+        with pytest.raises(AddressError):
+            codec.decode("ACGT")
+
+    def test_decode_slot_beyond_limit(self):
+        tree = IndexTree(leaf_count=16, seed=1)
+        narrow = AddressCodec(tree, slot_bases=1, slots_per_block=2)
+        wide = AddressCodec(tree, slot_bases=1, slots_per_block=4)
+        index_with_high_slot = wide.encode(BlockAddress(3, 3))
+        with pytest.raises(AddressError):
+            narrow.decode(index_with_high_slot)
+
+    def test_try_decode_garbage(self, codec):
+        assert codec.try_decode("X" * 11) is None
+        assert codec.try_decode("A" * 11) is None
+
+    def test_zero_slot_bases(self):
+        tree = IndexTree(leaf_count=64, seed=9)
+        codec = AddressCodec(tree, slot_bases=0, slots_per_block=1)
+        address = BlockAddress(10, 0)
+        assert codec.unit_index_length == tree.address_length
+        assert codec.decode(codec.encode(address)) == address
+
+    def test_invalid_slots_per_block(self):
+        tree = IndexTree(leaf_count=64, seed=9)
+        with pytest.raises(AddressError):
+            AddressCodec(tree, slot_bases=1, slots_per_block=5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=1023), st.integers(min_value=0, max_value=3))
+    def test_roundtrip_property(self, block, slot):
+        codec = AddressCodec(IndexTree(leaf_count=1024, seed=23), slot_bases=1)
+        address = BlockAddress(block, slot)
+        assert codec.decode(codec.encode(address)) == address

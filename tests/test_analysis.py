@@ -1,0 +1,176 @@
+"""Tests for the cost, latency, density and read-distribution analyses."""
+
+import pytest
+
+from repro.analysis.cost_model import (
+    RetrievalCostModel,
+    SequencingCostBreakdown,
+    sequencing_cost_reduction,
+    update_cost_comparison,
+)
+from repro.analysis.density import figure3_series, section43_overheads
+from repro.analysis.latency_model import latency_reduction
+from repro.analysis.stats import ReadDistribution, read_distribution
+from repro.exceptions import DnaStorageError
+from repro.wetlab.sequencing import (
+    IlluminaRunModel,
+    NanoporeRunModel,
+    SequencingRead,
+    SequencingResult,
+)
+
+
+class TestSequencingCostBreakdown:
+    def test_paper_baseline_numbers(self):
+        """Section 7.1: 0.34% wanted -> 293x unwanted per wanted read."""
+        breakdown = SequencingCostBreakdown(wanted_reads=34, unwanted_reads=9966)
+        assert breakdown.wanted_fraction == pytest.approx(0.0034)
+        assert breakdown.unwanted_per_wanted == pytest.approx(293.1, rel=0.01)
+        assert breakdown.cost_multiplier == pytest.approx(294.1, rel=0.01)
+
+    def test_paper_precise_numbers(self):
+        """Section 7.3: 48% wanted -> 1.08x unwanted per wanted read."""
+        breakdown = SequencingCostBreakdown(wanted_reads=48, unwanted_reads=52)
+        assert breakdown.unwanted_per_wanted == pytest.approx(1.083, rel=0.01)
+
+    def test_paper_141x_reduction(self):
+        baseline = SequencingCostBreakdown(wanted_reads=34, unwanted_reads=9966)
+        precise = SequencingCostBreakdown(wanted_reads=48, unwanted_reads=52)
+        assert sequencing_cost_reduction(baseline, precise) == pytest.approx(141.0, rel=0.01)
+
+    def test_waste_fraction(self):
+        breakdown = SequencingCostBreakdown(wanted_reads=50, unwanted_reads=150)
+        assert breakdown.waste_fraction == pytest.approx(0.75)
+
+    def test_no_wanted_reads(self):
+        breakdown = SequencingCostBreakdown(wanted_reads=0, unwanted_reads=10)
+        with pytest.raises(DnaStorageError):
+            _ = breakdown.unwanted_per_wanted
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(DnaStorageError):
+            SequencingCostBreakdown(wanted_reads=-1, unwanted_reads=0)
+
+    def test_retrieval_cost_model(self):
+        breakdown = SequencingCostBreakdown(wanted_reads=50, unwanted_reads=50)
+        model = RetrievalCostModel(cost_per_read=0.01, target_coverage=10)
+        assert model.reads_required(30, breakdown) == pytest.approx(600.0)
+        assert model.cost(30, breakdown) == pytest.approx(6.0)
+
+    def test_retrieval_cost_model_invalid(self):
+        model = RetrievalCostModel()
+        with pytest.raises(DnaStorageError):
+            model.reads_required(0, SequencingCostBreakdown(1, 1))
+
+
+class TestUpdateCostComparison:
+    def test_paper_section75_numbers(self):
+        comparison = update_cost_comparison(
+            partition_molecules=8805, patch_molecules=15, block_molecules=15
+        )
+        assert comparison.synthesis_reduction == pytest.approx(587.0)
+        assert comparison.sequencing_reduction == pytest.approx(146.75, rel=0.01)
+
+    def test_more_updates_increase_read_cost(self):
+        one = update_cost_comparison(8805, 15, 15, updates_retrieved_with_block=1)
+        three = update_cost_comparison(8805, 15, 15, updates_retrieved_with_block=3)
+        assert three.sequencing_reduction < one.sequencing_reduction
+
+    def test_zero_patch_molecules_rejected(self):
+        comparison = update_cost_comparison(8805, 15, 15)
+        bad = type(comparison)(
+            baseline_synthesis_molecules=10,
+            ours_synthesis_molecules=0,
+            baseline_read_molecules=10,
+            ours_read_molecules=10,
+        )
+        with pytest.raises(DnaStorageError):
+            _ = bad.synthesis_reduction
+
+
+class TestLatencyModel:
+    def test_nanopore_reduction_is_linear(self):
+        comparisons = latency_reduction(
+            partition_reads_required=1_410_000,
+            block_reads_required=10_000,
+            nanopore=NanoporeRunModel(reads_per_hour=1_000_000, setup_hours=0.0),
+        )
+        assert comparisons["nanopore"].reduction == pytest.approx(141.0)
+
+    def test_illumina_no_reduction_when_partition_fits_one_run(self):
+        comparisons = latency_reduction(
+            partition_reads_required=10_000,
+            block_reads_required=100,
+            illumina=IlluminaRunModel(reads_per_run=1_000_000),
+        )
+        assert comparisons["illumina"].reduction == pytest.approx(1.0)
+
+    def test_illumina_reduction_for_huge_partition(self):
+        comparisons = latency_reduction(
+            partition_reads_required=1_000 * 1_000_000,
+            block_reads_required=1_000_000,
+            illumina=IlluminaRunModel(reads_per_run=1_000_000),
+        )
+        assert comparisons["illumina"].reduction == pytest.approx(1000.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DnaStorageError):
+            latency_reduction(0, 10)
+
+
+class TestFigure3Analysis:
+    def test_series_shapes(self):
+        series = figure3_series()
+        assert series.peak_capacity_log2_bytes() == pytest.approx(217.0)
+        assert series.max_bits_per_base() == pytest.approx(2 * 110 / 150)
+        assert len(series.primer30) < len(series.primer20)
+
+    def test_section43_overheads(self):
+        overheads = section43_overheads()
+        assert overheads.sparse_index_overhead_150 == pytest.approx(0.033, abs=0.005)
+        assert overheads.sparse_index_overhead_1500 == pytest.approx(0.0033, abs=0.0005)
+        assert overheads.longer_primer_overhead_150 > 0.15
+        assert overheads.longer_primer_overhead_1500 < 0.03
+
+
+class TestReadDistribution:
+    def _result(self):
+        reads = []
+        for block, slot, count in ((1, 0, 6), (1, 1, 2), (2, 0, 4)):
+            for _ in range(count):
+                reads.append(
+                    SequencingRead(
+                        sequence="ACGT" * 10,
+                        source="ACGT" * 10,
+                        annotations={"block": block, "slot": slot},
+                    )
+                )
+        return SequencingResult(reads=reads)
+
+    def test_per_block_counts(self):
+        distribution = read_distribution(self._result())
+        assert distribution.reads_per_block == {1: 8, 2: 4}
+        assert distribution.reads_per_slot[(1, 1)] == 2
+        assert distribution.total_reads == 12
+
+    def test_target_fractions(self):
+        distribution = read_distribution(self._result(), target_block=1)
+        assert distribution.on_target_fraction == pytest.approx(8 / 12)
+
+    def test_prefix_counting(self):
+        distribution = read_distribution(
+            self._result(), target_block=1, target_prefix="ACGTACGT"
+        )
+        assert distribution.on_prefix_reads == 12
+        assert distribution.on_target_given_prefix == pytest.approx(8 / 12)
+
+    def test_skew(self):
+        distribution = read_distribution(self._result())
+        assert distribution.skew() == pytest.approx(2.0)
+
+    def test_empty_distribution(self):
+        empty = ReadDistribution()
+        assert empty.on_prefix_fraction == 0.0
+        assert empty.on_target_fraction == 0.0
+        assert empty.on_target_given_prefix == 0.0
+        assert empty.skew() == 1.0

@@ -1,0 +1,105 @@
+"""Tests for the 2-bits-per-base binary codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.binary_codec import (
+    bits_to_dna,
+    bytes_to_dna,
+    dna_to_bits,
+    dna_to_bytes,
+    dna_to_integer,
+    integer_to_dna,
+)
+from repro.exceptions import DecodingError, EncodingError
+
+
+class TestBytesCodec:
+    def test_zero_byte(self):
+        assert bytes_to_dna(b"\x00") == "AAAA"
+
+    def test_all_ones_byte(self):
+        assert bytes_to_dna(b"\xff") == "TTTT"
+
+    def test_mixed_byte(self):
+        assert bytes_to_dna(b"\x1b") == "ACGT"
+
+    def test_four_bases_per_byte(self):
+        assert len(bytes_to_dna(b"abc")) == 12
+
+    def test_empty(self):
+        assert bytes_to_dna(b"") == ""
+        assert dna_to_bytes("") == b""
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(EncodingError):
+            bytes_to_dna("ACGT")
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(DecodingError):
+            dna_to_bytes("ACGTA")
+
+    def test_decode_rejects_bad_characters(self):
+        with pytest.raises(Exception):
+            dna_to_bytes("ACGX")
+
+    @given(st.binary(min_size=0, max_size=128))
+    def test_roundtrip(self, data):
+        assert dna_to_bytes(bytes_to_dna(data)) == data
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_density_is_two_bits_per_base(self, data):
+        assert len(bytes_to_dna(data)) == 4 * len(data)
+
+
+class TestBitsCodec:
+    def test_bits_to_dna(self):
+        assert bits_to_dna("00011011") == "ACGT"
+
+    def test_dna_to_bits(self):
+        assert dna_to_bits("ACGT") == "00011011"
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(EncodingError):
+            bits_to_dna("010")
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(EncodingError):
+            bits_to_dna("0a")
+
+    @given(st.text(alphabet="01", min_size=0, max_size=64).filter(lambda s: len(s) % 2 == 0))
+    def test_roundtrip(self, bits):
+        assert dna_to_bits(bits_to_dna(bits)) == bits
+
+
+class TestIntegerCodec:
+    def test_zero(self):
+        assert integer_to_dna(0, 2) == "AA"
+
+    def test_known_value(self):
+        assert integer_to_dna(14, 2) == "TG"
+
+    def test_roundtrip_small(self):
+        for value in range(64):
+            assert dna_to_integer(integer_to_dna(value, 3)) == value
+
+    def test_value_too_large(self):
+        with pytest.raises(EncodingError):
+            integer_to_dna(16, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            integer_to_dna(-1, 2)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(EncodingError):
+            integer_to_dna(0, 0)
+
+    @given(st.integers(min_value=0, max_value=4**8 - 1))
+    def test_roundtrip_property(self, value):
+        assert dna_to_integer(integer_to_dna(value, 8)) == value
+
+    @given(st.integers(min_value=0, max_value=4**6 - 1), st.integers(min_value=6, max_value=10))
+    def test_fixed_width(self, value, width):
+        assert len(integer_to_dna(value, width)) == width

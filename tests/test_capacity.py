@@ -1,0 +1,126 @@
+"""Tests for the partition capacity / information-density model (Figure 3)."""
+
+import math
+
+import pytest
+
+from repro.core.capacity import (
+    PartitionCapacityModel,
+    longer_primer_density_overhead,
+    sparse_index_density_overhead,
+)
+from repro.exceptions import CapacityError
+
+
+@pytest.fixture(scope="module")
+def model20():
+    return PartitionCapacityModel(strand_length=150, primer_length=20)
+
+
+@pytest.fixture(scope="module")
+def model30():
+    return PartitionCapacityModel(strand_length=150, primer_length=30)
+
+
+class TestModelBasics:
+    def test_usable_bases(self, model20, model30):
+        assert model20.usable_bases == 110
+        assert model30.usable_bases == 90
+
+    def test_strand_too_short_rejected(self):
+        with pytest.raises(CapacityError):
+            PartitionCapacityModel(strand_length=40, primer_length=20)
+
+    def test_index_length_out_of_range(self, model20):
+        with pytest.raises(CapacityError):
+            model20.capacity_bits_log2(111)
+        with pytest.raises(CapacityError):
+            model20.bits_per_base(-1)
+
+    def test_payload_bases(self, model20):
+        assert model20.payload_bases(10) == 100
+        assert model20.payload_bases(110) == 0
+
+
+class TestFigure3Shape:
+    def test_peak_capacity_is_2_to_220_bits(self, model20):
+        """The paper: maximum capacity when the whole usable strand is index,
+        with presence/absence coding -> 4^110 = 2^220 addressable bits."""
+        assert model20.capacity_bits_log2(110) == pytest.approx(220.0)
+        assert model20.capacity_bytes_log2(110) == pytest.approx(217.0)
+
+    def test_capacity_monotonically_increases_with_index_length(self, model20):
+        previous = model20.capacity_bits_log2(0)
+        for index_length in range(1, 111):
+            current = model20.capacity_bits_log2(index_length)
+            assert current > previous
+            previous = current
+
+    def test_density_maximal_at_zero_index(self, model20):
+        densities = [model20.bits_per_base(length) for length in range(0, 111, 5)]
+        assert densities[0] == max(densities)
+        assert densities[0] == pytest.approx(2 * 110 / 150)
+
+    def test_density_decreases_linearly(self, model20):
+        assert model20.bits_per_base(10) == pytest.approx(2 * 100 / 150)
+        assert model20.bits_per_base(55) == pytest.approx(2 * 55 / 150)
+
+    def test_degenerate_design_density(self, model20):
+        assert model20.bits_per_base(110) == pytest.approx(1 / 150)
+
+    def test_primer30_capacity_below_primer20(self, model20, model30):
+        for index_length in range(0, 91, 10):
+            assert model30.capacity_bits_log2(index_length) <= model20.capacity_bits_log2(
+                index_length
+            )
+
+    def test_primer30_still_exceeds_world_data(self, model30):
+        """Even 30-base primers leave capacity far beyond 2^70 bytes
+        (~a zettabyte, the order of the world's data)."""
+        assert model30.capacity_bytes_log2(60) > 100
+
+    def test_sweep_covers_full_range(self, model20):
+        points = model20.sweep(step=5)
+        assert points[0].index_length == 0
+        assert points[-1].index_length == 110
+        assert len(points) == 23
+
+    def test_sweep_invalid_step(self, model20):
+        with pytest.raises(CapacityError):
+            model20.sweep(step=0)
+
+    def test_capacity_point_bytes(self, model20):
+        point = model20.sweep(step=5)[1]
+        assert point.capacity_bytes == pytest.approx(2 ** point.capacity_bytes_log2)
+
+
+class TestSection43Overheads:
+    def test_sparse_index_overhead_150(self):
+        assert sparse_index_density_overhead(150, 10, 5) == pytest.approx(0.0333, abs=1e-3)
+
+    def test_sparse_index_overhead_1500(self):
+        assert sparse_index_density_overhead(1500, 10, 5) == pytest.approx(0.00333, abs=1e-4)
+
+    def test_longer_primer_overhead_150(self):
+        """~22% loss for 30-base primers on 150-base strands."""
+        assert longer_primer_density_overhead(150) == pytest.approx(0.183, abs=0.05)
+
+    def test_longer_primer_overhead_1500(self):
+        assert longer_primer_density_overhead(1500) == pytest.approx(0.0137, abs=0.01)
+
+    def test_sparse_overhead_much_smaller_than_primer_overhead(self):
+        """The paper's argument: sparse indexing costs far less density than
+        longer main primers would."""
+        assert sparse_index_density_overhead(150, 10, 5) < longer_primer_density_overhead(150) / 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CapacityError):
+            sparse_index_density_overhead(0, 10, 5)
+        with pytest.raises(CapacityError):
+            sparse_index_density_overhead(150, 4, 5)
+        with pytest.raises(CapacityError):
+            longer_primer_density_overhead(0)
+
+    def test_density_loss_versus(self, model20, model30):
+        loss = model30.density_loss_versus(model20, 10)
+        assert 0.1 < loss < 0.3

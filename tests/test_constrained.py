@@ -1,0 +1,74 @@
+"""Tests for constrained-coding predicates."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.constrained import (
+    is_gc_balanced,
+    is_pcr_compatible,
+    prefix_gc_deviation,
+    satisfies_homopolymer_limit,
+)
+
+
+class TestGCBalance:
+    def test_balanced_sequence(self):
+        assert is_gc_balanced("ACGTACGTACGTACGTACGT")
+
+    def test_all_at_unbalanced(self):
+        assert not is_gc_balanced("AAAATTTTAAAATTTT")
+
+    def test_all_gc_unbalanced(self):
+        assert not is_gc_balanced("GGGGCCCCGGGGCCCC")
+
+    def test_empty_is_balanced(self):
+        assert is_gc_balanced("")
+
+    def test_custom_window(self):
+        assert is_gc_balanced("GGGA", minimum=0.7, maximum=0.8)
+
+
+class TestHomopolymerLimit:
+    def test_within_limit(self):
+        assert satisfies_homopolymer_limit("AACCGGTT", limit=2)
+
+    def test_exceeds_limit(self):
+        assert not satisfies_homopolymer_limit("AAAACGT", limit=3)
+
+    def test_exactly_at_limit(self):
+        assert satisfies_homopolymer_limit("AAACGT", limit=3)
+
+
+class TestPrefixGCDeviation:
+    def test_empty(self):
+        assert prefix_gc_deviation("") == 0.0
+
+    def test_alternating_classes(self):
+        # Even-length prefixes of a GC/AT alternating string are perfectly
+        # balanced; odd prefixes deviate by at most 0.5 (the first base).
+        deviation = prefix_gc_deviation("GAGAGAGA")
+        assert deviation <= 0.5
+
+    def test_heavily_skewed(self):
+        assert prefix_gc_deviation("GGGGGGGG") == 0.5
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=40))
+    def test_bounded(self, sequence):
+        assert 0.0 <= prefix_gc_deviation(sequence) <= 0.5
+
+
+class TestPCRCompatibility:
+    def test_good_primer(self):
+        assert is_pcr_compatible("ATCGTGCAAGCTTGACCTGA")
+
+    def test_homopolymer_rejected(self):
+        assert not is_pcr_compatible("AAAAAGCAAGCTTGACCTGA")
+
+    def test_unbalanced_rejected(self):
+        assert not is_pcr_compatible("ATATATATATATATATATAT")
+
+    @given(st.text(alphabet="ACGT", min_size=10, max_size=40))
+    def test_compatible_implies_individual_constraints(self, sequence):
+        if is_pcr_compatible(sequence):
+            assert is_gc_balanced(sequence)
+            assert satisfies_homopolymer_limit(sequence)

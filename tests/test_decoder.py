@@ -1,0 +1,94 @@
+"""Tests for the end-to-end block decoder on small simulated readouts."""
+
+import pytest
+
+from repro.core.partition import Partition, PartitionConfig
+from repro.core.updates import UpdatePatch
+from repro.pipeline.decoder import BlockDecoder
+from repro.primers.library import PrimerPair
+from repro.wetlab.errors import ErrorModel
+from repro.wetlab.pcr import PCRConfig, PCRSimulator
+from repro.wetlab.sequencing import Sequencer
+from repro.wetlab.synthesis import SynthesisVendor, synthesize
+from repro.workloads.text import alice_like_text
+
+PAIR = PrimerPair("ATCGTGCAAGCTTGACCTGA", "CGTAGACTTGCAACTGGACT")
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    """A 20-block partition with one updated block, synthesized and amplified."""
+    partition = Partition(PartitionConfig(primers=PAIR, leaf_count=64, tree_seed=17))
+    partition.write(alice_like_text(20 * 256))
+    partition.update_block(7, UpdatePatch(5, 10, 5, b"[patched]"))
+    molecules = partition.all_molecules()
+    pool = synthesize(molecules, SynthesisVendor.twist(), seed=3)
+    for molecule in molecules:
+        address = partition.parse_unit_index(molecule.unit_index)
+        pool.metadata[molecule.to_strand()].update(block=address.block, slot=address.slot)
+    return partition, pool
+
+
+def precise_reads(partition, pool, block, read_count=600, seed=5):
+    primer = partition.primer_for_block(block)
+    amplified = PCRSimulator(PCRConfig.touchdown()).amplify(
+        pool, primer, PAIR.reverse, residual_forward_primer=PAIR.forward
+    )
+    result = Sequencer(ErrorModel(), seed=seed).sequence(amplified, read_count)
+    return result.sequences()
+
+
+class TestBlockDecoder:
+    def test_decodes_clean_block(self, small_setup):
+        partition, pool = small_setup
+        reads = precise_reads(partition, pool, 3)
+        report = BlockDecoder(partition).decode_block(reads, 3)
+        assert report.success
+        expected = partition.read_block_reference(3)
+        assert report.data[: len(expected)] == expected
+
+    def test_decodes_updated_block_with_patch_applied(self, small_setup):
+        partition, pool = small_setup
+        reads = precise_reads(partition, pool, 7)
+        report = BlockDecoder(partition).decode_block(reads, 7)
+        assert report.success
+        expected = partition.read_block_reference(7)
+        assert report.data[: len(expected)] == expected
+        assert b"[patched]" in report.data
+        assert set(report.slots_recovered) == {0, 1}
+
+    def test_report_accounting(self, small_setup):
+        partition, pool = small_setup
+        reads = precise_reads(partition, pool, 3)
+        report = BlockDecoder(partition).decode_block(reads, 3)
+        assert report.reads_total == len(reads)
+        assert 0 < report.reads_on_prefix <= report.reads_total
+        assert report.clusters_total >= report.strands_recovered
+        assert report.strands_recovered >= 15
+
+    def test_wrong_block_fails_gracefully(self, small_setup):
+        """Asking for a block whose reads were not amplified cannot succeed,
+        but must not raise either."""
+        partition, pool = small_setup
+        reads = precise_reads(partition, pool, 3)
+        report = BlockDecoder(partition).decode_block(reads, 15)
+        assert not report.success
+        assert report.data is None
+
+    def test_empty_reads(self, small_setup):
+        partition, _ = small_setup
+        report = BlockDecoder(partition).decode_block([], 3)
+        assert not report.success
+        assert report.reads_on_prefix == 0
+
+    def test_noiseless_channel_decodes_with_few_reads(self, small_setup):
+        partition, pool = small_setup
+        primer = partition.primer_for_block(4)
+        amplified = PCRSimulator(PCRConfig.touchdown()).amplify(
+            pool, primer, PAIR.reverse, residual_forward_primer=PAIR.forward
+        )
+        result = Sequencer(ErrorModel.noiseless(), seed=9).sequence(amplified, 150)
+        report = BlockDecoder(partition).decode_block(result.sequences(), 4)
+        assert report.success
+        expected = partition.read_block_reference(4)
+        assert report.data[: len(expected)] == expected

@@ -1,0 +1,100 @@
+"""Integration tests on a scaled-down version of the paper's Alice experiment.
+
+The full 587-block experiment is exercised by the benchmarks; these tests use
+a reduced block count and read counts so the whole wetlab round trip (write,
+synthesize, mix vendors, amplify, sequence, decode) stays fast while still
+covering every stage and the paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.experiments.alice import AliceExperiment, AliceExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    config = AliceExperimentConfig(
+        block_count=60,
+        leaf_count=1024,
+        twist_updated_blocks=(11,),
+        idt_updated_blocks=(23,),
+        baseline_reads=4000,
+        precise_reads=3000,
+    )
+    return AliceExperiment(config)
+
+
+class TestSetup:
+    def test_partition_geometry(self, experiment):
+        assert experiment.partition.block_count == 60
+        assert experiment.partition.molecules_per_block == 15
+
+    def test_updated_blocks_have_patches(self, experiment):
+        assert experiment.partition.update_count(11) == 1
+        assert experiment.partition.update_count(23) == 1
+        assert experiment.partition.update_count(5) == 0
+
+    def test_twist_pool_contains_data_and_twist_updates(self, experiment):
+        twist = experiment.twist_pool()
+        assert len(twist) == 60 * 15 + 15
+
+    def test_idt_pool_much_more_concentrated(self, experiment):
+        """Section 6.4.1: the update pool arrives ~50 000x more concentrated."""
+        ratio = experiment.idt_pool().mean_copies() / experiment.twist_pool().mean_copies()
+        assert ratio == pytest.approx(50_000, rel=0.25)
+
+
+class TestMixing:
+    def test_mixing_balances_concentrations(self, experiment):
+        outcome = experiment.run_mixing("amplify-then-measure")
+        assert 0.5 <= outcome.report.concentration_ratio <= 2.0
+
+    def test_updated_blocks_receive_both_original_and_update_reads(self, experiment):
+        outcome = experiment.run_mixing("amplify-then-measure")
+        assert outcome.reads_per_block_original.get(23, 0) > 0
+        assert outcome.reads_per_block_update.get(23, 0) > 0
+
+    def test_unknown_protocol_rejected(self, experiment):
+        with pytest.raises(Exception):
+            experiment.run_mixing("no-such-protocol")
+
+
+class TestBaselineAccess:
+    def test_reads_spread_over_all_blocks(self, experiment):
+        outcome = experiment.run_baseline_access(target_block=23)
+        assert len(outcome.distribution.reads_per_block) >= 55
+
+    def test_target_fraction_matches_share_of_partition(self, experiment):
+        """Reading one block out of N via whole-partition access yields about
+        (block molecules / partition molecules) useful reads — the waste the
+        paper quantifies in Section 7.1."""
+        outcome = experiment.run_baseline_access(target_block=23)
+        expected = 2 * 15 / (60 * 15 + 2 * 15)  # block + its update
+        assert outcome.target_fraction == pytest.approx(expected, rel=0.5)
+
+
+class TestPreciseAccess:
+    def test_target_block_dominates_readout(self, experiment):
+        outcome = experiment.run_precise_access(11)
+        assert outcome.on_target_fraction > 0.35
+        assert outcome.on_prefix_fraction > outcome.on_target_fraction
+
+    def test_precise_beats_baseline_by_large_factor(self, experiment):
+        baseline = experiment.run_baseline_access(target_block=11)
+        precise = experiment.run_precise_access(11)
+        assert precise.on_target_fraction > 10 * baseline.target_fraction
+
+    def test_decode_from_few_reads(self, experiment):
+        precise = experiment.run_precise_access(11)
+        outcome = experiment.run_decoding(precise, reads_to_use=300)
+        assert outcome.report.success
+        assert outcome.correct
+        assert set(outcome.report.slots_recovered) == {0, 1}
+
+    def test_multiplex_access_covers_multiple_blocks(self, experiment):
+        outcome = experiment.run_precise_access(11, multiplex_blocks=(30,))
+        blocks = outcome.distribution.reads_per_block
+        assert blocks.get(11, 0) > 0
+        assert blocks.get(30, 0) > 0
+        multiplex_fraction = (blocks.get(11, 0) + blocks.get(30, 0)) / outcome.distribution.total_reads
+        assert multiplex_fraction > 0.4

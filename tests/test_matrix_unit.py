@@ -1,0 +1,132 @@
+"""Tests for the encoding-unit matrix layout."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.matrix_unit import EncodingUnit, UnitLayout
+from repro.exceptions import EncodingError, ReedSolomonError
+
+
+class TestUnitLayout:
+    def test_paper_defaults(self):
+        layout = UnitLayout()
+        assert layout.total_molecules == 15
+        assert layout.symbols_per_molecule == 48
+        assert layout.gross_data_bytes == 264
+        assert layout.user_data_bytes == 256
+        assert layout.padding_bytes == 8
+        assert layout.codeword_length == 15
+
+    def test_invalid_symbol_bits(self):
+        with pytest.raises(EncodingError):
+            UnitLayout(symbol_bits=3)
+
+    def test_user_data_exceeding_capacity(self):
+        with pytest.raises(EncodingError):
+            UnitLayout(user_data_bytes=300)
+
+    def test_invalid_molecule_counts(self):
+        with pytest.raises(EncodingError):
+            UnitLayout(data_molecules=0)
+
+    def test_custom_geometry(self):
+        layout = UnitLayout(
+            data_molecules=4, ecc_molecules=2, payload_bytes=8, user_data_bytes=30
+        )
+        assert layout.total_molecules == 6
+        assert layout.gross_data_bytes == 32
+        assert layout.padding_bytes == 2
+
+
+class TestEncodingUnit:
+    def test_encode_produces_all_columns(self):
+        unit = EncodingUnit()
+        payloads = unit.encode(os.urandom(256))
+        assert len(payloads) == 15
+        assert all(len(p) == 24 for p in payloads)
+
+    def test_oversized_data_rejected(self):
+        with pytest.raises(EncodingError):
+            EncodingUnit().encode(os.urandom(257))
+
+    def test_roundtrip_full(self):
+        unit = EncodingUnit()
+        data = os.urandom(256)
+        payloads = unit.encode(data)
+        assert unit.decode(dict(enumerate(payloads))) == data
+
+    def test_roundtrip_short_data(self):
+        unit = EncodingUnit()
+        data = b"short block"
+        payloads = unit.encode(data)
+        decoded = unit.decode(dict(enumerate(payloads)))
+        assert decoded[: len(data)] == data
+
+    def test_roundtrip_with_four_missing_columns(self):
+        unit = EncodingUnit()
+        data = os.urandom(256)
+        payloads = unit.encode(data)
+        present = {i: p for i, p in enumerate(payloads) if i not in (0, 5, 12, 14)}
+        assert unit.decode(present) == data
+
+    def test_roundtrip_with_two_corrupted_columns(self):
+        unit = EncodingUnit()
+        data = os.urandom(256)
+        payloads = dict(enumerate(unit.encode(data)))
+        payloads[3] = os.urandom(24)
+        payloads[9] = os.urandom(24)
+        assert unit.decode(payloads) == data
+
+    def test_five_missing_columns_rejected(self):
+        unit = EncodingUnit()
+        payloads = unit.encode(os.urandom(256))
+        present = {i: p for i, p in enumerate(payloads) if i >= 5}
+        with pytest.raises(ReedSolomonError):
+            unit.decode(present)
+
+    def test_wrong_payload_size_rejected(self):
+        unit = EncodingUnit()
+        payloads = dict(enumerate(unit.encode(os.urandom(256))))
+        payloads[0] = b"tiny"
+        with pytest.raises(Exception):
+            unit.decode(payloads)
+
+    def test_column_index_out_of_range(self):
+        unit = EncodingUnit()
+        payloads = dict(enumerate(unit.encode(os.urandom(256))))
+        payloads[99] = payloads[0]
+        with pytest.raises(Exception):
+            unit.decode(payloads)
+
+    def test_padding_is_deterministic(self):
+        data = b"same data"
+        assert EncodingUnit().encode(data) == EncodingUnit().encode(data)
+
+    def test_padding_seed_changes_padding(self):
+        data = b"same data"
+        a = EncodingUnit(padding_seed=1).encode(data)
+        b = EncodingUnit(padding_seed=2).encode(data)
+        assert a != b
+
+    def test_custom_layout_roundtrip(self):
+        layout = UnitLayout(
+            data_molecules=4, ecc_molecules=2, payload_bytes=8, user_data_bytes=30
+        )
+        unit = EncodingUnit(layout=layout)
+        data = os.urandom(30)
+        payloads = unit.encode(data)
+        assert len(payloads) == 6
+        present = {i: p for i, p in enumerate(payloads) if i != 2}
+        assert unit.decode(present) == data
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=256), st.sets(st.integers(min_value=0, max_value=14), max_size=4))
+    def test_roundtrip_under_random_erasures(self, data, missing):
+        unit = EncodingUnit()
+        payloads = unit.encode(data)
+        present = {i: p for i, p in enumerate(payloads) if i not in missing}
+        decoded = unit.decode(present)
+        assert decoded[: len(data)] == data

@@ -1,0 +1,86 @@
+"""Tests for the multi-partition DNA pool manager."""
+
+import pytest
+
+from repro.core.pool_manager import DnaPoolManager
+from repro.exceptions import PartitionError
+from repro.primers.library import PrimerPair
+
+PAIRS = [
+    PrimerPair("ATCGTGCAAGCTTGACCTGA", "CGTAGACTTGCAACTGGACT"),
+    PrimerPair("TTGACGGCTAGCTAATCGCA", "GGATCCTTAGCACGTATGCA"),
+    PrimerPair("CAGTTACGCATGGATCCAGT", "ATGCCTGAAGCTAGTCGTCA"),
+]
+
+
+@pytest.fixture()
+def manager():
+    return DnaPoolManager(primer_pairs=list(PAIRS))
+
+
+class TestPrimerAllocation:
+    def test_allocates_in_order(self, manager):
+        assert manager.allocate_primer_pair() == PAIRS[0]
+        assert manager.allocate_primer_pair() == PAIRS[1]
+        assert manager.allocated_pairs == 2
+
+    def test_partitions_get_distinct_pairs(self, manager):
+        a = manager.create_partition("a", leaf_count=16)
+        b = manager.create_partition("b", leaf_count=16)
+        assert a.config.primers != b.config.primers
+
+
+class TestPartitionLifecycle:
+    def test_create_and_lookup(self, manager):
+        created = manager.create_partition("alice", leaf_count=64)
+        assert manager.partition("alice") is created
+        assert "alice" in manager
+        assert manager.partition_names() == ["alice"]
+        assert len(manager) == 1
+
+    def test_duplicate_name_rejected(self, manager):
+        manager.create_partition("alice", leaf_count=16)
+        with pytest.raises(PartitionError):
+            manager.create_partition("alice", leaf_count=16)
+
+    def test_unknown_partition(self, manager):
+        with pytest.raises(PartitionError):
+            manager.partition("missing")
+
+    def test_partitions_get_distinct_seeds(self, manager):
+        a = manager.create_partition("a", leaf_count=16)
+        b = manager.create_partition("b", leaf_count=16)
+        assert a.config.tree_seed != b.config.tree_seed
+        assert a.config.randomizer_seed != b.config.randomizer_seed
+
+    def test_explicit_primers_used(self, manager):
+        pair = PAIRS[2]
+        partition = manager.create_partition("c", leaf_count=16, primers=pair)
+        assert partition.config.primers == pair
+
+    def test_leaf_count_passed_through(self, manager):
+        partition = manager.create_partition("d", leaf_count=16)
+        assert partition.capacity_blocks == 16
+
+
+class TestSynthesisOrder:
+    def test_all_molecules_across_partitions(self, manager):
+        a = manager.create_partition("a", leaf_count=16)
+        b = manager.create_partition("b", leaf_count=16)
+        a.write(bytes(256 * 2))
+        b.write(bytes(256 * 3))
+        assert manager.molecule_count() == (2 + 3) * 15
+
+    def test_partition_strands_differ_between_partitions(self, manager):
+        """Different partitions use different primers and different index
+        trees, so their strands never collide."""
+        a = manager.create_partition("a", leaf_count=16)
+        b = manager.create_partition("b", leaf_count=16)
+        a.write(bytes(256))
+        b.write(bytes(256))
+        strands_a = {m.to_strand() for m in a.all_molecules()}
+        strands_b = {m.to_strand() for m in b.all_molecules()}
+        assert not strands_a & strands_b
+
+    def test_empty_pool(self, manager):
+        assert manager.all_molecules() == []

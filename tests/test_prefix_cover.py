@@ -1,0 +1,132 @@
+"""Tests for prefix covers of contiguous block ranges."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index_tree import IndexTree
+from repro.core.prefix_cover import (
+    longest_common_path,
+    minimal_prefix_paths,
+    prefix_cover_for_range,
+)
+from repro.exceptions import AddressError
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return IndexTree(leaf_count=1024, seed=13)
+
+
+def leaves_covered(paths, depth):
+    covered = []
+    for path in paths:
+        span = 4 ** (depth - len(path))
+        start = 0
+        for digit in path:
+            start = start * 4 + digit
+        start *= span
+        covered.extend(range(start, start + span))
+    return covered
+
+
+class TestMinimalPrefixPaths:
+    def test_single_leaf(self):
+        paths = minimal_prefix_paths(5, 5, 3)
+        assert leaves_covered(paths, 3) == [5]
+
+    def test_full_space_is_empty_path(self):
+        assert minimal_prefix_paths(0, 63, 3) == [()]
+
+    def test_aligned_subtree(self):
+        paths = minimal_prefix_paths(16, 31, 3)
+        assert paths == [(1,)]
+
+    def test_paper_example_aaa_to_agt(self):
+        """Section 3.1: range AAA..AGT is exactly the prefixes AA, AC, AG."""
+        # AAA = 0, AGT = 0*16 + 2*4 + 3 = 11.
+        paths = minimal_prefix_paths(0, 11, 3)
+        assert paths == [(0, 0), (0, 1), (0, 2)]
+
+    def test_unaligned_range(self):
+        paths = minimal_prefix_paths(5, 20, 3)
+        assert sorted(leaves_covered(paths, 3)) == list(range(5, 21))
+
+    def test_invalid_range(self):
+        with pytest.raises(AddressError):
+            minimal_prefix_paths(5, 4, 3)
+
+    def test_range_beyond_space(self):
+        with pytest.raises(AddressError):
+            minimal_prefix_paths(0, 64, 3)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_cover_exactly_tiles_range(self, a, b):
+        start, end = min(a, b), max(a, b)
+        paths = minimal_prefix_paths(start, end, 4)
+        assert sorted(leaves_covered(paths, 4)) == list(range(start, end + 1))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_cover_is_minimal_locally(self, a, b):
+        """No two sibling-complete groups remain unmerged: each path's parent
+        subtree is not fully contained in the range (otherwise the cover
+        would not be minimal)."""
+        start, end = min(a, b), max(a, b)
+        paths = minimal_prefix_paths(start, end, 4)
+        for path in paths:
+            if not path:
+                continue
+            parent = path[:-1]
+            span = 4 ** (4 - len(parent))
+            parent_start = 0
+            for digit in parent:
+                parent_start = parent_start * 4 + digit
+            parent_start *= span
+            parent_fully_covered = parent_start >= start and parent_start + span - 1 <= end
+            assert not parent_fully_covered
+
+
+class TestLongestCommonPath:
+    def test_identical_leaves(self):
+        assert longest_common_path(7, 7, 3) == (0, 1, 3)
+
+    def test_whole_space(self):
+        assert longest_common_path(0, 63, 3) == ()
+
+    def test_shared_top_level(self):
+        assert longest_common_path(16, 20, 3) == (1,)
+
+    def test_invalid(self):
+        with pytest.raises(AddressError):
+            longest_common_path(3, 2, 3)
+
+
+class TestPrefixCoverForRange:
+    def test_cover_addresses_are_prefixes_of_members(self, tree):
+        cover = prefix_cover_for_range(tree, 100, 131)
+        covered = set()
+        for path, address in zip(cover.paths, cover.addresses):
+            for leaf in tree.leaves_under_prefix(path):
+                covered.add(leaf)
+                assert tree.encode(leaf).startswith(address)
+        assert covered == set(range(100, 132))
+
+    def test_common_prefix_overshoot(self, tree):
+        cover = prefix_cover_for_range(tree, 100, 131)
+        assert cover.common_prefix_leaf_count >= cover.range_size
+        assert cover.overshoot_ratio >= 1.0
+
+    def test_single_block_cover(self, tree):
+        cover = prefix_cover_for_range(tree, 531, 531)
+        assert cover.primer_count == 1
+        assert cover.range_size == 1
+        assert cover.addresses[0] == tree.encode(531)
+
+    def test_out_of_range(self, tree):
+        with pytest.raises(AddressError):
+            prefix_cover_for_range(tree, 0, 1024)
+
+    def test_range_size(self, tree):
+        assert prefix_cover_for_range(tree, 10, 19).range_size == 10

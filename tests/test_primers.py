@@ -1,0 +1,195 @@
+"""Tests for primer constraints, melting temperature and library generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PrimerDesignError
+from repro.primers.constraints import (
+    PrimerConstraints,
+    check_primer,
+    is_valid_primer,
+    longest_self_complement_run,
+)
+from repro.primers.library import (
+    PrimerLibrary,
+    PrimerPair,
+    generate_primer_library,
+    library_scaling_experiment,
+)
+from repro.primers.melting import (
+    annealing_temperature,
+    melting_temperature,
+    melting_temperature_wallace,
+)
+from repro.sequence import hamming_distance
+
+GOOD_PRIMER = "ATCGTGCAAGCTTGACCTGA"
+
+
+class TestMeltingTemperature:
+    def test_wallace_rule(self):
+        assert melting_temperature_wallace("ACGT") == 12.0
+        assert melting_temperature_wallace("AAAA") == 8.0
+        assert melting_temperature_wallace("GGGG") == 16.0
+
+    def test_twenty_base_primer_range(self):
+        tm = melting_temperature(GOOD_PRIMER)
+        assert 45.0 <= tm <= 65.0
+
+    def test_elongated_primer_range(self):
+        """Section 6.5: 31-base elongated primers melt at 63-64 degC; the
+        model should land in the low-to-mid 60s for balanced 31-mers."""
+        elongated = GOOD_PRIMER + "ACGCATGCTAG"
+        assert 58.0 <= melting_temperature(elongated) <= 70.0
+
+    def test_longer_is_hotter(self):
+        assert melting_temperature(GOOD_PRIMER * 2) > melting_temperature(GOOD_PRIMER)
+
+    def test_gc_raises_tm(self):
+        at_rich = "ATATATATATATATATATAT"
+        gc_rich = "GCGCGCGCGCGCGCGCGCGC"
+        assert melting_temperature(gc_rich) > melting_temperature(at_rich)
+
+    def test_empty_sequence(self):
+        assert melting_temperature("") == 0.0
+
+    def test_annealing_below_melting(self):
+        assert annealing_temperature(GOOD_PRIMER, GOOD_PRIMER) < melting_temperature(GOOD_PRIMER)
+
+
+class TestSelfComplement:
+    def test_palindrome_detected(self):
+        # GAATTC (EcoRI site) is its own reverse complement.
+        assert longest_self_complement_run("GAATTC") == 6
+
+    def test_low_for_homopolymer(self):
+        assert longest_self_complement_run("AAAAAA") == 0
+
+
+class TestPrimerConstraints:
+    def test_defaults(self):
+        constraints = PrimerConstraints()
+        assert constraints.length == 20
+        assert constraints.min_pairwise_hamming == 10
+
+    def test_invalid_length(self):
+        with pytest.raises(PrimerDesignError):
+            PrimerConstraints(length=0)
+
+    def test_invalid_gc_window(self):
+        with pytest.raises(PrimerDesignError):
+            PrimerConstraints(gc_min=0.8, gc_max=0.2)
+
+    def test_scaled_to_length(self):
+        scaled = PrimerConstraints().scaled_to_length(30)
+        assert scaled.length == 30
+        assert scaled.min_pairwise_hamming == 15
+
+    def test_good_primer_accepted(self):
+        assert is_valid_primer(GOOD_PRIMER, PrimerConstraints())
+
+    def test_wrong_length_rejected(self):
+        violations = check_primer("ACGT", PrimerConstraints())
+        assert violations and "length" in violations[0]
+
+    def test_homopolymer_rejected(self):
+        candidate = "AAAAAGCAAGCTTGACCTGA"
+        assert any("homopolymer" in v for v in check_primer(candidate, PrimerConstraints()))
+
+    def test_gc_imbalance_rejected(self):
+        candidate = "ATATATATATATATATATAT"
+        violations = check_primer(candidate, PrimerConstraints())
+        assert any("GC content" in v for v in violations)
+
+    def test_distance_to_existing_rejected(self):
+        near_copy = "TTCGTGCAAGCTTGACCTGA"
+        violations = check_primer(near_copy, PrimerConstraints(), existing=[GOOD_PRIMER])
+        assert any("too close" in v for v in violations)
+
+    def test_distance_to_distant_existing_ok(self):
+        other = "CGTAGACTTGCAACTGGACT"
+        assert hamming_distance(GOOD_PRIMER, other) >= 10
+        assert is_valid_primer(other, PrimerConstraints(), existing=[GOOD_PRIMER])
+
+
+class TestPrimerPair:
+    def test_identical_primers_rejected(self):
+        with pytest.raises(PrimerDesignError):
+            PrimerPair(GOOD_PRIMER, GOOD_PRIMER)
+
+    def test_distinct_primers_accepted(self):
+        pair = PrimerPair(GOOD_PRIMER, "CGTAGACTTGCAACTGGACT")
+        assert pair.forward != pair.reverse
+
+
+class TestLibraryGeneration:
+    def test_generates_mutually_compatible_primers(self):
+        library = generate_primer_library(
+            PrimerConstraints(), max_candidates=3000, target_size=12, seed=1
+        )
+        assert len(library) >= 8
+        assert library.minimum_pairwise_distance() >= library.constraints.min_pairwise_hamming
+
+    def test_every_member_satisfies_per_primer_constraints(self):
+        library = generate_primer_library(
+            PrimerConstraints(), max_candidates=2000, target_size=8, seed=2
+        )
+        for primer in library.primers:
+            assert is_valid_primer(primer, library.constraints)
+
+    def test_acceptance_rate_below_one(self):
+        library = generate_primer_library(
+            PrimerConstraints(), max_candidates=2000, target_size=10, seed=3
+        )
+        assert 0.0 < library.acceptance_rate < 1.0
+        assert library.candidates_examined == len(library) + library.candidates_rejected
+
+    def test_target_size_stops_early(self):
+        library = generate_primer_library(
+            PrimerConstraints(), max_candidates=50_000, target_size=4, seed=4
+        )
+        assert len(library) == 4
+
+    def test_pairs_grouping(self):
+        library = generate_primer_library(
+            PrimerConstraints(), max_candidates=3000, target_size=7, seed=5
+        )
+        pairs = library.pairs()
+        assert len(pairs) == len(library) // 2
+        pair = library.allocate_pair(0)
+        assert pair.forward == library.primers[0]
+
+    def test_allocate_pair_out_of_range(self):
+        library = PrimerLibrary(constraints=PrimerConstraints())
+        with pytest.raises(PrimerDesignError):
+            library.allocate_pair(0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(PrimerDesignError):
+            generate_primer_library(PrimerConstraints(), max_candidates=0)
+
+    def test_contains(self):
+        library = generate_primer_library(
+            PrimerConstraints(), max_candidates=2000, target_size=3, seed=6
+        )
+        assert library.primers[0] in library
+        assert "A" * 20 not in library
+
+    def test_acceptance_saturates_as_library_grows(self):
+        """The key scarcity phenomenon (Section 1): the more primers already
+        accepted, the harder it is to add another one."""
+        small = generate_primer_library(
+            PrimerConstraints(), max_candidates=400, seed=7
+        )
+        large = generate_primer_library(
+            PrimerConstraints(), max_candidates=4000, seed=7
+        )
+        assert len(large) < 10 * len(small)
+
+    def test_scaling_experiment_covers_requested_lengths(self):
+        results = library_scaling_experiment(
+            lengths=(20, 30), max_candidates=600, seed=8
+        )
+        assert set(results) == {20, 30}
+        assert all(len(lib) > 0 for lib in results.values())

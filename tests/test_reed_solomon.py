@@ -1,0 +1,168 @@
+"""Tests for the Reed-Solomon encoder/decoder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.reed_solomon import ReedSolomonCode
+from repro.exceptions import ReedSolomonError
+
+
+@pytest.fixture(scope="module")
+def rs15_11():
+    return ReedSolomonCode(15, 11, symbol_bits=4)
+
+
+@pytest.fixture(scope="module")
+def rs255_223():
+    return ReedSolomonCode(255, 223, symbol_bits=8)
+
+
+class TestConstruction:
+    def test_paper_configuration(self, rs15_11):
+        assert rs15_11.parity_symbols == 4
+        assert rs15_11.max_correctable_errors == 2
+        assert rs15_11.max_correctable_erasures == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReedSolomonError):
+            ReedSolomonCode(10, 12, symbol_bits=4)
+        with pytest.raises(ReedSolomonError):
+            ReedSolomonCode(15, 0, symbol_bits=4)
+
+    def test_n_exceeding_field(self):
+        with pytest.raises(ReedSolomonError):
+            ReedSolomonCode(16, 11, symbol_bits=4)
+
+
+class TestEncoding:
+    def test_systematic(self, rs15_11):
+        data = list(range(11))
+        codeword = rs15_11.encode(data)
+        assert codeword[:11] == data
+        assert len(codeword) == 15
+
+    def test_wrong_length_rejected(self, rs15_11):
+        with pytest.raises(ReedSolomonError):
+            rs15_11.encode([1, 2, 3])
+
+    def test_symbol_out_of_range_rejected(self, rs15_11):
+        with pytest.raises(ReedSolomonError):
+            rs15_11.encode([16] + [0] * 10)
+
+    def test_all_zero_data_gives_zero_parity(self, rs15_11):
+        assert rs15_11.encode([0] * 11) == [0] * 15
+
+    def test_encoding_is_linear(self, rs15_11):
+        a = [random.Random(1).randrange(16) for _ in range(11)]
+        b = [random.Random(2).randrange(16) for _ in range(11)]
+        summed = [x ^ y for x, y in zip(a, b)]
+        cw_sum = [x ^ y for x, y in zip(rs15_11.encode(a), rs15_11.encode(b))]
+        assert rs15_11.encode(summed) == cw_sum
+
+
+class TestDecoding:
+    def test_clean_codeword(self, rs15_11):
+        data = list(range(11))
+        assert rs15_11.decode(rs15_11.encode(data))[:11] == data
+
+    def test_single_error(self, rs15_11):
+        data = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        codeword = rs15_11.encode(data)
+        corrupted = list(codeword)
+        corrupted[4] ^= 0x7
+        assert rs15_11.decode(corrupted) == codeword
+
+    def test_two_errors(self, rs15_11):
+        data = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        codeword = rs15_11.encode(data)
+        corrupted = list(codeword)
+        corrupted[0] ^= 0xF
+        corrupted[14] ^= 0x1
+        assert rs15_11.decode(corrupted) == codeword
+
+    def test_four_erasures(self, rs15_11):
+        data = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        codeword = rs15_11.encode(data)
+        corrupted = list(codeword)
+        for position in (1, 5, 9, 13):
+            corrupted[position] = 0
+        assert rs15_11.decode(corrupted, erasure_positions=[1, 5, 9, 13]) == codeword
+
+    def test_one_error_plus_two_erasures(self, rs15_11):
+        data = [0xA, 0xB, 0xC, 0xD, 0xE, 0xF, 1, 2, 3, 4, 5]
+        codeword = rs15_11.encode(data)
+        corrupted = list(codeword)
+        corrupted[2] ^= 0x3
+        corrupted[7] = 0
+        corrupted[11] = 0
+        assert rs15_11.decode(corrupted, erasure_positions=[7, 11]) == codeword
+
+    def test_too_many_erasures_rejected(self, rs15_11):
+        codeword = rs15_11.encode([1] * 11)
+        with pytest.raises(ReedSolomonError):
+            rs15_11.decode(codeword, erasure_positions=[0, 1, 2, 3, 4])
+
+    def test_erasure_position_out_of_range(self, rs15_11):
+        codeword = rs15_11.encode([1] * 11)
+        with pytest.raises(ReedSolomonError):
+            rs15_11.decode(codeword, erasure_positions=[15])
+
+    def test_three_errors_detected_or_rejected(self, rs15_11):
+        """Three random errors exceed the correction radius; decoding must
+        not silently return the wrong original codeword as if it were
+        error-free — it either raises or returns a (different) codeword."""
+        rng = random.Random(99)
+        data = [rng.randrange(16) for _ in range(11)]
+        codeword = rs15_11.encode(data)
+        corrupted = list(codeword)
+        for position in (1, 6, 11):
+            corrupted[position] ^= rng.randrange(1, 16)
+        try:
+            decoded = rs15_11.decode(corrupted)
+        except ReedSolomonError:
+            return
+        assert decoded != corrupted or decoded == codeword
+
+    def test_decode_data_returns_k_symbols(self, rs15_11):
+        data = list(range(11))
+        assert rs15_11.decode_data(rs15_11.encode(data)) == data
+
+    def test_wrong_codeword_length(self, rs15_11):
+        with pytest.raises(ReedSolomonError):
+            rs15_11.decode([0] * 14)
+
+
+class TestRandomizedCorrection:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_random_errors_and_erasures_within_capability(self, seed):
+        rng = random.Random(seed)
+        rs = ReedSolomonCode(15, 11, symbol_bits=4)
+        data = [rng.randrange(16) for _ in range(11)]
+        codeword = rs.encode(data)
+        n_errors = rng.randint(0, 2)
+        n_erasures = rng.randint(0, 4 - 2 * n_errors)
+        positions = rng.sample(range(15), n_errors + n_erasures)
+        corrupted = list(codeword)
+        for position in positions[:n_errors]:
+            corrupted[position] ^= rng.randrange(1, 16)
+        for position in positions[n_errors:]:
+            corrupted[position] = rng.randrange(16)
+        decoded = rs.decode(corrupted, erasure_positions=positions[n_errors:])
+        assert decoded == codeword
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_gf256_long_code(self, seed):
+        rng = random.Random(seed)
+        rs = ReedSolomonCode(255, 223, symbol_bits=8)
+        data = [rng.randrange(256) for _ in range(223)]
+        codeword = rs.encode(data)
+        corrupted = list(codeword)
+        error_positions = rng.sample(range(255), 16)
+        for position in error_positions:
+            corrupted[position] ^= rng.randrange(1, 256)
+        assert rs.decode(corrupted) == codeword

@@ -1,0 +1,193 @@
+"""Tests for sequencing simulation, quantification and mixing protocols."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MixingError, SequencingError, WetlabError
+from repro.wetlab.errors import ErrorModel
+from repro.wetlab.mixing import amplify_then_measure, measure_then_amplify
+from repro.wetlab.pool import MolecularPool
+from repro.wetlab.quantification import (
+    measure_concentration,
+    measure_mean_copies_per_species,
+)
+from repro.wetlab.sequencing import (
+    IlluminaRunModel,
+    NanoporeRunModel,
+    Sequencer,
+)
+
+FORWARD = "ATCGTGCAAGCTTGACCTGA"
+REVERSE = "CGTAGACTTGCAACTGGACT"
+
+
+def small_pool(species=10, copies=100.0):
+    pool = MolecularPool(name="test")
+    for i in range(species):
+        body = format(i, "02d") * 5
+        strand = FORWARD + "ACGT" * 5 + body.replace("0", "A").replace("1", "C").replace(
+            "2", "G"
+        ).replace("3", "T").replace("4", "AC").replace("5", "AG").replace(
+            "6", "AT"
+        ).replace("7", "CA").replace("8", "CG").replace("9", "CT") + REVERSE
+        pool.add(strand, copies, block=i)
+    return pool
+
+
+class TestSequencer:
+    def test_read_count(self):
+        pool = small_pool()
+        result = Sequencer(ErrorModel.noiseless(), seed=1).sequence(pool, 500)
+        assert len(result) == 500
+
+    def test_reads_annotated_with_source(self):
+        pool = small_pool()
+        result = Sequencer(ErrorModel.noiseless(), seed=1).sequence(pool, 100)
+        for read in result.reads:
+            assert read.source in pool.species
+            assert "block" in read.annotations
+
+    def test_sampling_proportional_to_copies(self):
+        pool = MolecularPool()
+        pool.add(FORWARD + "A" * 40 + REVERSE, 900.0, block=0)
+        pool.add(FORWARD + "C" * 40 + REVERSE, 100.0, block=1)
+        result = Sequencer(ErrorModel.noiseless(), seed=2).sequence(pool, 2000)
+        counts = result.reads_by_annotation("block")
+        assert counts[0] / len(result) == pytest.approx(0.9, abs=0.05)
+
+    def test_noiseless_reads_match_sources(self):
+        pool = small_pool()
+        result = Sequencer(ErrorModel.noiseless(), seed=3).sequence(pool, 50)
+        for read in result.reads:
+            assert read.sequence == read.source
+
+    def test_noisy_reads_can_differ(self):
+        pool = small_pool()
+        sequencer = Sequencer(ErrorModel(substitution_rate=0.1), seed=4)
+        result = sequencer.sequence(pool, 100)
+        assert any(read.sequence != read.source for read in result.reads)
+
+    def test_invalid_read_count(self):
+        with pytest.raises(SequencingError):
+            Sequencer().sequence(small_pool(), 0)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(SequencingError):
+            Sequencer().sequence(MolecularPool(), 10)
+
+    def test_deterministic_given_seed(self):
+        pool = small_pool()
+        a = Sequencer(ErrorModel.noiseless(), seed=5).sequence(pool, 100)
+        b = Sequencer(ErrorModel.noiseless(), seed=5).sequence(pool, 100)
+        assert a.sequences() == b.sequences()
+
+
+class TestRunModels:
+    def test_illumina_runs_needed(self):
+        model = IlluminaRunModel(reads_per_run=1000, run_hours=10.0)
+        assert model.runs_needed(1) == 1
+        assert model.runs_needed(1000) == 1
+        assert model.runs_needed(1001) == 2
+        assert model.runs_needed(0) == 0
+
+    def test_illumina_latency_quantized(self):
+        model = IlluminaRunModel(reads_per_run=1000, run_hours=10.0)
+        assert model.latency_hours(500) == 10.0
+        assert model.latency_hours(2500) == 30.0
+
+    def test_illumina_cost_charged_per_run(self):
+        model = IlluminaRunModel(reads_per_run=1000, cost_per_read=0.01)
+        assert model.cost(500) == pytest.approx(10.0)
+
+    def test_nanopore_latency_linear(self):
+        model = NanoporeRunModel(reads_per_hour=1000, setup_hours=0.0)
+        assert model.latency_hours(500) == pytest.approx(0.5)
+        assert model.latency_hours(5000) == pytest.approx(5.0)
+        assert model.latency_hours(0) == 0.0
+
+    def test_nanopore_cost_linear(self):
+        model = NanoporeRunModel(cost_per_read=0.001)
+        assert model.cost(1000) == pytest.approx(1.0)
+
+
+class TestQuantification:
+    def test_noiseless_measurement(self):
+        pool = small_pool(copies=50.0, species=4)
+        assert measure_concentration(pool, error_sigma=0.0) == pytest.approx(200.0)
+
+    def test_noisy_measurement_close(self):
+        pool = small_pool(copies=50.0, species=4)
+        rng = np.random.default_rng(1)
+        measured = measure_concentration(pool, error_sigma=0.05, rng=rng)
+        assert measured == pytest.approx(200.0, rel=0.25)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(WetlabError):
+            measure_concentration(MolecularPool())
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(WetlabError):
+            measure_concentration(small_pool(), error_sigma=-1.0)
+
+    def test_mean_copies_per_species(self):
+        pool = small_pool(copies=50.0, species=4)
+        value = measure_mean_copies_per_species(pool, 4, error_sigma=0.0)
+        assert value == pytest.approx(50.0)
+
+    def test_mean_copies_invalid_species(self):
+        with pytest.raises(WetlabError):
+            measure_mean_copies_per_species(small_pool(), 0)
+
+
+class TestMixingProtocols:
+    def _pools(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+
+        def random_body(length=40):
+            return "".join("ACGT"[b] for b in rng.integers(0, 4, size=length))
+
+        data_pool = MolecularPool(name="data")
+        for _ in range(20):
+            data_pool.add(FORWARD + random_body() + REVERSE, 100.0)
+        update_pool = MolecularPool(name="updates")
+        for _ in range(3):
+            update_pool.add(FORWARD + random_body() + REVERSE, 100.0 * 50_000)
+        return data_pool, update_pool
+
+    def test_measure_then_amplify_balances_concentrations(self):
+        data_pool, update_pool = self._pools()
+        report = measure_then_amplify(
+            data_pool, update_pool, FORWARD, REVERSE, measurement_sigma=0.0, seed=1
+        )
+        assert report.concentration_ratio == pytest.approx(1.0, rel=0.2)
+
+    def test_amplify_then_measure_balances_concentrations(self):
+        data_pool, update_pool = self._pools()
+        report = amplify_then_measure(
+            data_pool, update_pool, FORWARD, REVERSE, measurement_sigma=0.0, seed=1
+        )
+        assert report.concentration_ratio == pytest.approx(1.0, rel=0.25)
+
+    def test_measurement_noise_degrades_balance_only_mildly(self):
+        data_pool, update_pool = self._pools()
+        report = amplify_then_measure(
+            data_pool, update_pool, FORWARD, REVERSE, measurement_sigma=0.05, seed=2
+        )
+        assert 0.7 <= report.concentration_ratio <= 1.4
+
+    def test_unbalanced_direct_mix_for_reference(self):
+        """Without a protocol, the raw 50000x mismatch remains (the problem
+        Section 5.5 describes)."""
+        data_pool, update_pool = self._pools()
+        merged = data_pool.merged_with(update_pool)
+        data_mean = sum(data_pool.species.values()) / len(data_pool)
+        update_mean = sum(update_pool.species.values()) / len(update_pool)
+        assert update_mean / data_mean == pytest.approx(50_000.0)
+        assert merged.total_copies() > 100 * data_pool.total_copies()
+
+    def test_empty_update_pool_rejected(self):
+        data_pool, _ = self._pools()
+        with pytest.raises(WetlabError):
+            measure_then_amplify(data_pool, MolecularPool(), FORWARD, REVERSE)

@@ -1,0 +1,141 @@
+"""Tests for update patches and version chains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.updates import (
+    ReplacementPatch,
+    UpdatePatch,
+    apply_patch,
+    apply_patch_chain,
+    diff_as_patch,
+)
+from repro.exceptions import UpdateError
+
+
+class TestUpdatePatchFormat:
+    def test_wire_format_matches_paper(self):
+        """Section 6.4: [delete_start][delete_count][insert_pos][insert bytes]."""
+        patch = UpdatePatch(10, 5, 12, b"new")
+        assert patch.to_bytes() == bytes((10, 5, 12)) + b"new"
+
+    def test_from_bytes_roundtrip(self):
+        patch = UpdatePatch(1, 2, 3, b"xyz")
+        assert UpdatePatch.from_bytes(patch.to_bytes()) == patch
+
+    def test_from_bytes_too_short(self):
+        with pytest.raises(UpdateError):
+            UpdatePatch.from_bytes(b"\x01\x02")
+
+    def test_framed_roundtrip_ignores_padding(self):
+        patch = UpdatePatch(1, 2, 3, b"abcdef")
+        framed = patch.to_framed_bytes() + bytes(40)  # simulated unit padding
+        assert UpdatePatch.from_framed_bytes(framed) == patch
+
+    def test_framed_too_short(self):
+        with pytest.raises(UpdateError):
+            UpdatePatch.from_framed_bytes(b"\x01\x02\x03")
+
+    def test_framed_truncated_insert(self):
+        with pytest.raises(UpdateError):
+            UpdatePatch.from_framed_bytes(bytes((0, 0, 0, 10)) + b"abc")
+
+    def test_size_bytes(self):
+        assert UpdatePatch(0, 0, 0, b"abc").size_bytes == 6
+        assert UpdatePatch(0, 0, 0, b"abc").framed_size_bytes == 7
+
+    def test_field_range_validation(self):
+        with pytest.raises(UpdateError):
+            UpdatePatch(256, 0, 0)
+        with pytest.raises(UpdateError):
+            UpdatePatch(0, -1, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.binary(max_size=64),
+    )
+    def test_wire_roundtrip_property(self, a, b, c, insert):
+        patch = UpdatePatch(a, b, c, insert)
+        assert UpdatePatch.from_bytes(patch.to_bytes()) == patch
+
+
+class TestPatchApplication:
+    def test_pure_insertion(self):
+        patch = UpdatePatch(0, 0, 5, b"XYZ")
+        assert patch.apply(b"hello world") == b"helloXYZ world"
+
+    def test_pure_deletion(self):
+        patch = UpdatePatch(5, 6, 5, b"")
+        assert patch.apply(b"hello world") == b"hello"
+
+    def test_replace_span(self):
+        patch = UpdatePatch(6, 5, 6, b"there")
+        assert patch.apply(b"hello world") == b"hello there"
+
+    def test_delete_beyond_end_rejected(self):
+        with pytest.raises(UpdateError):
+            UpdatePatch(10, 5, 0, b"").apply(b"short")
+
+    def test_insert_beyond_end_rejected(self):
+        with pytest.raises(UpdateError):
+            UpdatePatch(0, 0, 50, b"x").apply(b"short")
+
+    def test_replacement_patch(self):
+        patch = ReplacementPatch(b"entirely new block")
+        assert patch.apply(b"old contents") == b"entirely new block"
+        assert ReplacementPatch.from_bytes(patch.to_bytes()) == patch
+        assert patch.size_bytes == len(b"entirely new block")
+
+    def test_apply_patch_dispatch(self):
+        assert apply_patch(b"abc", ReplacementPatch(b"xyz")) == b"xyz"
+        assert apply_patch(b"abc", UpdatePatch(0, 1, 0, b"z")) == b"zbc"
+
+    def test_apply_patch_chain_in_order(self):
+        chain = [
+            UpdatePatch(0, 0, 5, b" there"),
+            UpdatePatch(0, 5, 0, b"howdy"),
+        ]
+        assert apply_patch_chain(b"hello", chain) == b"howdy there"
+
+    def test_apply_empty_chain(self):
+        assert apply_patch_chain(b"data", []) == b"data"
+
+
+class TestDiffAsPatch:
+    def test_diff_identity(self):
+        old = b"identical"
+        patch = diff_as_patch(old, old)
+        assert patch.apply(old) == old
+        assert patch.delete_length == 0
+        assert patch.insert_bytes == b""
+
+    def test_diff_middle_edit(self):
+        old = b"the quick brown fox"
+        new = b"the quick red fox"
+        patch = diff_as_patch(old, new)
+        assert patch.apply(old) == new
+
+    def test_diff_prefix_edit(self):
+        old = b"aaa tail"
+        new = b"bbb tail"
+        assert diff_as_patch(old, new).apply(old) == new
+
+    def test_diff_suffix_edit(self):
+        old = b"head aaa"
+        new = b"head bb"
+        assert diff_as_patch(old, new).apply(old) == new
+
+    def test_diff_oversized_rejected(self):
+        with pytest.raises(UpdateError):
+            diff_as_patch(bytes(300), bytes(300))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=0, max_size=200), st.binary(min_size=0, max_size=200))
+    def test_diff_apply_roundtrip_property(self, old, new):
+        """For any pair of blocks, the generated minimal patch rewrites the
+        old block into the new one."""
+        patch = diff_as_patch(old, new)
+        assert patch.apply(old) == new

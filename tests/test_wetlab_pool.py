@@ -1,0 +1,157 @@
+"""Tests for the molecular pool and synthesis vendor models."""
+
+import pytest
+
+from repro.codec.molecule import Molecule, MoleculeLayout
+from repro.exceptions import WetlabError
+from repro.wetlab.pool import MolecularPool
+from repro.wetlab.synthesis import SynthesisVendor, synthesize, synthesize_sequences
+
+
+class TestMolecularPool:
+    def test_add_and_query(self):
+        pool = MolecularPool()
+        pool.add("ACGT", 10.0, block=1)
+        assert pool.copies("ACGT") == 10.0
+        assert pool.fraction("ACGT") == 1.0
+        assert pool.annotations("ACGT") == {"block": 1}
+
+    def test_add_accumulates(self):
+        pool = MolecularPool()
+        pool.add("ACGT", 10.0)
+        pool.add("ACGT", 5.0)
+        assert pool.copies("ACGT") == 15.0
+        assert len(pool) == 1
+
+    def test_add_rejects_negative_copies(self):
+        with pytest.raises(WetlabError):
+            MolecularPool().add("ACGT", -1.0)
+
+    def test_add_rejects_empty_sequence(self):
+        with pytest.raises(WetlabError):
+            MolecularPool().add("", 1.0)
+
+    def test_missing_species(self):
+        pool = MolecularPool()
+        assert pool.copies("ACGT") == 0.0
+        assert "ACGT" not in pool
+
+    def test_from_sequences(self):
+        pool = MolecularPool.from_sequences(["AAA", "CCC"], copies_per_sequence=3.0)
+        assert pool.total_copies() == 6.0
+        assert pool.mean_copies() == 3.0
+
+    def test_scaled(self):
+        pool = MolecularPool.from_sequences(["AAA", "CCC"], copies_per_sequence=4.0)
+        diluted = pool.scaled(0.5)
+        assert diluted.total_copies() == 4.0
+        assert pool.total_copies() == 8.0  # original unchanged
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(WetlabError):
+            MolecularPool.from_sequences(["AAA"]).scaled(-1)
+
+    def test_diluted_to_total(self):
+        pool = MolecularPool.from_sequences(["AAA", "CCC"], copies_per_sequence=5.0)
+        assert pool.diluted_to_total(1.0).total_copies() == pytest.approx(1.0)
+
+    def test_dilute_empty_rejected(self):
+        with pytest.raises(WetlabError):
+            MolecularPool().diluted_to_total(1.0)
+
+    def test_merged_with(self):
+        a = MolecularPool.from_sequences(["AAA"], copies_per_sequence=1.0)
+        b = MolecularPool.from_sequences(["AAA", "CCC"], copies_per_sequence=2.0)
+        merged = a.merged_with(b)
+        assert merged.copies("AAA") == 3.0
+        assert merged.copies("CCC") == 2.0
+
+    def test_subset(self):
+        pool = MolecularPool()
+        pool.add("AAA", 1.0, block=1)
+        pool.add("CCC", 1.0, block=2)
+        only_block_one = pool.subset(lambda seq, meta: meta.get("block") == 1)
+        assert len(only_block_one) == 1
+        assert "AAA" in only_block_one
+
+    def test_copies_by_annotation(self):
+        pool = MolecularPool()
+        pool.add("AAA", 1.0, block=1)
+        pool.add("CCC", 2.0, block=1)
+        pool.add("GGG", 4.0, block=2)
+        totals = pool.copies_by_annotation("block")
+        assert totals[1] == 3.0
+        assert totals[2] == 4.0
+
+    def test_skew(self):
+        pool = MolecularPool()
+        pool.add("AAA", 1.0)
+        pool.add("CCC", 3.0)
+        assert pool.skew() == 3.0
+        assert MolecularPool().skew() == 1.0
+
+
+def _molecules(count=5):
+    layout = MoleculeLayout()
+    return [
+        Molecule(
+            forward_primer="ATCGTGCAAGCTTGACCTGA",
+            reverse_primer="CGTAGACTTGCAACTGGACT",
+            unit_index="ACGTACGTACG",
+            intra_index=i,
+            payload=bytes([i]) * 24,
+            layout=layout,
+        )
+        for i in range(count)
+    ]
+
+
+class TestSynthesis:
+    def test_vendor_profiles(self):
+        twist = SynthesisVendor.twist()
+        idt = SynthesisVendor.idt()
+        assert idt.nominal_copies / twist.nominal_copies == pytest.approx(50_000.0)
+
+    def test_invalid_vendor_parameters(self):
+        with pytest.raises(WetlabError):
+            SynthesisVendor(name="bad", nominal_copies=0)
+        with pytest.raises(WetlabError):
+            SynthesisVendor(name="bad", skew_sigma=-1)
+        with pytest.raises(WetlabError):
+            SynthesisVendor(name="bad", dropout_rate=1.5)
+
+    def test_synthesize_produces_all_species(self):
+        pool = synthesize(_molecules(5), SynthesisVendor.twist(), seed=1)
+        assert len(pool) == 5
+        assert pool.total_copies() > 0
+
+    def test_synthesis_skew_is_bounded(self):
+        pool = synthesize(_molecules(5) * 1, SynthesisVendor.twist(), seed=2)
+        # With sigma=0.18, per-species skew across a handful of species stays
+        # well within the ~2x bias reported around Figure 9a.
+        assert pool.skew() < 3.5
+
+    def test_zero_skew_vendor_is_uniform(self):
+        vendor = SynthesisVendor(name="uniform", nominal_copies=100.0, skew_sigma=0.0)
+        pool = synthesize(_molecules(4), vendor, seed=3)
+        assert pool.skew() == pytest.approx(1.0)
+
+    def test_synthesis_deterministic_per_seed(self):
+        a = synthesize(_molecules(4), SynthesisVendor.twist(), seed=7)
+        b = synthesize(_molecules(4), SynthesisVendor.twist(), seed=7)
+        assert a.species == b.species
+
+    def test_dropout(self):
+        vendor = SynthesisVendor(name="flaky", nominal_copies=10.0, dropout_rate=0.9)
+        pool = synthesize(_molecules(5), vendor, seed=11)
+        assert len(pool) < 5
+
+    def test_metadata_attached(self):
+        pool = synthesize(_molecules(2), SynthesisVendor.twist(), seed=1)
+        strand = _molecules(2)[0].to_strand()
+        assert pool.annotations(strand)["origin"] == "Twist"
+        assert pool.annotations(strand)["intra_index"] == 0
+
+    def test_synthesize_sequences(self):
+        pool = synthesize_sequences(["ACGT" * 10, "TGCA" * 10], SynthesisVendor.twist())
+        assert len(pool) == 2

@@ -1,0 +1,116 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.exceptions import DnaStorageError
+from repro.workloads.generator import (
+    filler_file,
+    random_blocks,
+    update_trace,
+    zipfian_access_trace,
+)
+from repro.workloads.text import alice_like_text, paragraphs_to_blocks
+
+
+class TestTextWorkload:
+    def test_exact_size(self):
+        text = alice_like_text(150 * 1024)
+        assert len(text) == 150 * 1024
+
+    def test_deterministic(self):
+        assert alice_like_text(5000) == alice_like_text(5000)
+
+    def test_different_seeds_differ(self):
+        assert alice_like_text(5000, seed=1) != alice_like_text(5000, seed=2)
+
+    def test_ascii_and_paragraph_structure(self):
+        text = alice_like_text(20_000)
+        text.decode("ascii")
+        assert b"\n\n" in text
+
+    def test_zero_size(self):
+        assert alice_like_text(0) == b""
+
+    def test_paragraphs_to_blocks(self):
+        text = alice_like_text(1000)
+        blocks = paragraphs_to_blocks(text, block_size=256)
+        assert len(blocks) == 4
+        assert b"".join(blocks) == text
+        assert all(len(block) <= 256 for block in blocks)
+
+    def test_paragraphs_to_blocks_invalid_size(self):
+        with pytest.raises(ValueError):
+            paragraphs_to_blocks(b"abc", block_size=0)
+
+    def test_alice_splits_into_587ish_blocks(self):
+        """The paper's 150 KB file maps to about 600 blocks of 256 bytes."""
+        text = alice_like_text(587 * 256)
+        assert len(paragraphs_to_blocks(text)) == 587
+
+
+class TestSyntheticWorkloads:
+    def test_random_blocks(self):
+        blocks = random_blocks(5, 64, seed=1)
+        assert len(blocks) == 5
+        assert all(len(block) == 64 for block in blocks)
+
+    def test_random_blocks_deterministic(self):
+        assert random_blocks(3, 32, seed=9) == random_blocks(3, 32, seed=9)
+
+    def test_random_blocks_invalid(self):
+        with pytest.raises(DnaStorageError):
+            random_blocks(-1, 10)
+
+    def test_filler_file(self):
+        assert len(filler_file(1234, seed=3)) == 1234
+
+    def test_filler_file_invalid(self):
+        with pytest.raises(DnaStorageError):
+            filler_file(-1)
+
+
+class TestAccessTraces:
+    def test_zipfian_trace_length_and_range(self):
+        trace = zipfian_access_trace(100, 1000, seed=1)
+        assert len(trace) == 1000
+        assert all(0 <= block < 100 for block in trace)
+
+    def test_zipfian_is_skewed(self):
+        """A few blocks should absorb most accesses (Section 7.7.4)."""
+        trace = zipfian_access_trace(1000, 20_000, exponent=1.1, seed=2)
+        counts = {}
+        for block in trace:
+            counts[block] = counts.get(block, 0) + 1
+        top_ten = sum(sorted(counts.values(), reverse=True)[:10])
+        assert top_ten > 0.2 * len(trace)
+        assert len(counts) < 1000  # many blocks never accessed
+
+    def test_zipfian_invalid_arguments(self):
+        with pytest.raises(DnaStorageError):
+            zipfian_access_trace(0, 10)
+        with pytest.raises(DnaStorageError):
+            zipfian_access_trace(10, 10, exponent=0)
+
+    def test_deterministic(self):
+        assert zipfian_access_trace(50, 100, seed=5) == zipfian_access_trace(50, 100, seed=5)
+
+
+class TestUpdateTraces:
+    def test_one_patch_per_block(self):
+        events = update_trace([3, 7, 11], seed=1)
+        assert [event.block for event in events] == [3, 7, 11]
+
+    def test_patches_apply_to_blocks(self):
+        events = update_trace([0, 1], block_size=256, seed=2)
+        block = bytes(256)
+        for event in events:
+            patched = event.patch.apply(block)
+            assert patched != block
+
+    def test_patch_sizes_bounded(self):
+        events = update_trace(list(range(10)), max_insert=16, seed=3)
+        assert all(len(event.patch.insert_bytes) <= 16 for event in events)
+
+    def test_invalid_max_insert(self):
+        with pytest.raises(DnaStorageError):
+            update_trace([1], max_insert=0)
