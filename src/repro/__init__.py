@@ -26,6 +26,7 @@ round trip, and ``benchmarks/`` for the scripts that regenerate every
 figure and headline number of the paper's evaluation.
 """
 
+from repro.codec.backend import CodecBackend, available_backends, get_backend
 from repro.codec.matrix_unit import EncodingUnit, UnitLayout
 from repro.codec.molecule import Molecule, MoleculeLayout
 from repro.codec.reed_solomon import ReedSolomonCode
@@ -41,15 +42,49 @@ from repro.exceptions import DnaStorageError
 from repro.pipeline.decoder import BlockDecoder, DecodeReport
 from repro.primers.constraints import PrimerConstraints
 from repro.primers.library import PrimerLibrary, PrimerPair, generate_primer_library
-from repro.wetlab.errors import ErrorModel
+from repro.store import (
+    BatchReadPlan,
+    DnaVolume,
+    Extent,
+    ObjectRecord,
+    ObjectStore,
+    VolumeConfig,
+)
 from repro.wetlab.pcr import PCRConfig, PCRSimulator
 from repro.wetlab.pool import MolecularPool
-from repro.wetlab.sequencing import Sequencer, SequencingResult
-from repro.wetlab.synthesis import SynthesisVendor, synthesize
 
-__version__ = "1.0.0"
+# Wetlab simulators need numpy; everything above runs without it.  These
+# exports resolve lazily (PEP 562) so `import repro` works either way.
+_LAZY_EXPORTS = {
+    "ErrorModel": "repro.wetlab.errors",
+    "Sequencer": "repro.wetlab.sequencing",
+    "SequencingResult": "repro.wetlab.sequencing",
+    "SynthesisVendor": "repro.wetlab.synthesis",
+    "synthesize": "repro.wetlab.synthesis",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(module_name), name)
+
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "CodecBackend",
+    "available_backends",
+    "get_backend",
+    "BatchReadPlan",
+    "DnaVolume",
+    "Extent",
+    "ObjectRecord",
+    "ObjectStore",
+    "VolumeConfig",
     "EncodingUnit",
     "UnitLayout",
     "Molecule",

@@ -11,6 +11,9 @@ paper builds on (Organick et al., reproduced here from scratch):
 * :mod:`repro.codec.constrained` — constrained-coding predicates (GC window,
   homopolymer cap) used for primers and sparse indexes.
 * :mod:`repro.codec.galois` — GF(2^m) arithmetic tables.
+* :mod:`repro.codec.backend` — batched codec backends: a numpy-vectorized
+  engine (whole-matrix encode, batched syndromes, shared-erasure solve)
+  with a pure-Python fallback behind one :class:`CodecBackend` interface.
 * :mod:`repro.codec.reed_solomon` — Reed-Solomon encoder/decoder with
   support for both errors and erasures.
 * :mod:`repro.codec.matrix_unit` — the encoding-unit matrix layout of
@@ -19,6 +22,7 @@ paper builds on (Organick et al., reproduced here from scratch):
   (primers + sync base + index + payload).
 """
 
+from repro.codec.backend import CodecBackend, available_backends, get_backend
 from repro.codec.binary_codec import bytes_to_dna, dna_to_bytes
 from repro.codec.constrained import (
     is_gc_balanced,
@@ -29,9 +33,13 @@ from repro.codec.galois import GaloisField
 from repro.codec.matrix_unit import EncodingUnit, UnitLayout
 from repro.codec.molecule import Molecule, MoleculeLayout
 from repro.codec.randomizer import Randomizer
-from repro.codec.reed_solomon import ReedSolomonCode
+from repro.codec.reed_solomon import ReedSolomonCode, reed_solomon_code
 
 __all__ = [
+    "CodecBackend",
+    "available_backends",
+    "get_backend",
+    "reed_solomon_code",
     "bytes_to_dna",
     "dna_to_bytes",
     "is_gc_balanced",

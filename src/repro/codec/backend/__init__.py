@@ -1,0 +1,89 @@
+"""Backend selection for the batched codec engine.
+
+The active backend is resolved once per process and shared by every
+:class:`repro.codec.matrix_unit.EncodingUnit` (callers may still pass an
+explicit backend).  Resolution order:
+
+1. an explicit ``name`` argument to :func:`get_backend`;
+2. the ``REPRO_CODEC_BACKEND`` environment variable (``numpy``, ``python``
+   or ``auto``);
+3. ``auto``: numpy when importable, pure Python otherwise.
+
+The numpy backend is optional by design — the package, its tests and the
+volume layer all run on the pure-Python fallback when numpy is absent.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.codec.backend.base import CodecBackend
+from repro.codec.backend.python_backend import PythonBackend
+from repro.exceptions import EncodingError
+
+_ENV_VARIABLE = "REPRO_CODEC_BACKEND"
+
+_instances: dict[str, CodecBackend] = {}
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> list[str]:
+    """Names of the backends usable in this environment."""
+    names = ["python"]
+    if _numpy_available():
+        names.append("numpy")
+    return names
+
+
+def get_backend(name: str | CodecBackend | None = None) -> CodecBackend:
+    """Resolve a codec backend by name (or pass an instance through).
+
+    Args:
+        name: ``"numpy"``, ``"python"``, ``"auto"``/None (environment
+            variable then autodetection), or an existing backend instance.
+
+    Raises:
+        EncodingError: for unknown names, or when the numpy backend is
+            requested explicitly but numpy is not installed.
+    """
+    if isinstance(name, CodecBackend):
+        return name
+    requested = name or os.environ.get(_ENV_VARIABLE, "auto")
+    requested = requested.strip().lower()
+    if requested == "auto":
+        requested = "numpy" if _numpy_available() else "python"
+    cached = _instances.get(requested)
+    if cached is not None:
+        return cached
+    if requested == "python":
+        backend: CodecBackend = PythonBackend()
+    elif requested == "numpy":
+        if not _numpy_available():
+            raise EncodingError(
+                "the numpy codec backend was requested but numpy is not installed"
+            )
+        from repro.codec.backend.numpy_backend import NumpyBackend
+
+        backend = NumpyBackend()
+    else:
+        raise EncodingError(
+            f"unknown codec backend {requested!r}; expected one of "
+            f"{['auto', 'python', 'numpy']}"
+        )
+    _instances[requested] = backend
+    return backend
+
+
+__all__ = [
+    "CodecBackend",
+    "PythonBackend",
+    "available_backends",
+    "get_backend",
+]

@@ -13,6 +13,17 @@ from repro.sequence import validate_sequence
 
 BASES_PER_BYTE = 4
 
+#: Every byte value as its four-base DNA word, so encoding is one table
+#: lookup per byte instead of four shift/mask steps (this is the innermost
+#: loop of strand assembly for every molecule of a synthesis order).
+_BYTE_TO_QUAD: tuple[str, ...] = tuple(
+    "".join(BITS_TO_BASE[(byte >> shift) & 0b11] for shift in (6, 4, 2, 0))
+    for byte in range(256)
+)
+
+#: Inverse table: four-base DNA word -> byte value.
+_QUAD_TO_BYTE: dict[str, int] = {quad: byte for byte, quad in enumerate(_BYTE_TO_QUAD)}
+
 
 def bytes_to_dna(data: bytes) -> str:
     """Encode ``data`` into a DNA string at 2 bits per base.
@@ -24,11 +35,7 @@ def bytes_to_dna(data: bytes) -> str:
     """
     if not isinstance(data, (bytes, bytearray)):
         raise EncodingError(f"expected bytes, got {type(data).__name__}")
-    bases = []
-    for byte in data:
-        for shift in (6, 4, 2, 0):
-            bases.append(BITS_TO_BASE[(byte >> shift) & 0b11])
-    return "".join(bases)
+    return "".join(map(_BYTE_TO_QUAD.__getitem__, data))
 
 
 def dna_to_bytes(sequence: str) -> bytes:
@@ -38,18 +45,19 @@ def dna_to_bytes(sequence: str) -> bytes:
         DecodingError: if the sequence length is not a multiple of four or
             contains invalid characters.
     """
-    validate_sequence(sequence)
     if len(sequence) % BASES_PER_BYTE != 0:
+        validate_sequence(sequence)
         raise DecodingError(
             f"sequence length {len(sequence)} is not a multiple of {BASES_PER_BYTE}"
         )
-    out = bytearray()
-    for i in range(0, len(sequence), BASES_PER_BYTE):
-        value = 0
-        for base in sequence[i : i + BASES_PER_BYTE]:
-            value = (value << 2) | BASE_TO_BITS[base]
-        out.append(value)
-    return bytes(out)
+    try:
+        return bytes(
+            _QUAD_TO_BYTE[sequence[i : i + BASES_PER_BYTE]]
+            for i in range(0, len(sequence), BASES_PER_BYTE)
+        )
+    except KeyError:
+        validate_sequence(sequence)  # raises with a precise message
+        raise DecodingError(f"invalid DNA sequence {sequence!r}")
 
 
 def bits_to_dna(bits: str) -> str:

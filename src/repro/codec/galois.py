@@ -59,10 +59,26 @@ class GaloisField:
         self._build_tables()
 
     @classmethod
+    def cached(cls, m: int, primitive_polynomial: int | None = None) -> "GaloisField":
+        """Return a shared field instance per ``(m, primitive_polynomial)``.
+
+        Building the exp/log tables costs O(2^m); every consumer that can
+        share a field (Reed-Solomon codes, codec backends) should go
+        through this constructor so the tables are built once per process.
+        ``None`` is normalized to the default polynomial for ``m`` before
+        keying the cache, so ``cached(4)`` and ``cached(4, 0b10011)`` share
+        one instance.
+        """
+        if primitive_polynomial is None:
+            if m not in _PRIMITIVE_POLYNOMIALS:
+                raise EncodingError(f"unsupported field exponent m={m}")
+            primitive_polynomial = _PRIMITIVE_POLYNOMIALS[m]
+        return cls._cached(m, primitive_polynomial)
+
+    @classmethod
     @lru_cache(maxsize=None)
-    def cached(cls, m: int) -> "GaloisField":
-        """Return a shared field instance for exponent ``m``."""
-        return cls(m)
+    def _cached(cls, m: int, primitive_polynomial: int) -> "GaloisField":
+        return cls(m, primitive_polynomial)
 
     def _build_tables(self) -> None:
         value = 1

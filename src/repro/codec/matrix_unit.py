@@ -11,14 +11,20 @@ of which 256 are user data and 8 are random padding.
 A missing molecule (never recovered from sequencing) erases one column,
 i.e. one known-location symbol in every row, which the Reed-Solomon code
 corrects as an erasure.
+
+All row arithmetic is delegated to a :class:`repro.codec.backend.CodecBackend`;
+the batch entry points (:meth:`EncodingUnit.encode_batch`,
+:meth:`EncodingUnit.decode_batch`) let a partition push every unit of a
+write or read through the backend in one array pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.codec.backend import CodecBackend, get_backend
 from repro.codec.randomizer import Randomizer
-from repro.codec.reed_solomon import ReedSolomonCode
+from repro.codec.reed_solomon import reed_solomon_code
 from repro.constants import (
     DEFAULT_DATA_MOLECULES_PER_UNIT,
     DEFAULT_ECC_MOLECULES_PER_UNIT,
@@ -87,45 +93,24 @@ class UnitLayout:
         return self.gross_data_bytes - self.user_data_bytes
 
 
-def _bytes_to_symbols(data: bytes, symbol_bits: int) -> list[int]:
-    """Split bytes into fixed-width symbols, most significant bits first."""
-    symbols_per_byte = 8 // symbol_bits
-    mask = (1 << symbol_bits) - 1
-    symbols = []
-    for byte in data:
-        for i in range(symbols_per_byte - 1, -1, -1):
-            symbols.append((byte >> (i * symbol_bits)) & mask)
-    return symbols
-
-
-def _symbols_to_bytes(symbols: list[int], symbol_bits: int) -> bytes:
-    """Inverse of :func:`_bytes_to_symbols`."""
-    symbols_per_byte = 8 // symbol_bits
-    if len(symbols) % symbols_per_byte != 0:
-        raise DecodingError("symbol count does not align to byte boundary")
-    out = bytearray()
-    for i in range(0, len(symbols), symbols_per_byte):
-        value = 0
-        for symbol in symbols[i : i + symbols_per_byte]:
-            value = (value << symbol_bits) | symbol
-        out.append(value)
-    return bytes(out)
-
-
 @dataclass
 class EncodingUnit:
     """Encoder/decoder for one encoding unit (matrix of molecules).
 
-    The unit owns a :class:`ReedSolomonCode` sized by its layout and a
-    :class:`Randomizer` used to generate deterministic padding (seeded so
-    that encode/decode round-trips are reproducible).
+    The unit owns a shared :class:`ReedSolomonCode` sized by its layout and
+    a :class:`Randomizer` used to generate deterministic padding (seeded so
+    that encode/decode round-trips are reproducible).  Row arithmetic runs
+    on a :class:`CodecBackend`; pass ``backend="python"`` (or set
+    ``REPRO_CODEC_BACKEND``) to pin an implementation.
     """
 
     layout: UnitLayout = field(default_factory=UnitLayout)
     padding_seed: int = 0x5EED
+    backend: CodecBackend | str | None = None
 
     def __post_init__(self) -> None:
-        self._code = ReedSolomonCode(
+        self.backend = get_backend(self.backend)
+        self._code = reed_solomon_code(
             self.layout.codeword_length,
             self.layout.data_molecules,
             symbol_bits=self.layout.symbol_bits,
@@ -148,32 +133,26 @@ class EncodingUnit:
             ``layout.payload_bytes`` bytes each: data columns first, ECC
             columns last — the column order of Figure 1c.
         """
-        if len(user_data) > self.layout.user_data_bytes:
-            raise EncodingError(
-                f"user data of {len(user_data)} bytes exceeds unit capacity "
-                f"{self.layout.user_data_bytes}"
-            )
-        padded = self._pad(user_data)
-        symbols = _bytes_to_symbols(padded, self.layout.symbol_bits)
+        return self.encode_batch([user_data])[0]
 
-        rows = self.layout.symbols_per_molecule
-        data_columns = self.layout.data_molecules
-        # Column-major fill (Figure 1c): molecule j holds symbols
-        # [j*rows, (j+1)*rows).
-        matrix = [
-            symbols[column * rows : (column + 1) * rows]
-            for column in range(data_columns)
-        ]
-        ecc_matrix = [[0] * rows for _ in range(self.layout.ecc_molecules)]
-        for row in range(rows):
-            codeword = self._code.encode([matrix[c][row] for c in range(data_columns)])
-            for e in range(self.layout.ecc_molecules):
-                ecc_matrix[e][row] = codeword[data_columns + e]
+    def encode_batch(self, units: list[bytes]) -> list[list[bytes]]:
+        """Encode many units' user data in one backend pass.
 
-        payloads = []
-        for column in matrix + ecc_matrix:
-            payloads.append(_symbols_to_bytes(column, self.layout.symbol_bits))
-        return payloads
+        Returns one payload list (as in :meth:`encode`) per input unit.
+        """
+        for user_data in units:
+            if len(user_data) > self.layout.user_data_bytes:
+                raise EncodingError(
+                    f"user data of {len(user_data)} bytes exceeds unit capacity "
+                    f"{self.layout.user_data_bytes}"
+                )
+        padded = [self._pad(user_data) for user_data in units]
+        return self.backend.encode_units(
+            self._code,
+            padded,
+            rows=self.layout.symbols_per_molecule,
+            symbol_bits=self.layout.symbol_bits,
+        )
 
     def _pad(self, user_data: bytes) -> bytes:
         shortfall = self.layout.gross_data_bytes - len(user_data)
@@ -200,37 +179,28 @@ class EncodingUnit:
                 is out of range.
             ReedSolomonError: if too many columns are missing or corrupted.
         """
+        return self.decode_batch([payloads])[0]
+
+    def decode_batch(self, units: list[dict[int, bytes]]) -> list[bytes]:
+        """Decode many units in one backend pass.
+
+        Units sharing an erasure pattern (the same missing columns) are
+        corrected together; see :meth:`CodecBackend.decode_units`.
+        """
         total = self.layout.total_molecules
-        rows = self.layout.symbols_per_molecule
-        for column, payload in payloads.items():
-            if not 0 <= column < total:
-                raise DecodingError(f"column index {column} out of range")
-            if len(payload) != self.layout.payload_bytes:
-                raise DecodingError(
-                    f"payload for column {column} has {len(payload)} bytes, "
-                    f"expected {self.layout.payload_bytes}"
-                )
-
-        erasures = [column for column in range(total) if column not in payloads]
-        columns: list[list[int]] = []
-        for column in range(total):
-            if column in payloads:
-                columns.append(
-                    _bytes_to_symbols(payloads[column], self.layout.symbol_bits)
-                )
-            else:
-                columns.append([0] * rows)
-
-        data_columns = self.layout.data_molecules
-        recovered_symbols: list[list[int]] = [[] for _ in range(data_columns)]
-        for row in range(rows):
-            codeword = [columns[c][row] for c in range(total)]
-            corrected = self._code.decode(codeword, erasure_positions=erasures)
-            for c in range(data_columns):
-                recovered_symbols[c].append(corrected[c])
-
-        flattened: list[int] = []
-        for column_symbols in recovered_symbols:
-            flattened.extend(column_symbols)
-        gross = _symbols_to_bytes(flattened, self.layout.symbol_bits)
-        return gross[: self.layout.user_data_bytes]
+        for payloads in units:
+            for column, payload in payloads.items():
+                if not 0 <= column < total:
+                    raise DecodingError(f"column index {column} out of range")
+                if len(payload) != self.layout.payload_bytes:
+                    raise DecodingError(
+                        f"payload for column {column} has {len(payload)} bytes, "
+                        f"expected {self.layout.payload_bytes}"
+                    )
+        gross = self.backend.decode_units(
+            self._code,
+            units,
+            rows=self.layout.symbols_per_molecule,
+            symbol_bits=self.layout.symbol_bits,
+        )
+        return [unit[: self.layout.user_data_bytes] for unit in gross]

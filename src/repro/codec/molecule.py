@@ -114,24 +114,9 @@ class Molecule:
 
     def __post_init__(self) -> None:
         layout = self.layout
-        validate_sequence(self.forward_primer)
-        validate_sequence(self.reverse_primer)
-        validate_sequence(self.unit_index)
-        if len(self.forward_primer) != layout.primer_length:
-            raise EncodingError(
-                f"forward primer length {len(self.forward_primer)} != "
-                f"{layout.primer_length}"
-            )
-        if len(self.reverse_primer) != layout.primer_length:
-            raise EncodingError(
-                f"reverse primer length {len(self.reverse_primer)} != "
-                f"{layout.primer_length}"
-            )
-        expected_index = layout.unit_index_bases + layout.update_slot_bases
-        if len(self.unit_index) != expected_index:
-            raise EncodingError(
-                f"unit index length {len(self.unit_index)} != {expected_index}"
-            )
+        self._validate_frame(
+            self.forward_primer, self.reverse_primer, self.unit_index, layout
+        )
         if not 0 <= self.intra_index < 4 ** layout.intra_index_bases:
             raise EncodingError(
                 f"intra-unit index {self.intra_index} does not fit in "
@@ -140,6 +125,33 @@ class Molecule:
         if len(self.payload) != layout.payload_bytes:
             raise EncodingError(
                 f"payload of {len(self.payload)} bytes != {layout.payload_bytes}"
+            )
+
+    @staticmethod
+    def _validate_frame(
+        forward_primer: str,
+        reverse_primer: str,
+        unit_index: str,
+        layout: MoleculeLayout,
+    ) -> None:
+        """Validate the fields shared by every molecule of an encoding unit."""
+        validate_sequence(forward_primer)
+        validate_sequence(reverse_primer)
+        validate_sequence(unit_index)
+        if len(forward_primer) != layout.primer_length:
+            raise EncodingError(
+                f"forward primer length {len(forward_primer)} != "
+                f"{layout.primer_length}"
+            )
+        if len(reverse_primer) != layout.primer_length:
+            raise EncodingError(
+                f"reverse primer length {len(reverse_primer)} != "
+                f"{layout.primer_length}"
+            )
+        expected_index = layout.unit_index_bases + layout.update_slot_bases
+        if len(unit_index) != expected_index:
+            raise EncodingError(
+                f"unit index length {len(unit_index)} != {expected_index}"
             )
 
     # ------------------------------------------------------------------
@@ -167,6 +179,45 @@ class Molecule:
             + SYNC_BASE * self.layout.sync_bases
             + self.unit_index
         )
+
+    @classmethod
+    def for_unit(
+        cls,
+        forward_primer: str,
+        reverse_primer: str,
+        unit_index: str,
+        payloads: list[bytes],
+        layout: MoleculeLayout | None = None,
+    ) -> "list[Molecule]":
+        """Build the molecules of one encoding unit from its column payloads.
+
+        The primers and unit index are shared by every molecule of the
+        unit, so they are validated once here instead of once per strand —
+        the batched counterpart of constructing 15 molecules one by one.
+        Column ``j`` of ``payloads`` becomes intra-unit index ``j``.
+        """
+        layout = layout or MoleculeLayout()
+        if len(payloads) > 4 ** layout.intra_index_bases:
+            raise EncodingError(
+                f"{len(payloads)} columns do not fit in "
+                f"{layout.intra_index_bases} intra-index bases"
+            )
+        cls._validate_frame(forward_primer, reverse_primer, unit_index, layout)
+        molecules = []
+        for intra_index, payload in enumerate(payloads):
+            if len(payload) != layout.payload_bytes:
+                raise EncodingError(
+                    f"payload of {len(payload)} bytes != {layout.payload_bytes}"
+                )
+            molecule = object.__new__(cls)
+            object.__setattr__(molecule, "forward_primer", forward_primer)
+            object.__setattr__(molecule, "reverse_primer", reverse_primer)
+            object.__setattr__(molecule, "unit_index", unit_index)
+            object.__setattr__(molecule, "intra_index", intra_index)
+            object.__setattr__(molecule, "payload", payload)
+            object.__setattr__(molecule, "layout", layout)
+            molecules.append(molecule)
+        return molecules
 
     @classmethod
     def from_strand(cls, strand: str, layout: MoleculeLayout | None = None) -> "Molecule":

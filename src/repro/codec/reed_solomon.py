@@ -16,6 +16,7 @@ algorithm for error magnitudes — implemented from scratch on top of
 from __future__ import annotations
 
 from collections.abc import Sequence
+from functools import lru_cache
 
 from repro.codec.galois import GaloisField
 from repro.exceptions import ReedSolomonError
@@ -280,3 +281,24 @@ class ReedSolomonCode:
     ) -> list[int]:
         """Decode and return only the ``k`` data symbols."""
         return self.decode(codeword, erasure_positions)[: self.k]
+
+
+@lru_cache(maxsize=None)
+def reed_solomon_code(
+    n: int,
+    k: int,
+    *,
+    symbol_bits: int = 4,
+    first_consecutive_root: int = 0,
+) -> ReedSolomonCode:
+    """Return a shared :class:`ReedSolomonCode` per parameter set.
+
+    A code instance is immutable after construction, but building one
+    rebuilds the generator polynomial (and, before fields were cached,
+    the exp/log tables).  Hot-path consumers — every
+    :class:`repro.codec.matrix_unit.EncodingUnit`, hence every partition —
+    share instances through this factory.
+    """
+    return ReedSolomonCode(
+        n, k, symbol_bits=symbol_bits, first_consecutive_root=first_consecutive_root
+    )

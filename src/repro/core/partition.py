@@ -236,6 +236,28 @@ class Partition:
         record = self._require_block(block)
         return apply_patch_chain(record.data, record.patches)
 
+    def read(self, *, start_block: int = 0, block_count: int | None = None) -> bytes:
+        """Digitally read a range of blocks with updates applied.
+
+        Args:
+            start_block: the first block of the range.
+            block_count: how many consecutive blocks to read (every block
+                in the range must have been written); when omitted, reads
+                every *written* block from ``start_block`` onward, skipping
+                holes.
+
+        Returns:
+            The concatenated current contents of the blocks (the batched
+            counterpart of :meth:`read_block_reference`).
+        """
+        if block_count is None:
+            blocks: list[int] | range = [
+                block for block in self.written_blocks() if block >= start_block
+            ]
+        else:
+            blocks = range(start_block, start_block + block_count)
+        return b"".join(self.read_block_reference(block) for block in blocks)
+
     def original_block_data(self, block: int) -> bytes:
         """The block's original (pre-update) contents."""
         return self._require_block(block).data
@@ -265,42 +287,58 @@ class Partition:
 
     def molecules_for_address(self, address: BlockAddress) -> list[Molecule]:
         """Build the DNA molecules for one block address (original or update)."""
-        payload = self._unit_payload(address)
-        column_payloads = self._unit_codec.encode(payload)
-        unit_index = self.address_codec.encode(address)
-        molecules = []
-        for column, column_payload in enumerate(column_payloads):
-            molecules.append(
-                Molecule(
-                    forward_primer=self.config.primers.forward,
-                    reverse_primer=self.config.primers.reverse,
-                    unit_index=unit_index,
-                    intra_index=column,
-                    payload=column_payload,
+        return self.molecules_for_addresses([address])
+
+    def molecules_for_addresses(self, addresses: list[BlockAddress]) -> list[Molecule]:
+        """Build the molecules of many block addresses in one codec pass.
+
+        The unit payloads of every address are encoded as a single batch
+        through the codec backend (one matrix pass for the whole write)
+        and then assembled into strands in address order.
+        """
+        payloads = [self._unit_payload(address) for address in addresses]
+        units = self._unit_codec.encode_batch(payloads)
+        molecules: list[Molecule] = []
+        for address, column_payloads in zip(addresses, units):
+            molecules.extend(
+                Molecule.for_unit(
+                    self.config.primers.forward,
+                    self.config.primers.reverse,
+                    self.address_codec.encode(address),
+                    column_payloads,
                     layout=self.config.molecule_layout,
                 )
             )
         return molecules
 
+    def _addresses_for_block(self, block: int, *, include_updates: bool) -> list[BlockAddress]:
+        record = self._require_block(block)
+        addresses = [BlockAddress(block=block, slot=0)]
+        if include_updates:
+            addresses.extend(
+                BlockAddress(block=block, slot=version)
+                for version in range(1, len(record.patches) + 1)
+            )
+        return addresses
+
     def molecules_for_block(self, block: int, *, include_updates: bool = True) -> list[Molecule]:
         """Build the molecules of a block and (optionally) its updates."""
-        record = self._require_block(block)
-        molecules = self.molecules_for_address(BlockAddress(block=block, slot=0))
-        if include_updates:
-            for version in range(1, len(record.patches) + 1):
-                molecules.extend(
-                    self.molecules_for_address(BlockAddress(block=block, slot=version))
-                )
-        return molecules
+        return self.molecules_for_addresses(
+            self._addresses_for_block(block, include_updates=include_updates)
+        )
 
     def all_molecules(self, *, include_updates: bool = True) -> list[Molecule]:
-        """Build every molecule of the partition (the full synthesis order)."""
-        molecules = []
+        """Build every molecule of the partition (the full synthesis order).
+
+        Every encoding unit of the partition — all blocks and their update
+        slots — is encoded in one batched codec pass.
+        """
+        addresses: list[BlockAddress] = []
         for block in self.written_blocks():
-            molecules.extend(
-                self.molecules_for_block(block, include_updates=include_updates)
+            addresses.extend(
+                self._addresses_for_block(block, include_updates=include_updates)
             )
-        return molecules
+        return self.molecules_for_addresses(addresses)
 
     def update_molecules(self, block: int, version: int) -> list[Molecule]:
         """Build the molecules of one specific update patch."""
@@ -345,8 +383,18 @@ class Partition:
         Returns:
             The de-randomized user bytes of the unit.
         """
-        randomized = self._unit_codec.decode(payloads_by_column)
-        return self.randomizer.derandomize(randomized)
+        return self.decode_units_batch([payloads_by_column])[0]
+
+    def decode_units_batch(
+        self, units: list[dict[int, bytes]]
+    ) -> list[bytes]:
+        """Decode many encoding units in one backend pass.
+
+        The units are corrected together (grouped by erasure pattern by the
+        codec backend) and then de-randomized individually.
+        """
+        randomized = self._unit_codec.decode_batch(units)
+        return [self.randomizer.derandomize(unit) for unit in randomized]
 
     def decode_block_from_units(
         self,

@@ -120,6 +120,14 @@ class DnaPoolManager:
         """Names of all partitions, in creation order."""
         return list(self._partitions)
 
+    def partitions(self) -> list[Partition]:
+        """All partitions, in creation order."""
+        return list(self._partitions.values())
+
+    def items(self) -> list[tuple[str, Partition]]:
+        """(name, partition) pairs, in creation order."""
+        return list(self._partitions.items())
+
     def __len__(self) -> int:
         return len(self._partitions)
 
@@ -130,7 +138,11 @@ class DnaPoolManager:
     # Synthesis order
     # ------------------------------------------------------------------
     def all_molecules(self, *, include_updates: bool = True) -> list[Molecule]:
-        """The synthesis order across every partition in the pool."""
+        """The synthesis order across every partition in the pool.
+
+        Each partition's units are encoded in one batched codec pass (see
+        :meth:`repro.core.partition.Partition.all_molecules`).
+        """
         molecules: list[Molecule] = []
         for partition in self._partitions.values():
             molecules.extend(partition.all_molecules(include_updates=include_updates))

@@ -74,3 +74,7 @@ class ClusteringError(DnaStorageError):
 
 class ReconstructionError(DnaStorageError):
     """Raised when trace reconstruction cannot produce a consensus strand."""
+
+
+class StoreError(DnaStorageError):
+    """Raised by the volume / object-store layer (repro.store)."""

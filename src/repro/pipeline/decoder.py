@@ -161,6 +161,97 @@ class BlockDecoder:
         except (ReedSolomonError, DecodingError):
             return None
 
+    def _try_decode_units_batch(self, units: dict, keys: list | None = None) -> dict:
+        """Batch-decode keyed unit column maps, bisecting around failures.
+
+        All units go through one :meth:`Partition.decode_units_batch` call;
+        if any unit is uncorrectable the batch is split in half so healthy
+        units still decode in bulk and only failures drop out (they are
+        retried later by the per-slot candidate search).
+        """
+        keys = list(units) if keys is None else keys
+        if not keys:
+            return {}
+        try:
+            decoded = self.partition.decode_units_batch([units[k] for k in keys])
+            return dict(zip(keys, decoded))
+        except (ReedSolomonError, DecodingError):
+            if len(keys) == 1:
+                return {}
+            middle = len(keys) // 2
+            results = self._try_decode_units_batch(units, keys[:middle])
+            results.update(self._try_decode_units_batch(units, keys[middle:]))
+            return results
+
+    def _decode_primaries_batched(
+        self, by_slot: dict[int, dict[int, list[_Candidate]]]
+    ) -> dict[int, bytes]:
+        """Decode every slot's primary candidates in one backend pass.
+
+        The common case — enough clean strands per slot — needs no
+        candidate substitution, so all units of the block (original plus
+        update slots) go through one batched Reed-Solomon decode.  Failed
+        slots are absent from the result and fall back to the bounded
+        per-slot search.
+        """
+        data_columns = self.partition.config.unit_layout.data_molecules
+        primaries = {
+            slot: {
+                column: candidates[0].payload
+                for column, candidates in by_slot[slot].items()
+            }
+            for slot in sorted(by_slot)
+            if len(by_slot[slot]) >= data_columns
+        }
+        return self._try_decode_units_batch(primaries)
+
+    def _finish_block(
+        self,
+        by_slot: dict[int, dict[int, list[_Candidate]]],
+        prebatched: dict[int, bytes],
+        report: DecodeReport,
+    ) -> DecodeReport:
+        """Assemble a block from decoded units, applying recovered patches.
+
+        ``prebatched`` holds units already decoded by the batched path;
+        slots missing from it go through the per-slot candidate search of
+        Section 8.1.
+        """
+
+        def decoded_slot(slot: int) -> bytes | None:
+            data = prebatched.get(slot)
+            if data is not None:
+                report.decode_attempts += 1
+                if len(by_slot[slot]) < self.partition.molecules_per_block:
+                    report.used_error_correction = True
+                return data
+            return self._decode_slot(by_slot[slot], report)
+
+        original = decoded_slot(0) if 0 in by_slot else None
+        if original is None:
+            return report
+        report.slots_recovered = [0]
+
+        patches: list[UpdatePatch] = []
+        for slot in sorted(by_slot):
+            if slot == 0:
+                continue
+            raw = decoded_slot(slot)
+            if raw is None:
+                continue
+            try:
+                patches.append(UpdatePatch.from_framed_bytes(raw))
+            except UpdateError:
+                continue
+            report.slots_recovered.append(slot)
+
+        try:
+            report.data = apply_patch_chain(original, patches)
+        except (UpdateError, PartitionError):
+            report.data = original
+        report.success = True
+        return report
+
     def _decode_slot(
         self,
         slot_candidates: dict[int, list[_Candidate]],
@@ -266,39 +357,119 @@ class BlockDecoder:
         if 0 not in by_slot:
             return report
 
-        original = self._decode_slot(by_slot[0], report)
-        if original is None:
-            return report
-        report.slots_recovered = [0]
-
-        patches: list[UpdatePatch] = []
-        for slot in sorted(by_slot):
-            if slot == 0:
-                continue
-            raw = self._decode_slot(by_slot[slot], report)
-            if raw is None:
-                continue
-            try:
-                patches.append(UpdatePatch.from_framed_bytes(raw))
-            except UpdateError:
-                continue
-            report.slots_recovered.append(slot)
-
-        try:
-            report.data = apply_patch_chain(original, patches)
-        except (UpdateError, PartitionError):
-            report.data = original
-        report.success = True
-        return report
+        prebatched = self._decode_primaries_batched(by_slot)
+        return self._finish_block(by_slot, prebatched, report)
 
     def decode_partition(self, reads: list[str]) -> dict[int, DecodeReport]:
         """Decode every written block of the partition from a full readout.
 
         Intended for whole-partition retrievals (the baseline random access
         of Figure 9a): the reads are filtered per block by prefix and each
-        block is decoded independently.
+        block is decoded independently.  For the batched alternative that
+        clusters the readout once, see :meth:`decode_readout`.
         """
         reports: dict[int, DecodeReport] = {}
         for block in self.partition.written_blocks():
             reports[block] = self.decode_block(reads, block)
+        return reports
+
+    def decode_readout(
+        self,
+        reads: list[str],
+        blocks: list[int] | None = None,
+    ) -> dict[int, DecodeReport]:
+        """Decode many blocks from one readout with a single clustering pass.
+
+        Unlike :meth:`decode_partition` (which re-filters and re-clusters
+        the readout for every block), this batched path clusters the reads
+        once against the partition's main primer, attributes each
+        reconstructed strand to its parsed block address, and then decodes
+        every recovered encoding unit — all blocks, all update slots — in
+        one batched Reed-Solomon pass, falling back to the per-slot
+        candidate search only for units the batch could not correct.
+
+        Args:
+            reads: read strings of a whole-partition (or multi-block
+                range) retrieval.
+            blocks: block numbers to decode; defaults to every written
+                block of the partition.
+
+        Returns:
+            One :class:`DecodeReport` per requested block.  Cluster counts
+            in the reports refer to the shared clustering pass.
+        """
+        targets = self.partition.written_blocks() if blocks is None else list(blocks)
+        target_set = set(targets)
+        main_prefix = self.partition.config.primers.forward
+        on_prefix = reads_with_prefix(
+            reads, main_prefix, max_errors=self.max_prefix_errors
+        )
+        signature_start, signature_length = self._signature_window()
+        clusters = cluster_reads(
+            on_prefix,
+            signature_start=signature_start,
+            signature_length=signature_length,
+            max_read_distance=self.max_read_distance,
+        )
+
+        # One reconstruction pass; strands are attributed to blocks by
+        # their parsed unit index (mispriming keeps extra candidates).
+        per_block: dict[int, dict[tuple[int, int], list[_Candidate]]] = {}
+        duplicates: dict[int, int] = {}
+        for cluster in clusters:
+            molecule = self._reconstruct(cluster)
+            if molecule is None:
+                continue
+            address = self.partition.parse_unit_index(molecule.unit_index)
+            if address is None or address.block not in target_set:
+                continue
+            key = (address.slot, molecule.intra_index)
+            bucket = per_block.setdefault(address.block, {}).setdefault(key, [])
+            if bucket:
+                duplicates[address.block] = duplicates.get(address.block, 0) + 1
+            if len(bucket) < self.max_candidates_per_address:
+                if all(molecule.payload != existing.payload for existing in bucket):
+                    bucket.append(
+                        _Candidate(payload=molecule.payload, cluster_size=cluster.size)
+                    )
+
+        # Batch-decode the primary candidates of every (block, slot) unit.
+        data_columns = self.partition.config.unit_layout.data_molecules
+        by_block_slot: dict[int, dict[int, dict[int, list[_Candidate]]]] = {}
+        batch_units: dict[tuple[int, int], dict[int, bytes]] = {}
+        for block, candidates in per_block.items():
+            by_slot: dict[int, dict[int, list[_Candidate]]] = {}
+            for (slot, column), column_candidates in candidates.items():
+                by_slot.setdefault(slot, {})[column] = column_candidates
+            by_block_slot[block] = by_slot
+            for slot, columns in by_slot.items():
+                if len(columns) >= data_columns:
+                    batch_units[(block, slot)] = {
+                        column: column_candidates[0].payload
+                        for column, column_candidates in columns.items()
+                    }
+        decoded_units = self._try_decode_units_batch(batch_units)
+
+        reports: dict[int, DecodeReport] = {}
+        for block in targets:
+            report = DecodeReport(
+                block=block,
+                reads_total=len(reads),
+                reads_on_prefix=len(on_prefix),
+                clusters_total=len(clusters),
+                clusters_used=len(clusters),
+                duplicate_strands_discarded=duplicates.get(block, 0),
+            )
+            by_slot = by_block_slot.get(block)
+            if by_slot:
+                report.strands_recovered = sum(
+                    len(columns) for columns in by_slot.values()
+                )
+                prebatched = {
+                    slot: data
+                    for (decoded_block, slot), data in decoded_units.items()
+                    if decoded_block == block
+                }
+                self._finish_block(by_slot, prebatched, report)
+            reports[block] = report
         return reports

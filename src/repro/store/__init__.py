@@ -1,0 +1,35 @@
+"""repro.store — the volume layer above the partition substrate.
+
+The paper's architecture ends at the partition: a blocked address space
+behind one primer pair.  This package adds the multi-partition storage
+abstractions a production front-end needs:
+
+* :mod:`repro.store.objects` — object records and extents (the striping
+  metadata).
+* :mod:`repro.store.volume` — :class:`DnaVolume`: striped, append-only
+  block allocation across partitions created on demand from the primer
+  library, plus digital block I/O and block-granular update patching.
+* :mod:`repro.store.planner` — the batched read planner: merged
+  per-partition prefix-cover PCR accesses for an object or byte range.
+* :mod:`repro.store.object_store` — :class:`ObjectStore`: named-object
+  put/get/update/delete, and full-pipeline decoding from sequencing reads.
+
+Everything here runs on the batched codec engine
+(:mod:`repro.codec.backend`) and works with or without numpy.
+"""
+
+from repro.store.object_store import ObjectStore
+from repro.store.objects import Extent, ObjectRecord
+from repro.store.planner import BatchReadPlan, PcrAccess, plan_object_read
+from repro.store.volume import DnaVolume, VolumeConfig
+
+__all__ = [
+    "BatchReadPlan",
+    "DnaVolume",
+    "Extent",
+    "ObjectRecord",
+    "ObjectStore",
+    "PcrAccess",
+    "VolumeConfig",
+    "plan_object_read",
+]

@@ -1,0 +1,175 @@
+"""Named-object storage on top of a :class:`DnaVolume`.
+
+The :class:`ObjectStore` is the user-facing API of the volume layer:
+``put`` stripes an object of any size across partitions, ``get`` reads it
+back (reference path), ``update`` logs block-granular patches against the
+immutable original DNA, and ``delete`` drops the catalog entry (retiring
+— never reusing — the underlying block addresses).
+
+Two retrieval paths exist:
+
+* :meth:`ObjectStore.get` — the digital reference read used by tests and
+  benchmarks (originals plus patch chains, no wetlab round trip);
+* :meth:`ObjectStore.decode_object` — the full pipeline: per-partition
+  sequencing reads are clustered, reconstructed and Reed-Solomon decoded
+  through :class:`repro.pipeline.decoder.BlockDecoder`, block by block,
+  with updates applied in slot order.
+
+:meth:`ObjectStore.read_plan` exposes the batched prefix-cover planner so
+callers can run the minimal set of PCR reactions for an object (or byte
+range) before sequencing.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import StoreError
+from repro.pipeline.decoder import BlockDecoder
+from repro.store.objects import ObjectRecord
+from repro.store.planner import BatchReadPlan, plan_object_read
+from repro.store.volume import DnaVolume
+
+
+class ObjectStore:
+    """A named put/get/update/delete API over striped DNA partitions."""
+
+    def __init__(self, volume: DnaVolume | None = None) -> None:
+        self.volume = volume if volume is not None else DnaVolume()
+        self._catalog: dict[str, ObjectRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._catalog
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    def names(self) -> list[str]:
+        """Stored object names, in insertion order."""
+        return list(self._catalog)
+
+    def record(self, name: str) -> ObjectRecord:
+        """The catalog record of one object."""
+        try:
+            return self._catalog[name]
+        except KeyError as exc:
+            raise StoreError(f"unknown object {name!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+    def put(self, name: str, data: bytes) -> ObjectRecord:
+        """Store a new object, striping it across the volume's partitions.
+
+        Raises:
+            StoreError: if the name is taken or the object is empty.
+        """
+        if name in self._catalog:
+            raise StoreError(f"object {name!r} already exists")
+        if not data:
+            raise StoreError("cannot store an empty object")
+        extents = self.volume.allocate(len(data))
+        self.volume.write_extents(data, extents)
+        record = ObjectRecord(
+            name=name,
+            size=len(data),
+            block_size=self.volume.block_size,
+            extents=extents,
+        )
+        self._catalog[name] = record
+        return record
+
+    def get(self, name: str, *, offset: int = 0, length: int | None = None) -> bytes:
+        """Read an object (or byte range) with all updates applied."""
+        record = self.record(name)
+        return self.volume.read_record(record, offset=offset, length=length)
+
+    def update(self, name: str, offset: int, new_bytes: bytes) -> int:
+        """Overwrite a byte range in place via block-granular patches.
+
+        The object's size is unchanged; every touched block logs one
+        minimal update patch in its next version slot (Section 5 of the
+        paper).  Returns the number of blocks patched.
+        """
+        record = self.record(name)
+        patched = self.volume.update_record(record, offset, new_bytes)
+        if patched:
+            record.version += 1
+        return patched
+
+    def delete(self, name: str) -> ObjectRecord:
+        """Drop an object from the catalog and retire its extents.
+
+        The DNA strands are immutable, so the addresses are retired rather
+        than reused; physical reclamation would be a pool re-synthesis.
+        """
+        record = self.record(name)
+        del self._catalog[name]
+        self.volume.release(record.extents)
+        return record
+
+    # ------------------------------------------------------------------
+    # Batched retrieval
+    # ------------------------------------------------------------------
+    def read_plan(
+        self, name: str, *, offset: int = 0, length: int | None = None
+    ) -> BatchReadPlan:
+        """The merged prefix-cover PCR plan for an object (or byte range)."""
+        return plan_object_read(
+            self.volume, self.record(name), offset=offset, length=length
+        )
+
+    def decode_object(
+        self,
+        name: str,
+        reads_by_partition: dict[str, list[str]],
+        **decoder_options,
+    ) -> bytes:
+        """Decode an object from per-partition sequencing reads.
+
+        Args:
+            reads_by_partition: raw read strings per partition name (e.g.
+                the sequencing output of the plan's PCR accesses).
+            decoder_options: forwarded to :class:`BlockDecoder`.
+
+        Returns:
+            The object's bytes with all recovered updates applied.
+
+        Raises:
+            StoreError: if reads for a required partition are missing or a
+                block cannot be decoded.
+        """
+        record = self.record(name)
+        blocks_by_partition: dict[str, list[int]] = {}
+        for extent, partition_block, _ in record.logical_blocks():
+            blocks_by_partition.setdefault(extent.partition, []).append(
+                partition_block
+            )
+
+        reports: dict[str, dict[int, object]] = {}
+        for partition_name, blocks in blocks_by_partition.items():
+            if partition_name not in reads_by_partition:
+                raise StoreError(
+                    f"no reads provided for partition {partition_name!r}"
+                )
+            decoder = BlockDecoder(
+                self.volume.partition(partition_name), **decoder_options
+            )
+            # One clustering pass and one batched Reed-Solomon pass per
+            # partition, covering every block and update slot at once.
+            reports[partition_name] = decoder.decode_readout(
+                reads_by_partition[partition_name], blocks
+            )
+
+        pieces: list[bytes] = []
+        for extent, partition_block, _ in record.logical_blocks():
+            report = reports[extent.partition][partition_block]
+            if not report.success or report.data is None:
+                raise StoreError(
+                    f"failed to decode block {partition_block} of partition "
+                    f"{extent.partition!r} ({report.reads_on_prefix} on-prefix "
+                    f"reads, {report.clusters_total} clusters)"
+                )
+            pieces.append(report.data[: record.block_size])
+        return b"".join(pieces)[: record.size]

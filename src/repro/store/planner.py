@@ -1,0 +1,154 @@
+"""Batched read planning: merged per-partition prefix-cover PCR accesses.
+
+Reading an object back from DNA costs one PCR (or one multiplexed primer
+set) per accessed partition range.  The planner turns an object's extents
+— or an arbitrary byte range of them — into the cheapest set of accesses:
+
+1. group the touched blocks by partition;
+2. merge adjacent/overlapping block ranges within each partition (stripes
+   of the same object frequently abut after round-robin wraps);
+3. cover each merged range with the minimal set of index-tree prefixes
+   (Section 3.1 of the paper), each prefix yielding one elongated primer.
+
+The resulting :class:`BatchReadPlan` quantifies the wetlab work (primer
+and reaction counts, amplified-vs-wanted blocks) and carries the concrete
+:class:`ElongatedPrimer` objects for the PCR simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.elongation import ElongatedPrimer
+from repro.core.prefix_cover import PrefixCover
+from repro.exceptions import StoreError
+from repro.store.objects import ObjectRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.volume import DnaVolume
+
+
+@dataclass(frozen=True)
+class PcrAccess:
+    """One planned PCR access: a covered block range in one partition.
+
+    Attributes:
+        partition: the partition to amplify.
+        start_block / end_block: covered block range (inclusive).
+        primers: the multiplexed elongated forward primers of the access.
+        cover: the prefix-cover analysis behind the primers.
+    """
+
+    partition: str
+    start_block: int
+    end_block: int
+    primers: tuple[ElongatedPrimer, ...]
+    cover: PrefixCover
+
+    @property
+    def block_count(self) -> int:
+        """Blocks retrieved by this access."""
+        return self.end_block - self.start_block + 1
+
+    @property
+    def primer_count(self) -> int:
+        """Primers multiplexed into the reaction."""
+        return len(self.primers)
+
+
+@dataclass(frozen=True)
+class BatchReadPlan:
+    """The merged access plan for one object read."""
+
+    object_name: str
+    accesses: tuple[PcrAccess, ...]
+
+    @property
+    def reaction_count(self) -> int:
+        """PCR reactions needed (one per partition range)."""
+        return len(self.accesses)
+
+    @property
+    def primer_count(self) -> int:
+        """Total elongated primers across all reactions."""
+        return sum(access.primer_count for access in self.accesses)
+
+    @property
+    def block_count(self) -> int:
+        """Total blocks amplified by the plan."""
+        return sum(access.block_count for access in self.accesses)
+
+    def partitions(self) -> list[str]:
+        """Partitions touched by the plan, in access order."""
+        names: list[str] = []
+        for access in self.accesses:
+            if access.partition not in names:
+                names.append(access.partition)
+        return names
+
+
+def _merge_ranges(ranges: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge overlapping or adjacent inclusive integer ranges."""
+    merged: list[tuple[int, int]] = []
+    for start, end in sorted(ranges):
+        if merged and start <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def plan_object_read(
+    volume: "DnaVolume",
+    record: ObjectRecord,
+    *,
+    offset: int = 0,
+    length: int | None = None,
+) -> BatchReadPlan:
+    """Plan the PCR accesses that retrieve a byte range of an object.
+
+    Args:
+        volume: the volume holding the object's partitions.
+        record: the object's catalog record.
+        offset / length: byte range to retrieve (defaults to the whole
+            object).
+
+    Raises:
+        StoreError: if the byte range leaves the object.
+    """
+    if length is None:
+        length = record.size - offset
+    if offset < 0 or length <= 0 or offset + length > record.size:
+        raise StoreError(
+            f"range [{offset}, {offset + length}) outside object "
+            f"{record.name!r} of {record.size} bytes"
+        )
+    block_size = record.block_size
+    first_logical = offset // block_size
+    last_logical = (offset + length - 1) // block_size
+
+    ranges_by_partition: dict[str, list[tuple[int, int]]] = {}
+    for extent, partition_block, _ in record.blocks_in_range(
+        first_logical, last_logical
+    ):
+        ranges_by_partition.setdefault(extent.partition, []).append(
+            (partition_block, partition_block)
+        )
+
+    accesses: list[PcrAccess] = []
+    for partition_name, ranges in ranges_by_partition.items():
+        partition = volume.partition(partition_name)
+        for start, end in _merge_ranges(ranges):
+            cover = partition.prefix_cover(start, end)
+            primers = tuple(partition.primers_for_range(start, end))
+            accesses.append(
+                PcrAccess(
+                    partition=partition_name,
+                    start_block=start,
+                    end_block=end,
+                    primers=primers,
+                    cover=cover,
+                )
+            )
+    return BatchReadPlan(object_name=record.name, accesses=tuple(accesses))

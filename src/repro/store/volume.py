@@ -1,0 +1,313 @@
+"""The DNA volume: striped block allocation across partitions.
+
+A :class:`DnaVolume` sits between the named-object store and the
+:class:`repro.core.pool_manager.DnaPoolManager`.  It owns a growing set of
+partitions (each behind its own primer pair allocated from the manager's
+library) and hands out :class:`Extent` runs for new objects, striping
+consecutive stripes round-robin across partitions:
+
+* striping bounds the per-partition molecule count (keeping index trees
+  and PCR products small) and lets a batched retrieval amplify several
+  partitions in parallel;
+* allocation is append-only per partition — DNA is immutable, so deleted
+  objects surrender their catalog entry but their block addresses are
+  never reused (a reused address would collide with the old strands still
+  in the pool).
+
+All digital I/O against the allocated blocks (write, reference read,
+block-granular update patches) also lives here; the object-level catalog
+is :class:`repro.store.object_store.ObjectStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codec.matrix_unit import UnitLayout
+from repro.codec.molecule import Molecule, MoleculeLayout
+from repro.core.addressing import BlockAddress
+from repro.core.partition import Partition
+from repro.core.pool_manager import DnaPoolManager
+from repro.core.updates import diff_as_patch
+from repro.exceptions import StoreError
+from repro.store.objects import Extent, ObjectRecord
+
+
+@dataclass(frozen=True)
+class VolumeConfig:
+    """Static configuration of a volume.
+
+    Attributes:
+        partition_leaf_count: blocks per partition (index-tree leaves).
+        stripe_blocks: blocks per stripe before rotating to the next
+            partition.
+        stripe_width: number of partitions a large object is spread over
+            before a partition is revisited.
+        slots_per_block: version slots per block (1 original + updates).
+        unit_layout: geometry of one encoding unit.
+        molecule_layout: geometry of one DNA strand.
+        partition_prefix: prefix used when naming partitions.
+    """
+
+    partition_leaf_count: int = 256
+    stripe_blocks: int = 16
+    stripe_width: int = 4
+    slots_per_block: int = 4
+    unit_layout: UnitLayout = field(default_factory=UnitLayout)
+    molecule_layout: MoleculeLayout = field(default_factory=MoleculeLayout)
+    partition_prefix: str = "vol"
+
+    def __post_init__(self) -> None:
+        if self.partition_leaf_count <= 0:
+            raise StoreError("partition_leaf_count must be positive")
+        if self.stripe_blocks <= 0:
+            raise StoreError("stripe_blocks must be positive")
+        if self.stripe_width <= 0:
+            raise StoreError("stripe_width must be positive")
+        if self.stripe_blocks > self.partition_leaf_count:
+            raise StoreError("stripe_blocks cannot exceed partition_leaf_count")
+
+
+class DnaVolume:
+    """Striped block allocation and digital block I/O over a pool manager."""
+
+    def __init__(
+        self,
+        pool: DnaPoolManager | None = None,
+        *,
+        config: VolumeConfig | None = None,
+    ) -> None:
+        self.pool = pool if pool is not None else DnaPoolManager()
+        self.config = config or VolumeConfig()
+        #: Next unwritten block per partition (append-only allocation).
+        self._next_block: dict[str, int] = {}
+        #: Round-robin cursor over the volume's partitions.
+        self._cursor = 0
+        #: Blocks surrendered by deleted objects (never reused).
+        self.retired_blocks = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """User-visible bytes per block."""
+        return self.config.unit_layout.user_data_bytes
+
+    @property
+    def partition_names(self) -> list[str]:
+        """Partitions created by this volume, in creation order."""
+        return list(self._next_block)
+
+    def partition(self, name: str) -> Partition:
+        """The partition registered under ``name``."""
+        return self.pool.partition(name)
+
+    def free_blocks(self, name: str) -> int:
+        """Unallocated blocks remaining in one partition."""
+        return self.config.partition_leaf_count - self._next_block[name]
+
+    def allocated_blocks(self) -> int:
+        """Blocks handed out across all partitions."""
+        return sum(self._next_block.values())
+
+    # ------------------------------------------------------------------
+    # Partition lifecycle
+    # ------------------------------------------------------------------
+    def _create_partition(self) -> str:
+        name = f"{self.config.partition_prefix}-{len(self._next_block):03d}"
+        self.pool.create_partition(
+            name,
+            leaf_count=self.config.partition_leaf_count,
+            slots_per_block=self.config.slots_per_block,
+            unit_layout=self.config.unit_layout,
+            molecule_layout=self.config.molecule_layout,
+        )
+        self._next_block[name] = 0
+        return name
+
+    def _partition_with_space(self) -> str:
+        """Next partition (round-robin) with at least one free block.
+
+        The volume grows until it is ``stripe_width`` partitions wide, then
+        rotates over them; further partitions are created only when every
+        existing one is full.
+        """
+        names = self.partition_names
+        if len(names) < self.config.stripe_width:
+            return self._create_partition()
+        for _ in range(len(names)):
+            name = names[self._cursor % len(names)]
+            self._cursor += 1
+            if self.free_blocks(name) > 0:
+                return name
+        return self._create_partition()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, size: int) -> list[Extent]:
+        """Allocate extents for ``size`` bytes, striped across partitions.
+
+        Consecutive stripes of ``config.stripe_blocks`` blocks rotate
+        round-robin over the volume's partitions; new partitions (with
+        fresh primer pairs from the manager's library) are created on
+        demand, so objects of any size fit.
+        """
+        if size <= 0:
+            raise StoreError("cannot allocate zero bytes")
+        blocks_needed = -(-size // self.block_size)
+        extents: list[Extent] = []
+        object_offset = 0
+        while blocks_needed > 0:
+            name = self._partition_with_space()
+            start = self._next_block[name]
+            count = min(blocks_needed, self.config.stripe_blocks, self.free_blocks(name))
+            self._next_block[name] = start + count
+            extents.append(
+                Extent(
+                    partition=name,
+                    start_block=start,
+                    block_count=count,
+                    object_offset=object_offset,
+                )
+            )
+            object_offset += count * self.block_size
+            blocks_needed -= count
+        return extents
+
+    def release(self, extents: list[Extent]) -> None:
+        """Retire extents of a deleted object (addresses are never reused)."""
+        self.retired_blocks += sum(extent.block_count for extent in extents)
+
+    # ------------------------------------------------------------------
+    # Digital block I/O
+    # ------------------------------------------------------------------
+    def write_extents(self, data: bytes, extents: list[Extent]) -> None:
+        """Write object bytes into their allocated extents."""
+        for extent in extents:
+            partition = self.partition(extent.partition)
+            chunk = data[
+                extent.object_offset : extent.object_offset
+                + extent.block_count * self.block_size
+            ]
+            partition.write(chunk, start_block=extent.start_block)
+
+    def read_record(self, record: ObjectRecord, *, offset: int = 0, length: int | None = None) -> bytes:
+        """Digitally read an object byte range (reference path).
+
+        Only the blocks overlapping the requested range are read and have
+        their update-patch chains applied, so the cost scales with the
+        request, not the object.  Store-level updates are size-preserving,
+        so every non-final block contributes exactly ``block_size`` bytes.
+        """
+        if length is None:
+            length = record.size - offset
+        if offset < 0 or length < 0 or offset + length > record.size:
+            raise StoreError(
+                f"range [{offset}, {offset + length}) outside object of "
+                f"{record.size} bytes"
+            )
+        if length == 0:
+            return b""
+        first_block = offset // self.block_size
+        last_block = (offset + length - 1) // self.block_size
+        pieces: list[bytes] = []
+        for extent, partition_block, _ in record.blocks_in_range(
+            first_block, last_block
+        ):
+            pieces.append(
+                self.partition(extent.partition).read_block_reference(partition_block)
+            )
+        combined = b"".join(pieces)
+        start = offset - first_block * self.block_size
+        return combined[start : start + length]
+
+    def update_record(self, record: ObjectRecord, offset: int, new_bytes: bytes) -> int:
+        """Apply an in-place byte-range update as block-granular patches.
+
+        Every touched block gets one minimal :class:`UpdatePatch` (logged
+        in the block's next version slot; the original DNA is immutable).
+        The operation is all-or-nothing: every patch is computed and
+        validated against its block's remaining version slots before any
+        is applied, so a failure never leaves the object half-updated (or
+        burns slots on a retry).
+
+        Returns:
+            The number of blocks patched (unchanged blocks are skipped).
+
+        Raises:
+            StoreError: if the range leaves the object, or a touched block
+                has no free update slot / cannot hold the patch.
+        """
+        if not new_bytes:
+            return 0
+        if offset < 0 or offset + len(new_bytes) > record.size:
+            raise StoreError(
+                f"update range [{offset}, {offset + len(new_bytes)}) outside "
+                f"object of {record.size} bytes"
+            )
+        first_block = offset // self.block_size
+        last_block = (offset + len(new_bytes) - 1) // self.block_size
+        planned: list[tuple[Partition, int]] = []
+        patches = []
+        for extent, partition_block, block_offset in record.blocks_in_range(
+            first_block, last_block
+        ):
+            partition = self.partition(extent.partition)
+            old = partition.read_block_reference(partition_block)
+            # Splice the overlapping byte range into this block's bytes.
+            lo = max(offset, block_offset)
+            hi = min(offset + len(new_bytes), block_offset + len(old))
+            if lo >= hi:
+                continue
+            new = (
+                old[: lo - block_offset]
+                + new_bytes[lo - offset : hi - offset]
+                + old[hi - block_offset :]
+            )
+            if new == old:
+                continue
+            patch = diff_as_patch(old, new)
+            slots = partition.config.slots_per_block
+            if partition.update_count(partition_block) + 1 >= slots:
+                raise StoreError(
+                    f"block {partition_block} of partition {extent.partition!r} "
+                    f"has no free update slot (limit {slots - 1}); "
+                    "no patch of this update was applied"
+                )
+            if patch.framed_size_bytes > self.block_size:
+                raise StoreError(
+                    f"patch of {patch.framed_size_bytes} bytes for block "
+                    f"{partition_block} exceeds the block size; "
+                    "no patch of this update was applied"
+                )
+            planned.append((partition, partition_block))
+            patches.append(patch)
+        for (partition, partition_block), patch in zip(planned, patches):
+            partition.update_block(partition_block, patch)
+        return len(planned)
+
+    # ------------------------------------------------------------------
+    # Synthesis support
+    # ------------------------------------------------------------------
+    def molecules_for_record(
+        self, record: ObjectRecord, *, include_updates: bool = True
+    ) -> dict[str, list[Molecule]]:
+        """Build the object's molecules, grouped by partition.
+
+        Each partition's units go through one batched codec pass.
+        """
+        addresses: dict[str, list[BlockAddress]] = {}
+        for extent in record.extents:
+            partition = self.partition(extent.partition)
+            bucket = addresses.setdefault(extent.partition, [])
+            for block in extent.blocks():
+                bucket.append(BlockAddress(block=block, slot=0))
+                if include_updates:
+                    for version in range(1, partition.update_count(block) + 1):
+                        bucket.append(BlockAddress(block=block, slot=version))
+        return {
+            name: self.partition(name).molecules_for_addresses(address_list)
+            for name, address_list in addresses.items()
+        }

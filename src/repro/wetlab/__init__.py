@@ -22,18 +22,35 @@ substitution rationale):
   Amplify-then-Measure mixing protocols of Section 6.4.2.
 """
 
-from repro.wetlab.errors import ErrorModel
-from repro.wetlab.mixing import amplify_then_measure, measure_then_amplify
+# Most wetlab simulators depend on numpy; the digital stack (codec, core,
+# store, pipeline) does not.  Exports are resolved lazily (PEP 562) so that
+# importing `repro` — or `repro.wetlab.pool`, which is pure Python — works
+# in environments without numpy.
 from repro.wetlab.pcr import PCRConfig, PCRSimulator
 from repro.wetlab.pool import MolecularPool
-from repro.wetlab.quantification import measure_concentration
-from repro.wetlab.sequencing import (
-    IlluminaRunModel,
-    NanoporeRunModel,
-    SequencingResult,
-    Sequencer,
-)
-from repro.wetlab.synthesis import SynthesisVendor, synthesize
+
+_LAZY_EXPORTS = {
+    "ErrorModel": "repro.wetlab.errors",
+    "amplify_then_measure": "repro.wetlab.mixing",
+    "measure_then_amplify": "repro.wetlab.mixing",
+    "measure_concentration": "repro.wetlab.quantification",
+    "IlluminaRunModel": "repro.wetlab.sequencing",
+    "NanoporeRunModel": "repro.wetlab.sequencing",
+    "SequencingResult": "repro.wetlab.sequencing",
+    "Sequencer": "repro.wetlab.sequencing",
+    "SynthesisVendor": "repro.wetlab.synthesis",
+    "synthesize": "repro.wetlab.synthesis",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(module_name), name)
+
 
 __all__ = [
     "ErrorModel",

@@ -8,14 +8,28 @@
   partitions, Zipfian block-access traces and update-pattern generators.
 """
 
-from repro.workloads.generator import (
-    UpdateEvent,
-    filler_file,
-    random_blocks,
-    update_trace,
-    zipfian_access_trace,
-)
+from repro.workloads.objects import object_corpus, synthetic_object
 from repro.workloads.text import alice_like_text, paragraphs_to_blocks
+
+# The synthetic generators need numpy (Zipfian traces); resolve them
+# lazily so the text workload stays importable without it.
+_LAZY_EXPORTS = {
+    "UpdateEvent": "repro.workloads.generator",
+    "filler_file": "repro.workloads.generator",
+    "random_blocks": "repro.workloads.generator",
+    "update_trace": "repro.workloads.generator",
+    "zipfian_access_trace": "repro.workloads.generator",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(module_name), name)
+
 
 __all__ = [
     "UpdateEvent",
@@ -25,4 +39,6 @@ __all__ = [
     "zipfian_access_trace",
     "alice_like_text",
     "paragraphs_to_blocks",
+    "object_corpus",
+    "synthetic_object",
 ]

@@ -1,0 +1,35 @@
+"""Deterministic object payloads for the volume layer.
+
+The store tests and throughput benchmarks need objects that are (a) large,
+(b) reproducible across runs and backends, and (c) cheap to generate
+without numpy.  A seeded xorshift keystream — the same generator family as
+:class:`repro.codec.randomizer.Randomizer` — fits all three.
+"""
+
+from __future__ import annotations
+
+from repro.codec.randomizer import Randomizer
+from repro.exceptions import DnaStorageError
+
+
+def synthetic_object(size: int, *, seed: int = 0xB10C) -> bytes:
+    """Return ``size`` deterministic pseudo-random bytes.
+
+    >>> len(synthetic_object(1000))
+    1000
+    >>> synthetic_object(64, seed=1) == synthetic_object(64, seed=1)
+    True
+    """
+    if size < 0:
+        raise DnaStorageError("object size must be non-negative")
+    return Randomizer(seed).keystream(size)
+
+
+def object_corpus(
+    sizes: dict[str, int], *, seed: int = 0xB10C
+) -> dict[str, bytes]:
+    """Build a named corpus of synthetic objects (one distinct seed each)."""
+    return {
+        name: synthetic_object(size, seed=seed + index)
+        for index, (name, size) in enumerate(sizes.items())
+    }

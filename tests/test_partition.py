@@ -255,3 +255,32 @@ class TestDecoding:
             units.setdefault(address.slot, {})[molecule.intra_index] = molecule.payload
         decoded = partition.decode_block_from_units(units, block_length=len(data))
         assert decoded == data
+
+
+class TestBatchRead:
+    def test_read_contiguous_range(self):
+        partition = Partition(PartitionConfig(primers=PAIR, leaf_count=64))
+        data = bytes(range(256)) * 3
+        partition.write(data)
+        assert partition.read(start_block=0, block_count=3) == data
+        assert partition.read(start_block=1, block_count=1) == data[256:512]
+
+    def test_read_default_skips_holes(self):
+        partition = Partition(PartitionConfig(primers=PAIR, leaf_count=64))
+        partition.write_block(0, b"a" * 16)
+        partition.write_block(5, b"b" * 16)
+        assert partition.read() == b"a" * 16 + b"b" * 16
+        assert partition.read(start_block=1) == b"b" * 16
+
+    def test_explicit_read_over_hole_raises(self):
+        partition = Partition(PartitionConfig(primers=PAIR, leaf_count=64))
+        partition.write_block(0, b"a" * 16)
+        partition.write_block(2, b"b" * 16)
+        with pytest.raises(PartitionError):
+            partition.read(start_block=0, block_count=3)
+
+    def test_read_applies_updates(self):
+        partition = Partition(PartitionConfig(primers=PAIR, leaf_count=64))
+        partition.write(b"x" * 512)
+        partition.update_block(1, UpdatePatch(0, 4, 0, b"YYYY"))
+        assert partition.read(start_block=1, block_count=1).startswith(b"YYYY")

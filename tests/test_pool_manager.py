@@ -84,3 +84,11 @@ class TestSynthesisOrder:
 
     def test_empty_pool(self, manager):
         assert manager.all_molecules() == []
+
+
+class TestIteration:
+    def test_partitions_and_items_in_creation_order(self, manager):
+        first = manager.create_partition("first", leaf_count=16)
+        second = manager.create_partition("second", leaf_count=16)
+        assert manager.partitions() == [first, second]
+        assert manager.items() == [("first", first), ("second", second)]

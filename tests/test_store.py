@@ -1,0 +1,222 @@
+"""Digital tests for the repro.store volume layer.
+
+Covers striped allocation across partitions, named put/get/update/delete,
+block-granular patching, and the batched prefix-cover read planner.  No
+wetlab simulation here (and no numpy requirement); the full sequencing
+round trip lives in ``tests/test_store_wetlab_roundtrip.py``.
+"""
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store import DnaVolume, ObjectStore, VolumeConfig, plan_object_read
+from repro.workloads.objects import synthetic_object
+
+
+def small_store(**overrides) -> ObjectStore:
+    config = VolumeConfig(
+        partition_leaf_count=overrides.pop("partition_leaf_count", 64),
+        stripe_blocks=overrides.pop("stripe_blocks", 4),
+        stripe_width=overrides.pop("stripe_width", 3),
+        **overrides,
+    )
+    return ObjectStore(DnaVolume(config=config))
+
+
+class TestAllocationAndStriping:
+    def test_small_object_uses_one_partition(self):
+        store = small_store()
+        record = store.put("tiny", b"x" * 100)
+        assert record.block_count == 1
+        assert len(record.extents) == 1
+
+    def test_large_object_stripes_across_partitions(self):
+        store = small_store()
+        block_size = store.volume.block_size
+        record = store.put("big", synthetic_object(block_size * 10))
+        assert record.block_count == 10
+        # 10 blocks at 4 blocks/stripe rotate over all 3 partitions.
+        assert len(record.partition_names) == 3
+
+    def test_objects_of_any_size_grow_the_volume(self):
+        store = small_store(partition_leaf_count=8, stripe_blocks=8, stripe_width=2)
+        block_size = store.volume.block_size
+        record = store.put("huge", synthetic_object(block_size * 40))
+        # 40 blocks over 8-block partitions: at least five partitions exist.
+        assert len(store.volume.partition_names) >= 5
+        assert store.get("huge") == synthetic_object(block_size * 40)
+        assert record.block_count == 40
+
+    def test_allocation_is_append_only_per_partition(self):
+        store = small_store()
+        first = store.put("a", synthetic_object(2000, seed=1))
+        second = store.put("b", synthetic_object(2000, seed=2))
+        by_partition: dict[str, list[range]] = {}
+        for record in (first, second):
+            for extent in record.extents:
+                by_partition.setdefault(extent.partition, []).append(extent.blocks())
+        for runs in by_partition.values():
+            claimed = [block for run in runs for block in run]
+            assert len(claimed) == len(set(claimed)), "blocks double-allocated"
+
+
+class TestBlockWindows:
+    def test_blocks_in_range_matches_logical_blocks_window(self):
+        store = small_store(stripe_blocks=2)
+        block_size = store.volume.block_size
+        record = store.put("obj", synthetic_object(block_size * 9, seed=20))
+        everything = record.logical_blocks()
+        assert len(everything) == 9
+        for first, last in [(0, 8), (3, 5), (0, 0), (8, 8), (2, 7)]:
+            window = list(record.blocks_in_range(first, last))
+            assert window == everything[first : last + 1]
+
+
+class TestObjectLifecycle:
+    def test_put_get_roundtrip(self):
+        store = small_store()
+        data = synthetic_object(5000, seed=3)
+        store.put("obj", data)
+        assert store.get("obj") == data
+
+    def test_range_get(self):
+        store = small_store()
+        data = synthetic_object(4000, seed=4)
+        store.put("obj", data)
+        assert store.get("obj", offset=700, length=900) == data[700:1600]
+        assert store.get("obj", offset=3900) == data[3900:]
+
+    def test_duplicate_put_rejected(self):
+        store = small_store()
+        store.put("obj", b"abc")
+        with pytest.raises(StoreError):
+            store.put("obj", b"def")
+
+    def test_unknown_object_rejected(self):
+        store = small_store()
+        with pytest.raises(StoreError):
+            store.get("missing")
+
+    def test_delete_retires_addresses(self):
+        store = small_store()
+        record = store.put("obj", synthetic_object(3000, seed=5))
+        used_before = store.volume.allocated_blocks()
+        store.delete("obj")
+        assert "obj" not in store
+        assert store.volume.retired_blocks == record.block_count
+        # Addresses are never reused: a new object claims fresh blocks.
+        store.put("obj2", synthetic_object(3000, seed=6))
+        assert store.volume.allocated_blocks() > used_before
+
+
+class TestUpdates:
+    def test_update_single_block(self):
+        store = small_store()
+        data = synthetic_object(2000, seed=7)
+        store.put("obj", data)
+        patched = store.update("obj", 50, b"NEW-BYTES")
+        assert patched == 1
+        assert store.get("obj") == data[:50] + b"NEW-BYTES" + data[59:]
+
+    def test_update_spanning_blocks_and_partitions(self):
+        store = small_store(stripe_blocks=1)
+        block_size = store.volume.block_size
+        data = synthetic_object(block_size * 6, seed=8)
+        record = store.put("obj", data)
+        assert len(record.partition_names) == 3
+        edit = bytes(range(64)) * 2
+        offset = block_size - 30  # spans the block 0 / block 1 boundary
+        patched = store.update("obj", offset, edit)
+        assert patched == 2
+        expected = data[:offset] + edit + data[offset + len(edit) :]
+        assert store.get("obj") == expected
+        # Each touched block logged exactly one version slot.
+        touched = {
+            (extent.partition, block)
+            for extent, block, block_offset in record.logical_blocks()
+            if block_offset < offset + len(edit)
+            and block_offset + block_size > offset
+        }
+        for partition_name, block in touched:
+            assert store.volume.partition(partition_name).update_count(block) == 1
+
+    def test_noop_update_logs_nothing(self):
+        store = small_store()
+        data = synthetic_object(1000, seed=9)
+        store.put("obj", data)
+        assert store.update("obj", 100, data[100:200]) == 0
+        assert store.record("obj").version == 0
+
+    def test_update_outside_object_rejected(self):
+        store = small_store()
+        store.put("obj", b"x" * 100)
+        with pytest.raises(StoreError):
+            store.update("obj", 90, b"y" * 20)
+
+    def test_failed_multiblock_update_is_atomic(self):
+        store = small_store(stripe_blocks=1)
+        block_size = store.volume.block_size
+        data = synthetic_object(block_size * 2, seed=21)
+        record = store.put("obj", data)
+        # Exhaust block 1's update slots (slots_per_block=4 -> 3 updates).
+        second_block_offset = block_size
+        for i in range(3):
+            store.update("obj", second_block_offset + 10, bytes([i]) * 4)
+        snapshot = store.get("obj")
+        version = store.record("obj").version
+        # A spanning update needs a slot on both blocks; block 1 has none.
+        with pytest.raises(StoreError):
+            store.update("obj", block_size - 8, b"0123456789ABCDEF")
+        # Nothing was applied: block 0 logged no patch, contents unchanged.
+        assert store.get("obj") == snapshot
+        assert store.record("obj").version == version
+        first = record.extents[0]
+        assert store.volume.partition(first.partition).update_count(
+            first.start_block
+        ) == 0
+
+    def test_stacked_updates_apply_in_order(self):
+        store = small_store()
+        data = synthetic_object(600, seed=10)
+        store.put("obj", data)
+        store.update("obj", 0, b"AAAA")
+        store.update("obj", 2, b"BBBB")
+        assert store.get("obj")[:6] == b"AABBBB"
+        assert store.record("obj").version == 2
+
+
+class TestReadPlanner:
+    def test_full_object_plan_merges_adjacent_stripes(self):
+        store = small_store()
+        block_size = store.volume.block_size
+        record = store.put("obj", synthetic_object(block_size * 12, seed=11))
+        plan = store.read_plan("obj")
+        # Stripes wrap around the 3 partitions and abut (blocks 0-3 and
+        # 4-7 in each), so one merged access per partition suffices.
+        assert plan.reaction_count == len(record.partition_names) == 3
+        assert plan.block_count == 12
+        for access in plan.accesses:
+            assert access.primer_count >= 1
+            assert access.cover.primer_count == access.primer_count
+
+    def test_range_plan_touches_only_needed_partitions(self):
+        store = small_store()
+        block_size = store.volume.block_size
+        store.put("obj", synthetic_object(block_size * 12, seed=12))
+        plan = store.read_plan("obj", offset=0, length=block_size)
+        assert plan.reaction_count == 1
+        assert plan.block_count == 1
+        [access] = plan.accesses
+        assert access.start_block == access.end_block == 0
+
+    def test_plan_rejects_bad_ranges(self):
+        store = small_store()
+        store.put("obj", b"z" * 100)
+        with pytest.raises(StoreError):
+            store.read_plan("obj", offset=50, length=100)
+
+    def test_plan_function_matches_method(self):
+        store = small_store()
+        record = store.put("obj", synthetic_object(2000, seed=13))
+        direct = plan_object_read(store.volume, record)
+        assert direct.block_count == store.read_plan("obj").block_count
