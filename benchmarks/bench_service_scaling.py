@@ -1,0 +1,131 @@
+"""Serving-layer scaling: batching and caching amortize the wetlab.
+
+Simulates >= 10k read requests from >= 100 tenants against an object
+store and compares the three serving policies of
+:class:`repro.service.ServiceSimulator`.  Asserts the acceptance criteria
+of the serving-layer subsystem:
+
+* batching reduces total PCR reactions and sequenced reads versus the
+  unbatched baseline, and adding the decoded-block cache reduces both
+  further;
+* every policy delivers byte-identical payloads (per-request CRC32s,
+  aggregated in request order);
+* the simulation is fully deterministic under a fixed seed (a rerun
+  reproduces every reported number bit-for-bit).
+
+Pure Python end to end — this benchmark runs with or without numpy.
+"""
+
+import time
+
+from conftest import report
+from repro.service import POLICIES, ServiceConfig, ServiceSimulator
+from repro.store import DnaVolume, ObjectStore, VolumeConfig
+from repro.workloads import multi_tenant_trace, object_corpus
+
+REQUESTS = 10_000
+TENANTS = 120
+OBJECTS = 150
+SEED = 2023  # MICRO 2023
+
+
+def build_store() -> tuple[ObjectStore, dict[str, int]]:
+    volume = DnaVolume(
+        config=VolumeConfig(partition_leaf_count=256, stripe_blocks=8, stripe_width=6)
+    )
+    store = ObjectStore(volume)
+    block_size = volume.block_size
+    corpus = object_corpus(
+        {f"obj-{i:03d}": block_size * (1 + i % 8) for i in range(OBJECTS)},
+        seed=SEED,
+    )
+    for name, data in corpus.items():
+        store.put(name, data)
+    return store, {name: len(data) for name, data in corpus.items()}
+
+
+def run_comparison() -> dict:
+    store, catalog = build_store()
+    trace = multi_tenant_trace(
+        catalog,
+        tenants=TENANTS,
+        requests=REQUESTS,
+        duration_hours=72.0,
+        seed=SEED,
+    )
+    assert len({event.tenant for event in trace}) >= 100
+    simulator = ServiceSimulator(
+        store,
+        config=ServiceConfig(
+            window_hours=0.5,
+            reads_per_block=30,
+            sequencer="nanopore",
+            cache_capacity_bytes=store.volume.block_size * 256,
+        ),
+    )
+    reports = simulator.compare(trace)
+    # Determinism: replay one policy and require bit-identical numbers.
+    replay = simulator.run(trace, "batched+cache")
+    return {"reports": reports, "replay": replay}
+
+
+def test_service_scaling():
+    started = time.perf_counter()
+    outcome = run_comparison()
+    elapsed = time.perf_counter() - started
+    reports = outcome["reports"]
+    unbatched = reports["unbatched"]
+    batched = reports["batched"]
+    cached = reports["batched+cache"]
+
+    # Identical decoded bytes under every policy.
+    assert len({r.checksum for r in reports.values()}) == 1
+    assert len({r.decoded_bytes for r in reports.values()}) == 1
+    for r in reports.values():
+        assert len(r.completed) == REQUESTS
+
+    # Batching reduces wetlab work; caching reduces it further.
+    assert batched.pcr_reactions < unbatched.pcr_reactions
+    assert batched.sequenced_reads < unbatched.sequenced_reads
+    assert cached.pcr_reactions < batched.pcr_reactions
+    assert cached.sequenced_reads < batched.sequenced_reads
+    assert cached.cache is not None and cached.cache.hit_rate > 0.5
+
+    # Deterministic under the fixed seed.
+    replay = outcome["replay"]
+    for field in (
+        "checksum",
+        "pcr_reactions",
+        "sequenced_reads",
+        "amplified_blocks",
+        "makespan_hours",
+        "batches",
+    ):
+        assert getattr(replay, field) == getattr(cached, field), field
+    assert replay.latency == cached.latency
+
+    rows = [
+        f"{REQUESTS} requests, {TENANTS} tenants, "
+        f"{unbatched.distinct_requested_blocks} distinct blocks "
+        f"(simulated in {elapsed:.1f}s)",
+    ]
+    for policy in POLICIES:
+        r = reports[policy]
+        hit = f", hit rate {r.cache.hit_rate:.1%}" if r.cache else ""
+        rows.append(
+            f"{policy:>14}: {r.batches:5d} cycles, {r.pcr_reactions:6d} PCR, "
+            f"{r.sequenced_reads:8d} reads, amp {r.amplification_factor:6.2f}, "
+            f"p50/p95/p99 {r.latency.p50:.2f}/{r.latency.p95:.2f}/"
+            f"{r.latency.p99:.2f} h{hit}"
+        )
+    rows.append(
+        f"batching: {unbatched.pcr_reactions / batched.pcr_reactions:.1f}x fewer PCR, "
+        f"{unbatched.sequenced_reads / batched.sequenced_reads:.1f}x fewer reads; "
+        f"+cache: {unbatched.pcr_reactions / cached.pcr_reactions:.1f}x / "
+        f"{unbatched.sequenced_reads / cached.sequenced_reads:.1f}x"
+    )
+    report("Service scaling — batched + cached serving vs unbatched", rows)
+
+
+if __name__ == "__main__":
+    test_service_scaling()

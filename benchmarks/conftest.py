@@ -16,12 +16,17 @@ _SRC = Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.experiments.alice import AliceExperiment, AliceExperimentConfig  # noqa: E402
-
 
 @pytest.fixture(scope="session")
 def alice_experiment():
-    """The paper's full-scale wetlab setup (587 blocks, 6 updates)."""
+    """The paper's full-scale wetlab setup (587 blocks, 6 updates).
+
+    Imported lazily: the wetlab experiment needs numpy, but pure-Python
+    benchmarks (e.g. ``bench_service_scaling.py``) must collect and run
+    without it.
+    """
+    from repro.experiments.alice import AliceExperiment, AliceExperimentConfig
+
     config = AliceExperimentConfig(baseline_reads=20_000, precise_reads=8_000)
     return AliceExperiment(config)
 

@@ -42,6 +42,13 @@ from repro.exceptions import DnaStorageError
 from repro.pipeline.decoder import BlockDecoder, DecodeReport
 from repro.primers.constraints import PrimerConstraints
 from repro.primers.library import PrimerLibrary, PrimerPair, generate_primer_library
+from repro.service import (
+    BatchScheduler,
+    DecodedBlockCache,
+    RequestQueue,
+    ServiceConfig,
+    ServiceSimulator,
+)
 from repro.store import (
     BatchReadPlan,
     DnaVolume,
@@ -73,9 +80,14 @@ def __getattr__(name: str):
     return getattr(import_module(module_name), name)
 
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "BatchScheduler",
+    "DecodedBlockCache",
+    "RequestQueue",
+    "ServiceConfig",
+    "ServiceSimulator",
     "CodecBackend",
     "available_backends",
     "get_backend",

@@ -16,7 +16,13 @@ from repro.analysis.cost_model import (
     update_cost_comparison,
 )
 from repro.analysis.latency_model import LatencyComparison, latency_reduction
-from repro.analysis.stats import ReadDistribution, read_distribution
+from repro.analysis.stats import (
+    ReadDistribution,
+    SummaryStats,
+    percentile,
+    read_distribution,
+    summarize,
+)
 
 __all__ = [
     "RetrievalCostModel",
@@ -27,5 +33,8 @@ __all__ = [
     "LatencyComparison",
     "latency_reduction",
     "ReadDistribution",
+    "SummaryStats",
+    "percentile",
     "read_distribution",
+    "summarize",
 ]

@@ -1,18 +1,82 @@
-"""Read-distribution statistics behind Figures 9 and 10.
+"""Read-distribution statistics behind Figures 9 and 10, plus summary helpers.
 
 These helpers aggregate a sequencing result into per-block read counts and
 the composition metrics the paper reports for precise access: the fraction
 of reads carrying the target prefix, the on-target fraction among those,
 and the overall on-target fraction (82%, 59% and 48% respectively for
 block 531 in Section 7.2).
+
+The :func:`percentile` / :func:`summarize` helpers condense a sample (e.g.
+per-request serving latencies from :mod:`repro.service`) into the p50/p95/
+p99 tail statistics the latency discussion of Section 7.4 is framed in.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.exceptions import DnaStorageError
 from repro.pipeline.reads import has_prefix
 from repro.wetlab.sequencing import SequencingResult
+
+
+def _percentile_sorted(ordered: list[float], fraction: float) -> float:
+    """:func:`percentile` over an already-sorted, non-empty sample."""
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def percentile(values: Iterable[float], fraction: float) -> float:
+    """The ``fraction``-quantile of a sample, with linear interpolation.
+
+    ``fraction`` is in [0, 1]: ``percentile(xs, 0.95)`` is the p95.
+
+    Raises:
+        DnaStorageError: if the sample is empty or the fraction invalid.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise DnaStorageError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if not ordered:
+        raise DnaStorageError("cannot take a percentile of an empty sample")
+    return _percentile_sorted(ordered, fraction)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of one sample (latencies, counts, ...)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Summarize a sample into count/mean/median/tail percentiles.
+
+    Raises:
+        DnaStorageError: if the sample is empty.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise DnaStorageError("cannot summarize an empty sample")
+    return SummaryStats(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=_percentile_sorted(ordered, 0.50),
+        p95=_percentile_sorted(ordered, 0.95),
+        p99=_percentile_sorted(ordered, 0.99),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+    )
 
 
 @dataclass

@@ -78,3 +78,7 @@ class ReconstructionError(DnaStorageError):
 
 class StoreError(DnaStorageError):
     """Raised by the volume / object-store layer (repro.store)."""
+
+
+class ServiceError(DnaStorageError):
+    """Raised by the multi-tenant serving layer (repro.service)."""

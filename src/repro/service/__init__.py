@@ -1,0 +1,51 @@
+"""repro.service — the multi-tenant serving layer above the object store.
+
+The paper makes block access *precise* (Sections 3–6) and argues that
+precision makes DNA storage economically servable (Sections 7.3–7.5);
+this package supplies the layer that argument presumes: a request
+front-end that amortizes each wetlab cycle across every concurrent
+caller.
+
+* :mod:`repro.service.requests` — read requests and served outcomes.
+* :mod:`repro.service.queue` — :class:`RequestQueue` and
+  :class:`BatchScheduler`: coalesce a scheduling window's requests,
+  deduplicate overlapping per-partition block ranges across tenants, and
+  emit one merged :class:`repro.store.planner.BatchReadPlan` per cycle.
+* :mod:`repro.service.cache` — :class:`DecodedBlockCache`: a
+  byte-bounded LRU over decoded blocks, so Zipfian-hot data
+  (Section 7.7.4) skips the wetlab entirely.
+* :mod:`repro.service.simulator` — :class:`ServiceSimulator`: a
+  deterministic discrete-event loop that serves arrival traces under
+  unbatched / batched / batched+cache policies and reports throughput,
+  tail latency, cache hit rate and amplification waste.
+
+Pure Python end to end — the serving layer imports only the sequencing
+*models* (not the simulator), so it runs without numpy.
+"""
+
+from repro.service.cache import CacheStats, DecodedBlockCache, PinnedCacheView
+from repro.service.queue import BatchScheduler, RequestQueue, ScheduledBatch
+from repro.service.requests import CompletedRequest, ReadRequest
+from repro.service.simulator import (
+    POLICIES,
+    PolicyReport,
+    ServiceConfig,
+    ServiceSimulator,
+    policy_latency_comparison,
+)
+
+__all__ = [
+    "POLICIES",
+    "BatchScheduler",
+    "CacheStats",
+    "CompletedRequest",
+    "DecodedBlockCache",
+    "PinnedCacheView",
+    "PolicyReport",
+    "ReadRequest",
+    "RequestQueue",
+    "ScheduledBatch",
+    "ServiceConfig",
+    "ServiceSimulator",
+    "policy_latency_comparison",
+]

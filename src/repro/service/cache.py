@@ -1,0 +1,173 @@
+"""Decoded-block cache: hot blocks skip the wetlab entirely.
+
+Retrieving a block from DNA costs a PCR reaction plus sequencing reads
+(Sections 7.3–7.4); retrieving it from DRAM costs nothing the paper's
+cost model can see.  Under the Zipfian block popularity the paper argues
+for (Section 7.7.4), a modest byte-bounded LRU over *decoded* blocks
+absorbs most of a multi-tenant read stream before it reaches the
+scheduler — the cache is therefore the first stage of the serving layer's
+read path (see :mod:`repro.service.simulator`).
+
+Keys are ``(partition name, block number)``: the same physical block
+shared by many objects' requests dedupes naturally, and store-level
+updates invalidate exactly the patched keys
+(:meth:`repro.store.object_store.ObjectStore.update`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.exceptions import ServiceError
+
+BlockKey = tuple[str, int]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache instance.
+
+    Counters measure *physical* cache lookups by the serving layer: a
+    batch's coalesced requests share one lookup per distinct block (that
+    sharing is the point of batching), while requests served on the
+    arrival fast path look up their own blocks individually.
+
+    Attributes:
+        hits: block lookups served from the cache.
+        misses: block lookups that fell through to the store.
+        insertions: blocks admitted into the cache.
+        evictions: blocks evicted to respect the byte capacity.
+        invalidations: blocks dropped because an update made them stale.
+        rejections: blocks larger than the whole cache, never admitted.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    rejections: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total block lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class DecodedBlockCache:
+    """Byte-capacity-bounded LRU cache of decoded block payloads.
+
+    Attributes:
+        capacity_bytes: total payload bytes the cache may hold.
+        used_bytes: payload bytes currently held (derived, not settable).
+        stats: hit/miss/eviction counters (derived, not settable).
+    """
+
+    capacity_bytes: int
+    used_bytes: int = field(default=0, init=False)
+    stats: CacheStats = field(default_factory=CacheStats, init=False)
+    _entries: "OrderedDict[BlockKey, bytes]" = field(
+        default_factory=OrderedDict, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ServiceError("capacity_bytes must be positive")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def contains(self, partition: str, block: int) -> bool:
+        """Peek for a block without touching stats or LRU order.
+
+        The scheduler uses this to decide what wetlab work a batch still
+        needs; only the actual serve path (``get``/``put``) is counted.
+        """
+        return (partition, block) in self._entries
+
+    def get(self, partition: str, block: int) -> bytes | None:
+        """Look a block up, refreshing its LRU position on a hit."""
+        key = (partition, block)
+        data = self._entries.get(key)
+        if data is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return data
+
+    def put(self, partition: str, block: int, data: bytes) -> None:
+        """Admit a decoded block, evicting LRU entries to fit."""
+        if len(data) > self.capacity_bytes:
+            self.stats.rejections += 1
+            return
+        key = (partition, block)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self.used_bytes -= len(previous)
+        self._entries[key] = data
+        self.used_bytes += len(data)
+        self.stats.insertions += 1
+        while self.used_bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.used_bytes -= len(evicted)
+            self.stats.evictions += 1
+
+    def invalidate(self, partition: str, block: int) -> bool:
+        """Drop a block (e.g. after an update patched it)."""
+        data = self._entries.pop((partition, block), None)
+        if data is None:
+            return False
+        self.used_bytes -= len(data)
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+        self.used_bytes = 0
+
+
+class PinnedCacheView:
+    """A cache front holding one batch's working set outside the LRU.
+
+    While a batch is served, the service physically holds two kinds of
+    block payloads regardless of cache capacity: the cache hits copied
+    out at schedule time, and the blocks its own wetlab cycle just
+    decoded.  This view pins both — schedule-time hits up front, fills as
+    they happen — so serving the batch touches the store exactly once per
+    amplified block (``cache.stats.misses`` counts wetlab-decoded fills,
+    nothing double-counts) and LRU evictions during the in-flight hours
+    can never turn already-charged work into extra reads.  Everything is
+    still written through to the underlying cache for later batches.
+    """
+
+    def __init__(
+        self,
+        cache: DecodedBlockCache,
+        pinned: "tuple[tuple[BlockKey, bytes], ...]",
+    ) -> None:
+        self._cache = cache
+        self._pinned = dict(pinned)
+
+    def get(self, partition: str, block: int) -> bytes | None:
+        data = self._pinned.get((partition, block))
+        if data is not None:
+            return data
+        data = self._cache.get(partition, block)
+        if data is not None:
+            self._pinned[(partition, block)] = data
+        return data
+
+    def put(self, partition: str, block: int, data: bytes) -> None:
+        # The batch keeps its own decoded output in hand...
+        self._pinned[(partition, block)] = data
+        # ...and writes it through for batches that come later.
+        self._cache.put(partition, block, data)

@@ -1,0 +1,160 @@
+"""Request queue and batch scheduler: amortizing PCR across tenants.
+
+One PCR access amplifies a whole block range regardless of how many
+tenants asked for it (Section 3.1's prefix covers are shared physics, not
+per-caller state).  The scheduler exploits that: all requests that arrive
+within a scheduling window are coalesced, their per-partition block
+ranges merged via :func:`repro.store.planner.merge_partition_ranges`
+(overlap across tenants collapses), blocks already in the decoded-block
+cache are subtracted, and a single shared :class:`BatchReadPlan` is
+emitted for the cycle.  The plan's reaction/primer/block counts are the
+wetlab bill the whole batch splits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import ServiceError
+from repro.service.cache import DecodedBlockCache
+from repro.service.requests import ReadRequest
+from repro.store.object_store import ObjectStore
+from repro.store.planner import BatchReadPlan, plan_partition_ranges
+
+
+class RequestQueue:
+    """FIFO admission queue of pending read requests."""
+
+    def __init__(self) -> None:
+        self._pending: deque[ReadRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def push(self, request: ReadRequest) -> None:
+        """Admit one request at the tail of the queue."""
+        self._pending.append(request)
+
+    def drain(self) -> list[ReadRequest]:
+        """Remove and return every pending request, oldest first."""
+        drained = list(self._pending)
+        self._pending.clear()
+        return drained
+
+
+@dataclass(frozen=True)
+class ScheduledBatch:
+    """One scheduling cycle's merged wetlab work.
+
+    Attributes:
+        batch_id: sequence number of the cycle.
+        requests: the coalesced requests, in admission order.
+        plan: the merged PCR plan covering every *uncached* block the
+            batch needs (empty when the cache covers everything).
+        requested_blocks: distinct ``(partition, block)`` keys the
+            requests collectively asked for, in first-request order.
+        pinned_payloads: key/payload pairs of the blocks found in the
+            decoded-block cache at scheduling time, pinned so the batch's
+            responses survive LRU evictions that happen while the cycle
+            is in flight.
+    """
+
+    batch_id: int
+    requests: tuple[ReadRequest, ...]
+    plan: BatchReadPlan
+    requested_blocks: tuple[tuple[str, int], ...]
+    pinned_payloads: tuple[tuple[tuple[str, int], bytes], ...] = ()
+
+    @property
+    def cached_blocks(self) -> tuple[tuple[str, int], ...]:
+        """The blocks served from the cache at scheduling time."""
+        return tuple(key for key, _ in self.pinned_payloads)
+
+    @property
+    def requested_block_count(self) -> int:
+        """Distinct blocks wanted by the batch (after cross-tenant dedup)."""
+        return len(self.requested_blocks)
+
+    @property
+    def amplified_block_count(self) -> int:
+        """Blocks the merged plan actually amplifies."""
+        return self.plan.block_count
+
+    @property
+    def reaction_count(self) -> int:
+        """PCR reactions of the merged plan."""
+        return self.plan.reaction_count
+
+
+class BatchScheduler:
+    """Coalesces concurrent requests into one merged read plan per cycle."""
+
+    def __init__(self, store: ObjectStore) -> None:
+        self.store = store
+
+    def request_blocks(self, request: ReadRequest) -> list[tuple[str, int]]:
+        """The ``(partition, block)`` keys backing one request's range."""
+        ranges = self.store.block_ranges(
+            request.object_name, offset=request.offset, length=request.length
+        )
+        return [
+            (partition, block)
+            for partition, spans in ranges.items()
+            for start, end in spans
+            for block in range(start, end + 1)
+        ]
+
+    def schedule(
+        self,
+        requests: list[ReadRequest],
+        *,
+        cache: DecodedBlockCache | None = None,
+        batch_id: int = 0,
+        blocks_by_request: dict[int, list[tuple[str, int]]] | None = None,
+    ) -> ScheduledBatch:
+        """Merge a cycle's requests into one deduplicated wetlab plan.
+
+        Args:
+            blocks_by_request: optional precomputed block keys per
+                ``request_id`` (the simulator computes them once at
+                admission); missing entries are resolved here.
+
+        Raises:
+            ServiceError: if the cycle contains no requests.
+        """
+        if not requests:
+            raise ServiceError("cannot schedule an empty batch")
+        # Dicts (not sets) keep every derived ordering deterministic
+        # across processes regardless of string-hash randomization.
+        requested: dict[tuple[str, int], None] = {}
+        for request in requests:
+            keys = None
+            if blocks_by_request is not None:
+                keys = blocks_by_request.get(request.request_id)
+            if keys is None:
+                keys = self.request_blocks(request)
+            for key in keys:
+                requested.setdefault(key, None)
+        pinned: dict[tuple[str, int], bytes] = {}
+        missing: dict[str, list[tuple[int, int]]] = {}
+        for partition, block in requested:
+            if cache is not None and cache.contains(partition, block):
+                # One counted hit per distinct block (misses are counted
+                # at serve time, when the fill happens); the payload is
+                # pinned so in-flight evictions cannot unserve the batch.
+                pinned[(partition, block)] = cache.get(partition, block)
+            else:
+                missing.setdefault(partition, []).append((block, block))
+        plan = plan_partition_ranges(
+            self.store.volume,
+            missing,  # per-partition ranges are merged by the planner
+            label=f"batch-{batch_id:05d}",
+        )
+        return ScheduledBatch(
+            batch_id=batch_id,
+            requests=tuple(requests),
+            plan=plan,
+            requested_blocks=tuple(requested),
+            pinned_payloads=tuple(pinned.items()),
+        )

@@ -1,0 +1,73 @@
+"""Request and completion records for the serving layer.
+
+A :class:`ReadRequest` is one tenant's byte-range read against the object
+store; a :class:`CompletedRequest` is its fully-served outcome, carrying
+the latency accounting the simulator reports as the Section 7.4-style
+p50/p95/p99 numbers.  Payload bytes are summarized as a CRC32 checksum so
+simulations over tens of thousands of requests stay memory-bounded while
+still letting benchmarks prove that every serving policy decoded
+identical bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ServiceError
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """One tenant read request admitted to the service front-end.
+
+    Attributes:
+        request_id: unique, monotonically assigned admission id.
+        tenant: identifier of the issuing tenant.
+        object_name: requested object in the store catalog.
+        offset / length: requested byte range (``length=None`` reads to
+            the end of the object).
+        arrival_hours: arrival time on the simulated clock.
+    """
+
+    request_id: int
+    tenant: str
+    object_name: str
+    offset: int = 0
+    length: int | None = None
+    arrival_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ServiceError("request offset must be non-negative")
+        if self.length is not None and self.length <= 0:
+            raise ServiceError("request length must be positive (or None)")
+        if self.arrival_hours < 0:
+            raise ServiceError("arrival_hours must be non-negative")
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """The served outcome of one request.
+
+    Attributes:
+        request: the originating request.
+        completion_hours: simulated time the response was delivered.
+        byte_count: decoded payload size.
+        checksum: CRC32 of the decoded payload.
+        served_from_cache: True when every block came from the decoded
+            block cache (no wetlab work charged).
+        batch_id: the wetlab cycle that served the request, or ``None``
+            for pure cache hits.
+    """
+
+    request: ReadRequest
+    completion_hours: float
+    byte_count: int
+    checksum: int
+    served_from_cache: bool
+    batch_id: int | None
+
+    @property
+    def latency_hours(self) -> float:
+        """Admission-to-delivery latency on the simulated clock."""
+        return self.completion_hours - self.request.arrival_hours

@@ -20,7 +20,14 @@ Everything here runs on the batched codec engine
 
 from repro.store.object_store import ObjectStore
 from repro.store.objects import Extent, ObjectRecord
-from repro.store.planner import BatchReadPlan, PcrAccess, plan_object_read
+from repro.store.planner import (
+    BatchReadPlan,
+    PcrAccess,
+    block_ranges_for_read,
+    merge_partition_ranges,
+    plan_object_read,
+    plan_partition_ranges,
+)
 from repro.store.volume import DnaVolume, VolumeConfig
 
 __all__ = [
@@ -31,5 +38,8 @@ __all__ = [
     "ObjectStore",
     "PcrAccess",
     "VolumeConfig",
+    "block_ranges_for_read",
+    "merge_partition_ranges",
     "plan_object_read",
+    "plan_partition_ranges",
 ]

@@ -25,8 +25,17 @@ from __future__ import annotations
 from repro.exceptions import StoreError
 from repro.pipeline.decoder import BlockDecoder
 from repro.store.objects import ObjectRecord
-from repro.store.planner import BatchReadPlan, plan_object_read
+from repro.store.planner import (
+    BatchReadPlan,
+    block_ranges_for_read,
+    plan_object_read,
+)
 from repro.store.volume import DnaVolume
+
+
+#: Sentinel distinguishing "no block_cache argument" (use the attached
+#: cache) from an explicit ``block_cache=None`` (bypass any cache).
+_ATTACHED = object()
 
 
 class ObjectStore:
@@ -35,6 +44,9 @@ class ObjectStore:
     def __init__(self, volume: DnaVolume | None = None) -> None:
         self.volume = volume if volume is not None else DnaVolume()
         self._catalog: dict[str, ObjectRecord] = {}
+        #: Optional decoded-block cache consulted by ``get`` and kept
+        #: coherent by ``update``/``delete`` (see ``attach_cache``).
+        self.block_cache = None
 
     # ------------------------------------------------------------------
     # Catalog
@@ -80,23 +92,55 @@ class ObjectStore:
         self._catalog[name] = record
         return record
 
-    def get(self, name: str, *, offset: int = 0, length: int | None = None) -> bytes:
-        """Read an object (or byte range) with all updates applied."""
+    def attach_cache(self, cache) -> None:
+        """Attach a decoded-block cache to the read path.
+
+        ``cache`` is anything with ``get``/``put``/``invalidate`` keyed by
+        ``(partition name, block)`` — in practice a
+        :class:`repro.service.DecodedBlockCache`.  Once attached, ``get``
+        serves hot blocks without touching the partition (no wetlab work),
+        and ``update``/``delete`` invalidate stale entries.
+        """
+        self.block_cache = cache
+
+    def get(
+        self,
+        name: str,
+        *,
+        offset: int = 0,
+        length: int | None = None,
+        block_cache=_ATTACHED,
+    ) -> bytes:
+        """Read an object (or byte range) with all updates applied.
+
+        Args:
+            block_cache: decoded-block cache to consult/fill for this read.
+                Omitted, it defaults to the cache attached via
+                :meth:`attach_cache`; pass ``None`` explicitly to bypass
+                any attached cache.
+        """
         record = self.record(name)
-        return self.volume.read_record(record, offset=offset, length=length)
+        cache = self.block_cache if block_cache is _ATTACHED else block_cache
+        return self.volume.read_record(
+            record, offset=offset, length=length, block_cache=cache
+        )
 
     def update(self, name: str, offset: int, new_bytes: bytes) -> int:
         """Overwrite a byte range in place via block-granular patches.
 
         The object's size is unchanged; every touched block logs one
         minimal update patch in its next version slot (Section 5 of the
-        paper).  Returns the number of blocks patched.
+        paper) and is invalidated from the attached block cache.  Returns
+        the number of blocks patched.
         """
         record = self.record(name)
         patched = self.volume.update_record(record, offset, new_bytes)
         if patched:
             record.version += 1
-        return patched
+        if self.block_cache is not None:
+            for partition_name, block in patched:
+                self.block_cache.invalidate(partition_name, block)
+        return len(patched)
 
     def delete(self, name: str) -> ObjectRecord:
         """Drop an object from the catalog and retire its extents.
@@ -107,6 +151,10 @@ class ObjectStore:
         record = self.record(name)
         del self._catalog[name]
         self.volume.release(record.extents)
+        if self.block_cache is not None:
+            for extent in record.extents:
+                for block in extent.blocks():
+                    self.block_cache.invalidate(extent.partition, block)
         return record
 
     # ------------------------------------------------------------------
@@ -119,6 +167,17 @@ class ObjectStore:
         return plan_object_read(
             self.volume, self.record(name), offset=offset, length=length
         )
+
+    def block_ranges(
+        self, name: str, *, offset: int = 0, length: int | None = None
+    ) -> dict[str, list[tuple[int, int]]]:
+        """Per-partition merged block ranges backing an object byte range.
+
+        The addressing stage of :meth:`read_plan` without the primer
+        synthesis — what the serving layer's batch scheduler merges across
+        concurrent requests before planning one shared PCR cycle.
+        """
+        return block_ranges_for_read(self.record(name), offset=offset, length=length)
 
     def decode_object(
         self,

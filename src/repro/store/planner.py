@@ -13,6 +13,14 @@ set) per accessed partition range.  The planner turns an object's extents
 The resulting :class:`BatchReadPlan` quantifies the wetlab work (primer
 and reaction counts, amplified-vs-wanted blocks) and carries the concrete
 :class:`ElongatedPrimer` objects for the PCR simulator.
+
+The stages are also exposed separately so a serving layer can merge the
+addressing of *many* concurrent requests before committing to primers:
+:func:`block_ranges_for_read` maps one request to per-partition block
+ranges, :func:`merge_partition_ranges` unions the range maps of a whole
+batch (deduplicating overlap across tenants), and
+:func:`plan_partition_ranges` turns the merged ranges into one shared
+:class:`BatchReadPlan` (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -99,20 +107,17 @@ def _merge_ranges(ranges: list[tuple[int, int]]) -> list[tuple[int, int]]:
     return merged
 
 
-def plan_object_read(
-    volume: "DnaVolume",
+def block_ranges_for_read(
     record: ObjectRecord,
     *,
     offset: int = 0,
     length: int | None = None,
-) -> BatchReadPlan:
-    """Plan the PCR accesses that retrieve a byte range of an object.
+) -> dict[str, list[tuple[int, int]]]:
+    """Per-partition merged block ranges backing a byte range of an object.
 
-    Args:
-        volume: the volume holding the object's partitions.
-        record: the object's catalog record.
-        offset / length: byte range to retrieve (defaults to the whole
-            object).
+    This is the plan's addressing stage without the primer synthesis: the
+    scheduler uses it to deduplicate block ranges across concurrent
+    requests before committing to PCR accesses.
 
     Raises:
         StoreError: if the byte range leaves the object.
@@ -135,11 +140,48 @@ def plan_object_read(
         ranges_by_partition.setdefault(extent.partition, []).append(
             (partition_block, partition_block)
         )
+    return {
+        name: _merge_ranges(ranges)
+        for name, ranges in ranges_by_partition.items()
+    }
 
+
+def merge_partition_ranges(
+    range_maps: "list[dict[str, list[tuple[int, int]]]]",
+) -> dict[str, list[tuple[int, int]]]:
+    """Union per-partition range maps from many requests into one.
+
+    Overlapping and adjacent ranges — including identical ranges issued by
+    different tenants — collapse into single merged ranges, which is what
+    lets one PCR cycle serve every concurrent request that touches the
+    same hot blocks.  Partition order follows first appearance, keeping
+    the merged plan deterministic.
+    """
+    combined: dict[str, list[tuple[int, int]]] = {}
+    for range_map in range_maps:
+        for partition_name, ranges in range_map.items():
+            combined.setdefault(partition_name, []).extend(ranges)
+    return {name: _merge_ranges(ranges) for name, ranges in combined.items()}
+
+
+def plan_partition_ranges(
+    volume: "DnaVolume",
+    ranges_by_partition: dict[str, list[tuple[int, int]]],
+    *,
+    label: str = "batch",
+) -> BatchReadPlan:
+    """Build the PCR accesses covering pre-computed per-partition ranges.
+
+    Args:
+        volume: the volume holding the partitions.
+        ranges_by_partition: inclusive block ranges per partition (merged
+            or not; overlapping ranges are merged here).
+        label: name recorded on the resulting plan.
+    """
     accesses: list[PcrAccess] = []
     for partition_name, ranges in ranges_by_partition.items():
         partition = volume.partition(partition_name)
-        for start, end in _merge_ranges(ranges):
+        for start, end in _merge_ranges(list(ranges)):
             cover = partition.prefix_cover(start, end)
             primers = tuple(partition.primers_for_range(start, end))
             accesses.append(
@@ -151,4 +193,26 @@ def plan_object_read(
                     cover=cover,
                 )
             )
-    return BatchReadPlan(object_name=record.name, accesses=tuple(accesses))
+    return BatchReadPlan(object_name=label, accesses=tuple(accesses))
+
+
+def plan_object_read(
+    volume: "DnaVolume",
+    record: ObjectRecord,
+    *,
+    offset: int = 0,
+    length: int | None = None,
+) -> BatchReadPlan:
+    """Plan the PCR accesses that retrieve a byte range of an object.
+
+    Args:
+        volume: the volume holding the object's partitions.
+        record: the object's catalog record.
+        offset / length: byte range to retrieve (defaults to the whole
+            object).
+
+    Raises:
+        StoreError: if the byte range leaves the object.
+    """
+    ranges = block_ranges_for_read(record, offset=offset, length=length)
+    return plan_partition_ranges(volume, ranges, label=record.name)

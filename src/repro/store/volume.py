@@ -193,13 +193,27 @@ class DnaVolume:
             ]
             partition.write(chunk, start_block=extent.start_block)
 
-    def read_record(self, record: ObjectRecord, *, offset: int = 0, length: int | None = None) -> bytes:
+    def read_record(
+        self,
+        record: ObjectRecord,
+        *,
+        offset: int = 0,
+        length: int | None = None,
+        block_cache=None,
+    ) -> bytes:
         """Digitally read an object byte range (reference path).
 
         Only the blocks overlapping the requested range are read and have
         their update-patch chains applied, so the cost scales with the
         request, not the object.  Store-level updates are size-preserving,
         so every non-final block contributes exactly ``block_size`` bytes.
+
+        Args:
+            block_cache: optional decoded-block cache (anything with
+                ``get(partition, block)`` / ``put(partition, block, data)``,
+                e.g. :class:`repro.service.DecodedBlockCache`); cached
+                blocks skip the partition read, missing blocks are
+                inserted after decoding.
         """
         if length is None:
             length = record.size - offset
@@ -216,14 +230,23 @@ class DnaVolume:
         for extent, partition_block, _ in record.blocks_in_range(
             first_block, last_block
         ):
-            pieces.append(
-                self.partition(extent.partition).read_block_reference(partition_block)
-            )
+            data = None
+            if block_cache is not None:
+                data = block_cache.get(extent.partition, partition_block)
+            if data is None:
+                data = self.partition(extent.partition).read_block_reference(
+                    partition_block
+                )
+                if block_cache is not None:
+                    block_cache.put(extent.partition, partition_block, data)
+            pieces.append(data)
         combined = b"".join(pieces)
         start = offset - first_block * self.block_size
         return combined[start : start + length]
 
-    def update_record(self, record: ObjectRecord, offset: int, new_bytes: bytes) -> int:
+    def update_record(
+        self, record: ObjectRecord, offset: int, new_bytes: bytes
+    ) -> list[tuple[str, int]]:
         """Apply an in-place byte-range update as block-granular patches.
 
         Every touched block gets one minimal :class:`UpdatePatch` (logged
@@ -234,14 +257,16 @@ class DnaVolume:
         burns slots on a retry).
 
         Returns:
-            The number of blocks patched (unchanged blocks are skipped).
+            The patched blocks as ``(partition name, block)`` pairs
+            (unchanged blocks are skipped) — exactly the cache keys a
+            decoded-block cache must invalidate.
 
         Raises:
             StoreError: if the range leaves the object, or a touched block
                 has no free update slot / cannot hold the patch.
         """
         if not new_bytes:
-            return 0
+            return []
         if offset < 0 or offset + len(new_bytes) > record.size:
             raise StoreError(
                 f"update range [{offset}, {offset + len(new_bytes)}) outside "
@@ -249,7 +274,7 @@ class DnaVolume:
             )
         first_block = offset // self.block_size
         last_block = (offset + len(new_bytes) - 1) // self.block_size
-        planned: list[tuple[Partition, int]] = []
+        planned: list[tuple[Partition, str, int]] = []
         patches = []
         for extent, partition_block, block_offset in record.blocks_in_range(
             first_block, last_block
@@ -282,11 +307,11 @@ class DnaVolume:
                     f"{partition_block} exceeds the block size; "
                     "no patch of this update was applied"
                 )
-            planned.append((partition, partition_block))
+            planned.append((partition, extent.partition, partition_block))
             patches.append(patch)
-        for (partition, partition_block), patch in zip(planned, patches):
+        for (partition, _, partition_block), patch in zip(planned, patches):
             partition.update_block(partition_block, patch)
-        return len(planned)
+        return [(name, block) for _, name, block in planned]
 
     # ------------------------------------------------------------------
     # Synthesis support

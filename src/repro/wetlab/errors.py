@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # Only type annotations reference numpy; rng objects are duck-typed.
 
 from repro.constants import DNA_ALPHABET
 from repro.exceptions import WetlabError

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # The run models below stay importable; only Sequencer needs numpy.
 
 from repro.exceptions import SequencingError
 from repro.wetlab.errors import ErrorModel
@@ -71,6 +74,8 @@ class Sequencer:
     """
 
     def __init__(self, error_model: ErrorModel | None = None, *, seed: int = 0) -> None:
+        if np is None:
+            raise SequencingError("sequencing simulation requires numpy")
         self.error_model = error_model or ErrorModel()
         self._rng = np.random.default_rng(seed)
 

@@ -6,34 +6,31 @@
   only the size and the paragraph/block mapping matter).
 * :mod:`repro.workloads.generator` — synthetic binary workloads, filler
   partitions, Zipfian block-access traces and update-pattern generators.
+* :mod:`repro.workloads.service_traces` — multi-tenant Zipfian request
+  arrival traces for the serving layer (``repro.service``).
+
+Everything is pure Python and deterministic per seed; numpy is not
+required anywhere in this package.
 """
 
+from repro.workloads.generator import (
+    UpdateEvent,
+    ZipfSampler,
+    filler_file,
+    random_blocks,
+    update_trace,
+    zipfian_access_trace,
+)
 from repro.workloads.objects import object_corpus, synthetic_object
+from repro.workloads.service_traces import RequestEvent, multi_tenant_trace
 from repro.workloads.text import alice_like_text, paragraphs_to_blocks
 
-# The synthetic generators need numpy (Zipfian traces); resolve them
-# lazily so the text workload stays importable without it.
-_LAZY_EXPORTS = {
-    "UpdateEvent": "repro.workloads.generator",
-    "filler_file": "repro.workloads.generator",
-    "random_blocks": "repro.workloads.generator",
-    "update_trace": "repro.workloads.generator",
-    "zipfian_access_trace": "repro.workloads.generator",
-}
-
-
-def __getattr__(name: str):
-    module_name = _LAZY_EXPORTS.get(name)
-    if module_name is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    from importlib import import_module
-
-    return getattr(import_module(module_name), name)
-
-
 __all__ = [
+    "RequestEvent",
     "UpdateEvent",
+    "ZipfSampler",
     "filler_file",
+    "multi_tenant_trace",
     "random_blocks",
     "update_trace",
     "zipfian_access_trace",

@@ -4,14 +4,18 @@ Used by the benchmarks to populate the 12 filler partitions of the wetlab
 pool, to generate Zipfian block-access traces for the primer-elongation
 management discussion (Section 7.7.4), and to produce update events for the
 versioning experiments.
+
+Everything here is pure Python (``random.Random`` is stable across
+platforms and Python versions), so the generators are deterministic per
+seed with or without numpy installed.
 """
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.core.updates import UpdatePatch
 from repro.exceptions import DnaStorageError
@@ -33,6 +37,31 @@ def filler_file(size_bytes: int, *, seed: int = 0) -> bytes:
     return bytes(rng.getrandbits(8) for _ in range(size_bytes))
 
 
+class ZipfSampler:
+    """Draws ranks from a Zipfian distribution, pure Python and seedable.
+
+    Rank 0 is the most popular item; rank ``count - 1`` the least.  The
+    sampler precomputes the cumulative weight table once and draws by
+    binary search, so sampling is O(log count) without numpy.
+    """
+
+    def __init__(self, count: int, *, exponent: float = 1.1, rng: random.Random):
+        if count <= 0:
+            raise DnaStorageError("count must be positive")
+        if exponent <= 0:
+            raise DnaStorageError("exponent must be positive")
+        self.count = count
+        self._rng = rng
+        weights = (rank ** -exponent for rank in range(1, count + 1))
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self) -> int:
+        """Draw one rank (0 = most popular)."""
+        draw = bisect.bisect_left(self._cumulative, self._rng.random() * self._total)
+        return min(draw, self.count - 1)
+
+
 def zipfian_access_trace(
     block_count: int,
     accesses: int,
@@ -51,14 +80,12 @@ def zipfian_access_trace(
         raise DnaStorageError("block_count must be positive and accesses >= 0")
     if exponent <= 0:
         raise DnaStorageError("exponent must be positive")
-    rng = np.random.default_rng(seed)
-    ranks = np.arange(1, block_count + 1, dtype=float)
-    weights = ranks ** (-exponent)
-    probabilities = weights / weights.sum()
+    rng = random.Random(seed)
+    sampler = ZipfSampler(block_count, exponent=exponent, rng=rng)
     # Randomly permute which block gets which popularity rank.
-    permutation = rng.permutation(block_count)
-    draws = rng.choice(block_count, size=accesses, p=probabilities)
-    return [int(permutation[draw]) for draw in draws]
+    permutation = list(range(block_count))
+    rng.shuffle(permutation)
+    return [permutation[sampler.sample()] for _ in range(accesses)]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,115 @@
+"""Multi-tenant request traces for the serving layer (``repro.service``).
+
+The paper's scalability discussion (Sections 7.3–7.5 and 7.7.4) argues
+that precise block access only pays off at scale if the wetlab work is
+amortized over many requests; what it leaves open is what that request
+stream looks like.  This module synthesizes one: many tenants issuing
+reads against a shared object catalog, with Zipfian popularity over both
+objects and tenants, so concurrent requests frequently overlap on the
+same hot blocks — exactly the overlap the batch scheduler deduplicates.
+
+Generation is pure Python and deterministic per seed (no numpy needed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import DnaStorageError
+from repro.workloads.generator import ZipfSampler
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """One read request in a generated arrival trace.
+
+    Attributes:
+        time_hours: arrival time, in simulated hours from trace start.
+        tenant: identifier of the issuing tenant.
+        object_name: name of the requested object in the store catalog.
+        offset / length: requested byte range (``length=None`` reads to
+            the end of the object).
+    """
+
+    time_hours: float
+    tenant: str
+    object_name: str
+    offset: int = 0
+    length: int | None = None
+
+
+def multi_tenant_trace(
+    catalog: dict[str, int],
+    *,
+    tenants: int,
+    requests: int,
+    duration_hours: float = 24.0,
+    object_exponent: float = 1.1,
+    tenant_exponent: float = 0.8,
+    whole_object_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[RequestEvent]:
+    """Generate a multi-tenant Zipfian read trace over an object catalog.
+
+    Object popularity is a single global Zipfian over the catalog (with a
+    seeded permutation deciding which object is hot), shared by every
+    tenant — hot objects are hot for everyone, which is what makes
+    cross-tenant batching and caching effective.  Tenant activity is a
+    second, milder Zipfian.  Arrivals are i.i.d. uniform over the trace
+    duration (the order statistics of a Poisson process conditioned on
+    its count).
+
+    Args:
+        catalog: mapping from object name to object size in bytes.
+        tenants: number of distinct tenants issuing requests.
+        requests: total number of requests in the trace.
+        duration_hours: span of the arrival window.
+        object_exponent / tenant_exponent: Zipf skew parameters.
+        whole_object_fraction: fraction of requests that read the whole
+            object; the rest read a random sub-range.
+        seed: RNG seed; the trace is fully deterministic per seed.
+
+    Returns:
+        Request events sorted by arrival time.
+    """
+    if not catalog:
+        raise DnaStorageError("catalog must contain at least one object")
+    if any(size <= 0 for size in catalog.values()):
+        raise DnaStorageError("catalog object sizes must be positive")
+    if tenants <= 0 or requests < 0:
+        raise DnaStorageError("tenants must be positive and requests >= 0")
+    if duration_hours <= 0:
+        raise DnaStorageError("duration_hours must be positive")
+    if not 0.0 <= whole_object_fraction <= 1.0:
+        raise DnaStorageError("whole_object_fraction must be in [0, 1]")
+
+    rng = random.Random(seed)
+    names = list(catalog)
+    rng.shuffle(names)  # which object gets which popularity rank
+    object_sampler = ZipfSampler(len(names), exponent=object_exponent, rng=rng)
+    tenant_sampler = ZipfSampler(tenants, exponent=tenant_exponent, rng=rng)
+    tenant_names = [f"tenant-{index:03d}" for index in range(tenants)]
+    rng.shuffle(tenant_names)
+
+    arrivals = sorted(rng.random() * duration_hours for _ in range(requests))
+    events: list[RequestEvent] = []
+    for time_hours in arrivals:
+        name = names[object_sampler.sample()]
+        tenant = tenant_names[tenant_sampler.sample()]
+        size = catalog[name]
+        if rng.random() < whole_object_fraction or size == 1:
+            offset, length = 0, None
+        else:
+            offset = rng.randrange(size)
+            length = rng.randint(1, size - offset)
+        events.append(
+            RequestEvent(
+                time_hours=time_hours,
+                tenant=tenant,
+                object_name=name,
+                offset=offset,
+                length=length,
+            )
+        )
+    return events

@@ -10,7 +10,13 @@ from repro.analysis.cost_model import (
 )
 from repro.analysis.density import figure3_series, section43_overheads
 from repro.analysis.latency_model import latency_reduction
-from repro.analysis.stats import ReadDistribution, read_distribution
+from repro.analysis.stats import (
+    ReadDistribution,
+    SummaryStats,
+    percentile,
+    read_distribution,
+    summarize,
+)
 from repro.exceptions import DnaStorageError
 from repro.wetlab.sequencing import (
     IlluminaRunModel,
@@ -174,3 +180,41 @@ class TestReadDistribution:
         assert empty.on_target_fraction == 0.0
         assert empty.on_target_given_prefix == 0.0
         assert empty.skew() == 1.0
+
+
+class TestSummaryStats:
+    def test_percentile_interpolates(self):
+        values = [10, 20, 30, 40, 50]
+        assert percentile(values, 0.0) == 10
+        assert percentile(values, 1.0) == 50
+        assert percentile(values, 0.5) == 30
+        assert percentile(values, 0.25) == 20
+        assert percentile(values, 0.125) == pytest.approx(15.0)
+
+    def test_percentile_unsorted_input(self):
+        assert percentile([50, 10, 30, 20, 40], 0.5) == 30
+
+    def test_percentile_single_value(self):
+        assert percentile([7.5], 0.99) == 7.5
+
+    def test_percentile_invalid(self):
+        with pytest.raises(DnaStorageError):
+            percentile([], 0.5)
+        with pytest.raises(DnaStorageError):
+            percentile([1.0], 1.5)
+
+    def test_summarize(self):
+        stats = summarize(range(1, 101))
+        assert stats == SummaryStats(
+            count=100,
+            mean=50.5,
+            p50=50.5,
+            p95=pytest.approx(95.05),
+            p99=pytest.approx(99.01),
+            minimum=1,
+            maximum=100,
+        )
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(DnaStorageError):
+            summarize([])

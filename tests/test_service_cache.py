@@ -1,0 +1,90 @@
+"""Tests for the decoded-block cache of the serving layer."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import DecodedBlockCache
+
+
+def filled(capacity=100, entries=()):
+    cache = DecodedBlockCache(capacity)
+    for partition, block, data in entries:
+        cache.put(partition, block, data)
+    return cache
+
+
+class TestLookups:
+    def test_miss_then_hit(self):
+        cache = filled(entries=[("p", 0, b"x" * 10)])
+        assert cache.get("p", 1) is None
+        assert cache.get("p", 0) == b"x" * 10
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_contains_is_a_pure_peek(self):
+        cache = filled(entries=[("p", 0, b"a" * 40), ("p", 1, b"b" * 40)])
+        hits, misses = cache.stats.hits, cache.stats.misses
+        assert cache.contains("p", 0)
+        assert not cache.contains("p", 9)
+        # No stats movement...
+        assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+        # ...and no LRU refresh: block 0 is still the eviction victim.
+        cache.put("p", 2, b"c" * 40)
+        assert not cache.contains("p", 0)
+        assert cache.contains("p", 1)
+
+    def test_get_refreshes_lru_position(self):
+        cache = filled(entries=[("p", 0, b"a" * 40), ("p", 1, b"b" * 40)])
+        cache.get("p", 0)  # block 0 is now most-recently used
+        cache.put("p", 2, b"c" * 40)
+        assert cache.contains("p", 0)
+        assert not cache.contains("p", 1)
+
+
+class TestCapacity:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ServiceError):
+            DecodedBlockCache(0)
+
+    def test_eviction_respects_byte_budget(self):
+        cache = filled(capacity=100, entries=[("p", i, b"x" * 30) for i in range(4)])
+        assert cache.used_bytes == 90
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+        assert not cache.contains("p", 0)
+
+    def test_oversized_block_is_rejected_not_thrashing(self):
+        cache = filled(capacity=50, entries=[("p", 0, b"x" * 30)])
+        cache.put("p", 1, b"y" * 51)
+        assert cache.stats.rejections == 1
+        assert cache.contains("p", 0), "oversized insert must not evict live data"
+        assert not cache.contains("p", 1)
+
+    def test_replacing_a_key_adjusts_used_bytes(self):
+        cache = filled(capacity=100, entries=[("p", 0, b"x" * 30)])
+        cache.put("p", 0, b"y" * 50)
+        assert cache.used_bytes == 50
+        assert len(cache) == 1
+        assert cache.get("p", 0) == b"y" * 50
+
+
+class TestInvalidation:
+    def test_invalidate_drops_entry(self):
+        cache = filled(entries=[("p", 0, b"x" * 10)])
+        assert cache.invalidate("p", 0)
+        assert cache.used_bytes == 0
+        assert cache.get("p", 0) is None
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_missing_is_noop(self):
+        cache = filled()
+        assert not cache.invalidate("p", 0)
+        assert cache.stats.invalidations == 0
+
+    def test_clear_preserves_counters(self):
+        cache = filled(entries=[("p", 0, b"x" * 10)])
+        cache.get("p", 0)
+        cache.clear()
+        assert len(cache) == 0 and cache.used_bytes == 0
+        assert cache.stats.hits == 1 and cache.stats.insertions == 1

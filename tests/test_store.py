@@ -9,7 +9,15 @@ round trip lives in ``tests/test_store_wetlab_roundtrip.py``.
 import pytest
 
 from repro.exceptions import StoreError
-from repro.store import DnaVolume, ObjectStore, VolumeConfig, plan_object_read
+from repro.store import (
+    DnaVolume,
+    ObjectStore,
+    VolumeConfig,
+    block_ranges_for_read,
+    merge_partition_ranges,
+    plan_object_read,
+    plan_partition_ranges,
+)
 from repro.workloads.objects import synthetic_object
 
 
@@ -220,3 +228,119 @@ class TestReadPlanner:
         record = store.put("obj", synthetic_object(2000, seed=13))
         direct = plan_object_read(store.volume, record)
         assert direct.block_count == store.read_plan("obj").block_count
+
+
+class TestPlannerEdgeCases:
+    def test_empty_byte_range_rejected(self):
+        store = small_store()
+        store.put("obj", b"x" * 1000)
+        with pytest.raises(StoreError):
+            store.read_plan("obj", offset=100, length=0)
+        with pytest.raises(StoreError):
+            store.read_plan("obj", offset=1000)  # zero bytes left at the end
+        with pytest.raises(StoreError):
+            block_ranges_for_read(store.record("obj"), offset=500, length=-1)
+
+    def test_single_block_object(self):
+        store = small_store()
+        store.put("tiny", b"q" * 17)
+        plan = store.read_plan("tiny")
+        assert plan.reaction_count == 1
+        assert plan.block_count == 1
+        [access] = plan.accesses
+        assert access.start_block == access.end_block
+        assert store.block_ranges("tiny") == {access.partition: [(0, 0)]}
+
+    def test_range_spanning_a_stripe_wrap(self):
+        """A range wrapping back to the first partition still merges to
+        one access per partition, not one per stripe."""
+        store = small_store(stripe_blocks=2, stripe_width=2)
+        block_size = store.volume.block_size
+        record = store.put("obj", synthetic_object(block_size * 8, seed=30))
+        # Stripes of 2 alternate partitions: p0 holds logical 0-1 and 4-5,
+        # p1 holds logical 2-3 and 6-7.
+        assert len(record.partition_names) == 2
+        plan = store.read_plan("obj", offset=block_size, length=block_size * 6)
+        # Logical 1..6 -> p0 partition blocks {1,2,3}, p1 {0,1,2}: the
+        # wrapped stripes abut, so each partition needs one merged access.
+        assert plan.reaction_count == 2
+        assert plan.block_count == 6
+        spans = {a.partition: (a.start_block, a.end_block) for a in plan.accesses}
+        assert sorted(spans.values()) == [(0, 2), (1, 3)]
+
+    def test_cross_tenant_merge_of_overlapping_ranges(self):
+        store = small_store()
+        block_size = store.volume.block_size
+        record = store.put("obj", synthetic_object(block_size * 6, seed=31))
+        tenant_a = block_ranges_for_read(record, offset=0, length=3 * block_size)
+        tenant_b = block_ranges_for_read(
+            record, offset=2 * block_size, length=3 * block_size
+        )
+        merged = merge_partition_ranges([tenant_a, tenant_b])
+        merged_blocks = sum(
+            end - start + 1 for spans in merged.values() for start, end in spans
+        )
+        assert merged_blocks == 5  # logical blocks 0-2 union 2-4
+        plan = plan_partition_ranges(store.volume, merged, label="tenants")
+        assert plan.block_count == merged_blocks
+        solo = (
+            plan_object_read(store.volume, record, offset=0, length=3 * block_size),
+            plan_object_read(
+                store.volume, record, offset=2 * block_size, length=3 * block_size
+            ),
+        )
+        assert plan.block_count < sum(p.block_count for p in solo)
+        assert plan.object_name == "tenants"
+
+    def test_merge_is_idempotent_and_order_independent(self):
+        store = small_store()
+        block_size = store.volume.block_size
+        record = store.put("obj", synthetic_object(block_size * 5, seed=32))
+        first = block_ranges_for_read(record)
+        again = merge_partition_ranges([first, first])
+        assert again == merge_partition_ranges([first])
+        assert {k: v for k, v in sorted(again.items())} == {
+            k: v for k, v in sorted(first.items())
+        }
+
+
+class TestCacheReadPath:
+    class _DictCache:
+        """Minimal cache double for the volume's block_cache protocol."""
+
+        def __init__(self):
+            self.entries = {}
+            self.gets = 0
+
+        def get(self, partition, block):
+            self.gets += 1
+            return self.entries.get((partition, block))
+
+        def put(self, partition, block, data):
+            self.entries[(partition, block)] = data
+
+        def invalidate(self, partition, block):
+            self.entries.pop((partition, block), None)
+
+    def test_get_fills_and_then_serves_from_cache(self):
+        store = small_store()
+        data = synthetic_object(2000, seed=40)
+        store.put("obj", data)
+        cache = self._DictCache()
+        assert store.get("obj", block_cache=cache) == data
+        filled = len(cache.entries)
+        assert filled == store.record("obj").block_count
+        # Second read is served from the cache: same bytes, no new fills.
+        assert store.get("obj", block_cache=cache) == data
+        assert len(cache.entries) == filled
+
+    def test_attached_cache_is_default_and_kept_coherent(self):
+        store = small_store()
+        data = synthetic_object(1500, seed=41)
+        store.put("obj", data)
+        cache = self._DictCache()
+        store.attach_cache(cache)
+        assert store.get("obj") == data
+        assert cache.entries
+        store.update("obj", 0, b"FRESH")
+        assert store.get("obj")[:5] == b"FRESH"

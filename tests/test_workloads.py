@@ -9,6 +9,7 @@ from repro.workloads.generator import (
     update_trace,
     zipfian_access_trace,
 )
+from repro.workloads.service_traces import multi_tenant_trace
 from repro.workloads.text import alice_like_text, paragraphs_to_blocks
 
 
@@ -114,3 +115,61 @@ class TestUpdateTraces:
     def test_invalid_max_insert(self):
         with pytest.raises(DnaStorageError):
             update_trace([1], max_insert=0)
+
+
+class TestMultiTenantTraces:
+    CATALOG = {f"obj-{i:02d}": 256 * (1 + i % 4) for i in range(16)}
+
+    def test_shape_and_bounds(self):
+        trace = multi_tenant_trace(
+            self.CATALOG, tenants=5, requests=200, duration_hours=10.0, seed=1
+        )
+        assert len(trace) == 200
+        assert [e.time_hours for e in trace] == sorted(e.time_hours for e in trace)
+        for event in trace:
+            assert event.object_name in self.CATALOG
+            size = self.CATALOG[event.object_name]
+            assert 0 <= event.offset < size
+            if event.length is not None:
+                assert 0 < event.offset + event.length <= size
+
+    def test_deterministic_per_seed(self):
+        first = multi_tenant_trace(self.CATALOG, tenants=5, requests=100, seed=4)
+        second = multi_tenant_trace(self.CATALOG, tenants=5, requests=100, seed=4)
+        assert first == second
+        other = multi_tenant_trace(self.CATALOG, tenants=5, requests=100, seed=5)
+        assert first != other
+
+    def test_object_popularity_is_skewed(self):
+        trace = multi_tenant_trace(
+            self.CATALOG, tenants=20, requests=2000, object_exponent=1.2, seed=2
+        )
+        counts = {}
+        for event in trace:
+            counts[event.object_name] = counts.get(event.object_name, 0) + 1
+        top = max(counts.values())
+        assert top > 0.15 * len(trace)
+
+    def test_tenants_share_hot_objects(self):
+        """The hottest object is requested by many tenants (cross-tenant
+
+        overlap is what the batch scheduler deduplicates)."""
+        trace = multi_tenant_trace(
+            self.CATALOG, tenants=10, requests=1000, seed=3
+        )
+        counts = {}
+        for event in trace:
+            counts[event.object_name] = counts.get(event.object_name, 0) + 1
+        hottest = max(counts, key=counts.get)
+        tenants = {e.tenant for e in trace if e.object_name == hottest}
+        assert len(tenants) >= 5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DnaStorageError):
+            multi_tenant_trace({}, tenants=1, requests=1)
+        with pytest.raises(DnaStorageError):
+            multi_tenant_trace(self.CATALOG, tenants=0, requests=1)
+        with pytest.raises(DnaStorageError):
+            multi_tenant_trace(self.CATALOG, tenants=1, requests=1, duration_hours=0)
+        with pytest.raises(DnaStorageError):
+            multi_tenant_trace({"a": 0}, tenants=1, requests=1)
