@@ -5,9 +5,16 @@ just 225 sequenced reads (trace reconstruction over the ~31 largest
 clusters), whereas the baseline whole-partition access would need ~50 000
 reads for the same block at the same per-strand coverage (only 0.34% of its
 output is useful).
+
+This file also benchmarks the clustering engine itself — the serving
+layer's wetlab-fidelity hot path — comparing the pure-Python and
+numpy-batched distance backends on the full precise-access readout.
+Results are recorded in ``BENCH_decoding.json``.
 """
 
-from conftest import report
+import time
+
+from conftest import emit_bench_json, report
 
 
 def test_sec8_decode_block_from_few_reads(benchmark, alice_experiment, precise_access_531):
@@ -44,6 +51,18 @@ def test_sec8_decode_block_from_few_reads(benchmark, alice_experiment, precise_a
             f"equivalent baseline reads needed (paper ~50 000): ~{baseline_reads_needed:,}",
         ],
     )
+    emit_bench_json(
+        "decoding",
+        "few_reads_decode",
+        {
+            "reads_used": outcome.reads_used,
+            "clusters_used": outcome.report.clusters_used,
+            "strands_recovered": outcome.report.strands_recovered,
+            "duplicate_strands_discarded": outcome.report.duplicate_strands_discarded,
+            "decoded_correctly": bool(outcome.correct),
+            "baseline_reads_needed": baseline_reads_needed,
+        },
+    )
 
 
 def test_sec8_decoding_latency(benchmark, alice_experiment, precise_access_531):
@@ -56,3 +75,95 @@ def test_sec8_decoding_latency(benchmark, alice_experiment, precise_access_531):
     decoder = BlockDecoder(alice_experiment.partition)
     report_obj = benchmark(decoder.decode_block, reads, 531)
     assert report_obj.success
+
+
+def test_sec8_clustering_backend_speedup():
+    """The clustering hot path on a wetlab-serving readout: the
+    numpy-batched distance backend must produce identical clusters at a
+    >= 3x speedup over the pure-Python banded backend (it is what makes
+    wetlab-fidelity serving affordable at trace scale).
+
+    The workload is exactly what ``ServiceSimulator`` feeds
+    ``decode_readout`` under ``fidelity="wetlab"``: a 64-block merged plan
+    of one partition, amplified and sequenced at 150 reads per block.
+    """
+    from repro.pipeline.clustering import cluster_reads
+    from repro.pipeline.decoder import BlockDecoder
+    from repro.pipeline.distance import available_distance_backends
+    from repro.pipeline.reads import reads_with_prefix
+    from repro.store import DnaVolume, ObjectStore, VolumeConfig
+    from repro.store.planner import plan_partition_ranges
+    from repro.wetlab.readout import WetlabReadout
+    from repro.workloads.objects import object_corpus
+
+    volume = DnaVolume(
+        config=VolumeConfig(partition_leaf_count=64, stripe_blocks=8, stripe_width=2)
+    )
+    store = ObjectStore(volume)
+    corpus = object_corpus(
+        {f"obj-{i}": volume.block_size * 12 for i in range(8)}, seed=5
+    )
+    for name, data in corpus.items():
+        store.put(name, data)
+    partition_name = volume.partition_names[0]
+    partition = volume.partition(partition_name)
+    written = partition.written_blocks()
+    plan = plan_partition_ranges(
+        volume, {partition_name: [(written[0], written[-1])]}
+    )
+    raw_reads = WetlabReadout(volume, reads_per_block=150, seed=3).readout(plan)[
+        partition_name
+    ]
+    decoder = BlockDecoder(partition)
+    reads = reads_with_prefix(
+        raw_reads,
+        partition.config.primers.forward,
+        max_errors=decoder.max_prefix_errors,
+    )
+    signature_start, signature_length = decoder._signature_window()
+
+    assert "numpy" in available_distance_backends(), (
+        "the clustering speedup benchmark needs the numpy backend"
+    )
+    timings = {}
+    shapes = {}
+    for backend in ("python", "numpy"):
+        best = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            clusters = cluster_reads(
+                reads,
+                signature_start=signature_start,
+                signature_length=signature_length,
+                distance_backend=backend,
+            )
+            best = min(best, time.perf_counter() - started)
+        timings[backend] = best
+        shapes[backend] = [
+            (cluster.signature, tuple(cluster.reads)) for cluster in clusters
+        ]
+    assert shapes["python"] == shapes["numpy"]
+
+    speedup = timings["python"] / timings["numpy"]
+    report(
+        "Section 8 — clustering backend speedup (serving hot path)",
+        [
+            f"reads clustered: {len(reads)}",
+            f"clusters: {len(shapes['python'])}",
+            f"python backend: {timings['python']:.3f}s",
+            f"numpy backend:  {timings['numpy']:.3f}s",
+            f"speedup: {speedup:.1f}x (acceptance: >= 3x)",
+        ],
+    )
+    emit_bench_json(
+        "decoding",
+        "clustering_backend",
+        {
+            "reads": len(reads),
+            "clusters": len(shapes["python"]),
+            "python_seconds": round(timings["python"], 4),
+            "numpy_seconds": round(timings["numpy"], 4),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= 3.0

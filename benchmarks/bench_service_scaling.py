@@ -18,7 +18,7 @@ Pure Python end to end — this benchmark runs with or without numpy.
 
 import time
 
-from conftest import report
+from conftest import emit_bench_json, report
 from repro.service import POLICIES, ServiceConfig, ServiceSimulator
 from repro.store import DnaVolume, ObjectStore, VolumeConfig
 from repro.workloads import multi_tenant_trace, object_corpus
@@ -125,7 +125,104 @@ def test_service_scaling():
         f"{unbatched.sequenced_reads / cached.sequenced_reads:.1f}x"
     )
     report("Service scaling — batched + cached serving vs unbatched", rows)
+    emit_bench_json(
+        "service_scaling",
+        "policies",
+        {
+            "requests": REQUESTS,
+            "tenants": TENANTS,
+            "distinct_blocks": unbatched.distinct_requested_blocks,
+            "simulated_seconds": round(elapsed, 2),
+            "per_policy": {
+                policy: {
+                    "batches": reports[policy].batches,
+                    "pcr_reactions": reports[policy].pcr_reactions,
+                    "sequenced_reads": reports[policy].sequenced_reads,
+                    "amplification_factor": round(
+                        reports[policy].amplification_factor, 3
+                    ),
+                    "p50_hours": round(reports[policy].latency.p50, 3),
+                    "p95_hours": round(reports[policy].latency.p95, 3),
+                    "p99_hours": round(reports[policy].latency.p99, 3),
+                    "cache_hit_rate": (
+                        round(reports[policy].cache.hit_rate, 4)
+                        if reports[policy].cache
+                        else None
+                    ),
+                }
+                for policy in POLICIES
+            },
+            "pcr_reduction_batched": round(
+                unbatched.pcr_reactions / batched.pcr_reactions, 2
+            ),
+            "pcr_reduction_cached": round(
+                unbatched.pcr_reactions / cached.pcr_reactions, 2
+            ),
+        },
+    )
+
+
+def test_service_wetlab_fidelity_smoke():
+    """A small multi-tenant trace served end to end at wetlab fidelity:
+    every batch runs real PCR + sequencing + decoding, and every request's
+    bytes must match the reference path.  Skipped without numpy."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        import pytest
+
+        pytest.skip("wetlab fidelity requires numpy")
+    volume = DnaVolume(
+        config=VolumeConfig(partition_leaf_count=16, stripe_blocks=2, stripe_width=2)
+    )
+    store = ObjectStore(volume)
+    block_size = volume.block_size
+    corpus = object_corpus(
+        {f"obj-{i}": block_size * (1 + i % 3) for i in range(4)}, seed=SEED
+    )
+    for name, data in corpus.items():
+        store.put(name, data)
+    store.update("obj-1", 3, b"SMOKE-PATCH")
+    catalog = {name: len(data) for name, data in corpus.items()}
+    trace = multi_tenant_trace(
+        catalog, tenants=5, requests=16, duration_hours=10.0, seed=SEED
+    )
+    simulator = ServiceSimulator(
+        store,
+        config=ServiceConfig(
+            window_hours=0.5,
+            reads_per_block=150,
+            cache_capacity_bytes=block_size * 32,
+        ),
+    )
+    started = time.perf_counter()
+    wetlab = simulator.run(trace, "batched+cache", fidelity="wetlab")
+    elapsed = time.perf_counter() - started
+    reference = simulator.run(trace, "batched+cache")
+    assert wetlab.failed == ()
+    assert len(wetlab.completed) == len(trace)
+    assert wetlab.checksum == reference.checksum
+    report(
+        "Service wetlab-fidelity smoke",
+        [
+            f"{len(trace)} requests, {wetlab.batches} wetlab cycles, "
+            f"{wetlab.sequenced_reads} reads sequenced (in {elapsed:.1f}s)",
+            "per-request checksums identical to the reference path",
+        ],
+    )
+    emit_bench_json(
+        "service_scaling",
+        "wetlab_smoke",
+        {
+            "requests": len(trace),
+            "wetlab_cycles": wetlab.batches,
+            "sequenced_reads": wetlab.sequenced_reads,
+            "wall_seconds": round(elapsed, 2),
+            "checksum_matches_reference": wetlab.checksum == reference.checksum,
+        },
+    )
 
 
 if __name__ == "__main__":
     test_service_scaling()
+    test_service_wetlab_fidelity_smoke()

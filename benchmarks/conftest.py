@@ -7,6 +7,7 @@ one session-scoped :class:`AliceExperiment` at the paper's full scale
 whole suite in the low minutes.
 """
 
+import json
 import sys
 from pathlib import Path
 
@@ -15,6 +16,10 @@ import pytest
 _SRC = Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+#: Machine-readable benchmark results land next to the repo's other
+#: top-level reports so the perf trajectory is trackable across PRs.
+_BENCH_DIR = Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -46,3 +51,24 @@ def report(title, rows):
     print(text)
     with open(Path(__file__).parent / "results.log", "a", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+def emit_bench_json(name, section, payload):
+    """Merge one benchmark's numbers into ``BENCH_<name>.json``.
+
+    Each benchmark file owns one JSON document; individual tests write
+    their own ``section`` so partial runs update rather than clobber.
+    Values must be JSON-serializable (numbers, strings, lists, dicts).
+    """
+    path = _BENCH_DIR / f"BENCH_{name}.json"
+    document = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            document = {}
+    document[section] = payload
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -94,12 +94,16 @@ class BlockDecoder:
         max_read_distance: int = 12,
         max_candidates_per_address: int = 3,
         max_decode_attempts_per_slot: int = 48,
+        distance_backend=None,
     ) -> None:
         self.partition = partition
         self.max_prefix_errors = max_prefix_errors
         self.max_read_distance = max_read_distance
         self.max_candidates_per_address = max_candidates_per_address
         self.max_decode_attempts_per_slot = max_decode_attempts_per_slot
+        #: Distance backend used by the clustering pass (``"python"``,
+        #: ``"numpy"``, ``None`` for auto); both produce identical clusters.
+        self.distance_backend = distance_backend
 
     # ------------------------------------------------------------------
     # Internals
@@ -347,6 +351,7 @@ class BlockDecoder:
             signature_start=signature_start,
             signature_length=signature_length,
             max_read_distance=self.max_read_distance,
+            distance_backend=self.distance_backend,
         )
         report.clusters_total = len(clusters)
 
@@ -410,6 +415,7 @@ class BlockDecoder:
             signature_start=signature_start,
             signature_length=signature_length,
             max_read_distance=self.max_read_distance,
+            distance_backend=self.distance_backend,
         )
 
         # One reconstruction pass; strands are attributed to blocks by

@@ -100,9 +100,12 @@ def levenshtein_distance(left: str, right: str, *, upper_bound: int | None = Non
     Args:
         left: first string.
         right: second string.
-        upper_bound: if given, the computation may stop early and return
-            ``upper_bound + 1`` as soon as the distance is known to exceed
-            the bound.  This makes clustering over many reads affordable.
+        upper_bound: if given, only the diagonal band of width
+            ``2 * upper_bound + 1`` is computed (Ukkonen banding) and the
+            function returns ``upper_bound + 1`` as soon as the distance is
+            known to exceed the bound.  This turns each comparison from
+            O(n*m) into O(n*upper_bound), which is what makes clustering
+            over many reads affordable.
 
     Returns:
         The minimum number of insertions, deletions and substitutions needed
@@ -114,27 +117,58 @@ def levenshtein_distance(left: str, right: str, *, upper_bound: int | None = Non
         return len(right)
     if not right:
         return len(left)
-    if upper_bound is not None and abs(len(left) - len(right)) > upper_bound:
-        return upper_bound + 1
+    if upper_bound is None:
+        # Classic two-row dynamic program over the full matrix.
+        previous = list(range(len(right) + 1))
+        for i, a in enumerate(left, start=1):
+            current = [i] + [0] * len(right)
+            for j, b in enumerate(right, start=1):
+                cost = 0 if a == b else 1
+                current[j] = min(
+                    previous[j] + 1,        # deletion
+                    current[j - 1] + 1,     # insertion
+                    previous[j - 1] + cost, # substitution
+                )
+            previous = current
+        return previous[-1]
 
-    # Classic two-row dynamic program; strings in this library are short
-    # (reads of ~150 bases), so O(n*m) with early-exit banding is fine.
-    previous = list(range(len(right) + 1))
-    for i, a in enumerate(left, start=1):
-        current = [i] + [0] * len(right)
-        row_minimum = i
-        for j, b in enumerate(right, start=1):
-            cost = 0 if a == b else 1
-            current[j] = min(
-                previous[j] + 1,        # deletion
-                current[j - 1] + 1,     # insertion
-                previous[j - 1] + cost, # substitution
-            )
-            row_minimum = min(row_minimum, current[j])
-        if upper_bound is not None and row_minimum > upper_bound:
-            return upper_bound + 1
+    bound = upper_bound
+    n, m = len(left), len(right)
+    if abs(n - m) > bound:
+        return bound + 1
+    big = bound + 1
+    # Banded DP: row ``i`` only needs columns ``j`` with |i - j| <= bound
+    # (any cell outside the band is > bound).  ``previous`` holds the band
+    # of row ``i - 1`` starting at column ``lo_prev``.
+    lo_prev = 0
+    previous = list(range(min(m, bound) + 1))
+    for i in range(1, n + 1):
+        lo = max(0, i - bound)
+        hi = min(m, i + bound)
+        a = left[i - 1]
+        current = []
+        row_minimum = big
+        prev_hi = lo_prev + len(previous) - 1
+        for j in range(lo, hi + 1):
+            if j == 0:
+                value = i
+            else:
+                cost = 0 if a == right[j - 1] else 1
+                diagonal = (
+                    previous[j - 1 - lo_prev] if lo_prev <= j - 1 <= prev_hi else big
+                )
+                above = previous[j - lo_prev] if lo_prev <= j <= prev_hi else big
+                beside = current[j - 1 - lo] if j - 1 >= lo else big
+                value = min(diagonal + cost, above + 1, beside + 1)
+            current.append(value)
+            if value < row_minimum:
+                row_minimum = value
+        if row_minimum > bound:
+            return big
         previous = current
-    return previous[-1]
+        lo_prev = lo
+    distance = previous[m - lo_prev]
+    return distance if distance <= bound else big
 
 
 def kmer_set(sequence: str, k: int) -> frozenset[str]:

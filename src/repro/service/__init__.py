@@ -25,8 +25,9 @@ Pure Python end to end — the serving layer imports only the sequencing
 
 from repro.service.cache import CacheStats, DecodedBlockCache, PinnedCacheView
 from repro.service.queue import BatchScheduler, RequestQueue, ScheduledBatch
-from repro.service.requests import CompletedRequest, ReadRequest
+from repro.service.requests import CompletedRequest, FailedRequest, ReadRequest
 from repro.service.simulator import (
+    FIDELITIES,
     POLICIES,
     PolicyReport,
     ServiceConfig,
@@ -35,11 +36,13 @@ from repro.service.simulator import (
 )
 
 __all__ = [
+    "FIDELITIES",
     "POLICIES",
     "BatchScheduler",
     "CacheStats",
     "CompletedRequest",
     "DecodedBlockCache",
+    "FailedRequest",
     "PinnedCacheView",
     "PolicyReport",
     "ReadRequest",

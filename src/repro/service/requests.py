@@ -39,8 +39,8 @@ class ReadRequest:
     def __post_init__(self) -> None:
         if self.offset < 0:
             raise ServiceError("request offset must be non-negative")
-        if self.length is not None and self.length <= 0:
-            raise ServiceError("request length must be positive (or None)")
+        if self.length is not None and self.length < 0:
+            raise ServiceError("request length must be non-negative (or None)")
         if self.arrival_hours < 0:
             raise ServiceError("arrival_hours must be non-negative")
 
@@ -71,3 +71,30 @@ class CompletedRequest:
     def latency_hours(self) -> float:
         """Admission-to-delivery latency on the simulated clock."""
         return self.completion_hours - self.request.arrival_hours
+
+
+@dataclass(frozen=True)
+class FailedRequest:
+    """A request the service rejected without aborting anyone else.
+
+    Malformed trace events (negative ranges), unknown objects and ranges
+    past the object's end fail *individually* at admission: the offending
+    request gets a rejection outcome at its arrival time and every other
+    tenant's requests keep being served.
+
+    Attributes:
+        request_id: admission id the request would have been assigned.
+        tenant / object_name / offset / length: the faulty event's fields,
+            kept verbatim (the event may be too malformed to build a
+            :class:`ReadRequest` from).
+        arrival_hours: arrival (and rejection) time on the simulated clock.
+        reason: human-readable rejection reason.
+    """
+
+    request_id: int
+    tenant: str
+    object_name: str
+    offset: int
+    length: int | None
+    arrival_hours: float
+    reason: str

@@ -20,6 +20,24 @@ policies differ only in wetlab work and latency — which is exactly the
 comparison reported: throughput, p50/p95/p99 latency
 (:func:`repro.analysis.stats.summarize`), PCR reactions, sequenced reads,
 cache hit rate and amplification waste.
+
+Two *fidelities* of the read path are supported (orthogonal to policy):
+
+* ``fidelity="reference"`` — payload bytes come from the digital
+  reference (originals plus patch chains); wetlab work is only *charged*.
+* ``fidelity="wetlab"`` — every scheduled cycle physically runs its
+  merged plan through simulated PCR amplification and sequencing-read
+  sampling (:class:`repro.wetlab.readout.WetlabReadout`), decodes exactly
+  the planned block set through clustering, trace reconstruction and
+  Reed-Solomon (:meth:`ObjectStore.decode_blocks`), serves responses from
+  those wetlab-decoded payloads and asserts each request's checksum
+  against the reference path.  Requires numpy.
+
+Malformed requests — negative ranges, unknown objects, ranges past the
+object's end — fail *individually* at admission (recorded as
+:class:`FailedRequest` outcomes); they never abort other tenants'
+requests.  Zero-length reads are valid empty reads served at front-end
+speed with no wetlab work.
 """
 
 from __future__ import annotations
@@ -32,15 +50,16 @@ from typing import Iterable
 
 from repro.analysis.latency_model import LatencyComparison
 from repro.analysis.stats import SummaryStats, summarize
-from repro.exceptions import ServiceError
+from repro.exceptions import DnaStorageError, ServiceError
 from repro.service.cache import CacheStats, DecodedBlockCache, PinnedCacheView
 from repro.service.queue import BatchScheduler, RequestQueue, ScheduledBatch
-from repro.service.requests import CompletedRequest, ReadRequest
+from repro.service.requests import CompletedRequest, FailedRequest, ReadRequest
 from repro.store.object_store import ObjectStore
 from repro.wetlab.sequencing import IlluminaRunModel, NanoporeRunModel
 from repro.workloads.service_traces import RequestEvent
 
 POLICIES = ("unbatched", "batched", "batched+cache")
+FIDELITIES = ("reference", "wetlab")
 
 
 @dataclass(frozen=True)
@@ -60,6 +79,9 @@ class ServiceConfig:
         cache_capacity_bytes: byte budget of the decoded-block cache.
         cache_service_hours: latency of a fully cache-served response.
         illumina / nanopore: the run models used to charge latency.
+        wetlab_seed: base RNG seed of the default wetlab readout engine
+            (synthesis skew, sequencing sampling) under
+            ``fidelity="wetlab"``.
     """
 
     window_hours: float = 0.5
@@ -70,6 +92,7 @@ class ServiceConfig:
     cache_service_hours: float = 0.005
     illumina: IlluminaRunModel = field(default_factory=IlluminaRunModel)
     nanopore: NanoporeRunModel = field(default_factory=NanoporeRunModel)
+    wetlab_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.window_hours < 0:
@@ -95,7 +118,12 @@ class PolicyReport:
 
     Attributes:
         policy: the serving policy name.
+        fidelity: read-path fidelity the trace was served under
+            (``"reference"`` or ``"wetlab"``).
         completed: every served request, in completion order.
+        failed: requests rejected at admission (malformed range, unknown
+            object), in admission order; they are excluded from latency,
+            throughput and checksum accounting.
         latency: p50/p95/p99-style summary of per-request latency hours.
         makespan_hours: time of the last delivery.
         throughput_per_hour: requests delivered per simulated hour.
@@ -127,6 +155,8 @@ class PolicyReport:
     sequenced_reads: int
     decoded_bytes: int
     checksum: int
+    fidelity: str = "reference"
+    failed: tuple[FailedRequest, ...] = ()
     cache: CacheStats | None = None
     payloads: dict[int, bytes] | None = None
 
@@ -167,12 +197,48 @@ def policy_latency_comparison(
 
 
 class ServiceSimulator:
-    """Deterministic discrete-event loop over a request arrival trace."""
+    """Deterministic discrete-event loop over a request arrival trace.
 
-    def __init__(self, store: ObjectStore, *, config: ServiceConfig | None = None):
+    Args:
+        store: the object store requests read from.
+        config: serving tunables (window, latency models, cache budget).
+        readout: optional pre-built :class:`repro.wetlab.readout.WetlabReadout`
+            used under ``fidelity="wetlab"`` (e.g. with a custom error
+            model or PCR protocol); a default is built lazily from the
+            config's ``reads_per_block`` and ``wetlab_seed``.  Synthesized
+            pools are cached on the engine, so repeated runs against an
+            unchanged store reuse them.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        *,
+        config: ServiceConfig | None = None,
+        readout=None,
+    ):
         self.store = store
         self.config = config or ServiceConfig()
         self.scheduler = BatchScheduler(store)
+        self.readout = readout
+
+    def _wetlab_readout(self):
+        """The wetlab readout engine, built on first use (needs numpy)."""
+        if self.readout is None:
+            try:
+                from repro.wetlab.readout import WetlabReadout
+            except ImportError as exc:  # pragma: no cover - no-numpy envs
+                raise ServiceError(
+                    "fidelity='wetlab' requires numpy (synthesis and "
+                    "sequencing sampling); install numpy or use "
+                    "fidelity='reference'"
+                ) from exc
+            self.readout = WetlabReadout(
+                self.store.volume,
+                reads_per_block=self.config.reads_per_block,
+                seed=self.config.wetlab_seed,
+            )
+        return self.readout
 
     # ------------------------------------------------------------------
     # Wetlab charging
@@ -194,6 +260,7 @@ class ServiceSimulator:
         trace: Iterable[RequestEvent],
         policy: str,
         *,
+        fidelity: str = "reference",
         keep_data: bool = False,
     ) -> PolicyReport:
         """Serve a whole arrival trace under one policy.
@@ -201,28 +268,63 @@ class ServiceSimulator:
         Args:
             trace: request events (need not be sorted).
             policy: one of :data:`POLICIES`.
+            fidelity: one of :data:`FIDELITIES`; ``"wetlab"`` serves every
+                cycle from physically decoded reads (PCR → sequencing →
+                clustering → RS) and asserts per-request checksums against
+                the reference path.
             keep_data: retain per-request payload bytes in the report
                 (tests only; defaults off to bound memory at scale).
 
         Raises:
-            ServiceError: if the policy is unknown or the trace is empty.
+            ServiceError: if the policy or fidelity is unknown, the trace
+                is empty, or a wetlab-decoded payload fails its reference
+                checksum.
         """
         if policy not in POLICIES:
             raise ServiceError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+        if fidelity not in FIDELITIES:
+            raise ServiceError(
+                f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
+            )
         events = sorted(trace, key=lambda event: event.time_hours)
         if not events:
             raise ServiceError("cannot simulate an empty trace")
-        requests = [
-            ReadRequest(
-                request_id=index,
-                tenant=event.tenant,
-                object_name=event.object_name,
-                offset=event.offset,
-                length=event.length,
-                arrival_hours=event.time_hours,
+        wetlab = self._wetlab_readout() if fidelity == "wetlab" else None
+
+        requests: list[ReadRequest] = []
+        failed: list[FailedRequest] = []
+
+        def reject(index: int, event: RequestEvent, reason: str) -> None:
+            failed.append(
+                FailedRequest(
+                    request_id=index,
+                    tenant=event.tenant,
+                    object_name=event.object_name,
+                    offset=event.offset,
+                    length=event.length,
+                    arrival_hours=event.time_hours,
+                    reason=reason,
+                )
             )
-            for index, event in enumerate(events)
-        ]
+
+        for index, event in enumerate(events):
+            # Structurally malformed events are rejected before a request
+            # object exists; range-vs-object validation happens at arrival
+            # (it needs the catalog).  Either way the failure is the
+            # request's alone.
+            try:
+                requests.append(
+                    ReadRequest(
+                        request_id=index,
+                        tenant=event.tenant,
+                        object_name=event.object_name,
+                        offset=event.offset,
+                        length=event.length,
+                        arrival_hours=event.time_hours,
+                    )
+                )
+            except DnaStorageError as exc:
+                reject(index, event, str(exc))
 
         cache = (
             DecodedBlockCache(self.config.cache_capacity_bytes)
@@ -268,6 +370,22 @@ class ServiceSimulator:
                 length=request.length,
                 block_cache=block_cache if block_cache is not None else cache,
             )
+            if wetlab is not None:
+                # Wetlab fidelity: the served bytes came from physically
+                # decoded reads; hold them against the digital reference.
+                reference = self.store.get(
+                    request.object_name,
+                    offset=request.offset,
+                    length=request.length,
+                    block_cache=None,
+                )
+                if zlib.crc32(data) != zlib.crc32(reference):
+                    raise ServiceError(
+                        f"wetlab fidelity violation: request "
+                        f"{request.request_id} ({request.object_name!r} "
+                        f"[{request.offset}, +{len(reference)})) decoded "
+                        "bytes differ from the reference path"
+                    )
             totals["bytes"] += len(data)
             if keep_data:
                 payloads[request.request_id] = data
@@ -346,6 +464,21 @@ class ServiceSimulator:
             # cache-visible before the cycle's sequencing finishes.  The
             # batch's schedule-time cache hits were pinned, so evictions
             # during the cycle cannot turn charged work into free reads.
+            if wetlab is not None and batch.amplified_block_count > 0:
+                # Physically run the cycle: amplify and sequence the
+                # merged plan, decode exactly the planned block set, and
+                # serve the riders from those wetlab-decoded payloads
+                # (write-through makes them cache-visible, now that the
+                # cycle is complete).
+                planned: dict[str, list[int]] = {}
+                for access in batch.plan.accesses:
+                    planned.setdefault(access.partition, []).extend(
+                        range(access.start_block, access.end_block + 1)
+                    )
+                reads = wetlab.readout(batch.plan, batch_seed=batch.batch_id)
+                payloads = self.store.decode_blocks(planned, reads)
+                for (partition_name, block), data in payloads.items():
+                    view.put(partition_name, block, data)
             for request in riders:
                 serve(
                     request,
@@ -359,9 +492,26 @@ class ServiceSimulator:
             now, _, kind, payload = heapq.heappop(heap)
             if kind == "arrival":
                 request = payload
-                blocks = self.scheduler.request_blocks(request)
+                try:
+                    blocks = self.scheduler.request_blocks(request)
+                except DnaStorageError as exc:
+                    # Unknown object or range past the object's end: this
+                    # request fails alone; everyone else keeps being served.
+                    # (request_id indexes the time-sorted events list.)
+                    reject(request.request_id, events[request.request_id], str(exc))
+                    continue
                 blocks_by_id[request.request_id] = blocks
                 totals["accesses"] += len(blocks)
+                if not blocks:
+                    # Zero-length read: a valid empty response needing no
+                    # wetlab work — answered at front-end speed.
+                    serve(
+                        request,
+                        now + self.config.cache_service_hours,
+                        from_cache=False,
+                        batch_id=None,
+                    )
+                    continue
                 if policy == "unbatched":
                     batch = self.scheduler.schedule(
                         [request],
@@ -420,11 +570,22 @@ class ServiceSimulator:
         # admission id); serves were recorded in event order, which may
         # run ahead for requests whose completion lies in the future.
         completed.sort(key=lambda c: (c.completion_hours, c.request.request_id))
-        makespan = max(item.completion_hours for item in completed)
+        failed.sort(key=lambda f: f.request_id)
+        if completed:
+            makespan = max(item.completion_hours for item in completed)
+            latency = summarize([item.latency_hours for item in completed])
+        else:  # every request was rejected at admission
+            makespan = 0.0
+            latency = SummaryStats(
+                count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
+                minimum=0.0, maximum=0.0,
+            )
         return PolicyReport(
             policy=policy,
+            fidelity=fidelity,
             completed=tuple(completed),
-            latency=summarize([item.latency_hours for item in completed]),
+            failed=tuple(failed),
+            latency=latency,
             makespan_hours=makespan,
             throughput_per_hour=len(completed) / makespan if makespan else 0.0,
             batches=totals["batches"],
@@ -440,7 +601,11 @@ class ServiceSimulator:
         )
 
     def compare(
-        self, trace: Iterable[RequestEvent], *, policies: tuple[str, ...] = POLICIES
+        self,
+        trace: Iterable[RequestEvent],
+        *,
+        policies: tuple[str, ...] = POLICIES,
+        fidelity: str = "reference",
     ) -> dict[str, PolicyReport]:
         """Serve the same trace under several policies (fresh cache each).
 
@@ -448,4 +613,7 @@ class ServiceSimulator:
         sees identical object contents and must deliver identical bytes.
         """
         events = list(trace)
-        return {policy: self.run(events, policy) for policy in policies}
+        return {
+            policy: self.run(events, policy, fidelity=fidelity)
+            for policy in policies
+        }

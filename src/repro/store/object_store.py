@@ -179,6 +179,64 @@ class ObjectStore:
         """
         return block_ranges_for_read(self.record(name), offset=offset, length=length)
 
+    def decode_blocks(
+        self,
+        blocks_by_partition: dict[str, list[int]],
+        reads_by_partition: dict[str, list[str]],
+        **decoder_options,
+    ) -> dict[tuple[str, int], bytes]:
+        """Decode exactly one set of blocks from per-partition reads.
+
+        The range-granular counterpart of :meth:`decode_object`: the
+        serving layer's batch scheduler plans block *ranges* spanning many
+        objects, so the decode step must target precisely the planned block
+        set — each partition's reads go through one clustering pass and one
+        batched Reed-Solomon pass over only the requested blocks
+        (:meth:`BlockDecoder.decode_readout`).
+
+        Args:
+            blocks_by_partition: partition-local block numbers to decode.
+            reads_by_partition: raw read strings per partition name (e.g.
+                the sequencing output of the plan's PCR accesses).
+            decoder_options: forwarded to :class:`BlockDecoder`.
+
+        Returns:
+            The decoded current contents (updates applied, trimmed to the
+            block's true stored length) keyed by ``(partition, block)``.
+
+        Raises:
+            StoreError: if reads for a required partition are missing or a
+                block cannot be decoded.
+        """
+        payloads: dict[tuple[str, int], bytes] = {}
+        for partition_name, blocks in blocks_by_partition.items():
+            if not blocks:
+                continue
+            if partition_name not in reads_by_partition:
+                raise StoreError(
+                    f"no reads provided for partition {partition_name!r}"
+                )
+            partition = self.volume.partition(partition_name)
+            decoder = BlockDecoder(partition, **decoder_options)
+            targets = sorted(set(blocks))
+            reports = decoder.decode_readout(
+                reads_by_partition[partition_name], targets
+            )
+            for block in targets:
+                report = reports[block]
+                if not report.success or report.data is None:
+                    raise StoreError(
+                        f"failed to decode block {block} of partition "
+                        f"{partition_name!r} ({report.reads_on_prefix} "
+                        f"on-prefix reads, {report.clusters_total} clusters)"
+                    )
+                # Updates are size-preserving, so the stored original's
+                # length is the block's true current length; the decoded
+                # unit is padded to the full block size.
+                true_length = len(partition.original_block_data(block))
+                payloads[(partition_name, block)] = report.data[:true_length]
+        return payloads
+
     def decode_object(
         self,
         name: str,
@@ -205,30 +263,11 @@ class ObjectStore:
             blocks_by_partition.setdefault(extent.partition, []).append(
                 partition_block
             )
-
-        reports: dict[str, dict[int, object]] = {}
-        for partition_name, blocks in blocks_by_partition.items():
-            if partition_name not in reads_by_partition:
-                raise StoreError(
-                    f"no reads provided for partition {partition_name!r}"
-                )
-            decoder = BlockDecoder(
-                self.volume.partition(partition_name), **decoder_options
-            )
-            # One clustering pass and one batched Reed-Solomon pass per
-            # partition, covering every block and update slot at once.
-            reports[partition_name] = decoder.decode_readout(
-                reads_by_partition[partition_name], blocks
-            )
-
-        pieces: list[bytes] = []
-        for extent, partition_block, _ in record.logical_blocks():
-            report = reports[extent.partition][partition_block]
-            if not report.success or report.data is None:
-                raise StoreError(
-                    f"failed to decode block {partition_block} of partition "
-                    f"{extent.partition!r} ({report.reads_on_prefix} on-prefix "
-                    f"reads, {report.clusters_total} clusters)"
-                )
-            pieces.append(report.data[: record.block_size])
+        payloads = self.decode_blocks(
+            blocks_by_partition, reads_by_partition, **decoder_options
+        )
+        pieces = [
+            payloads[(extent.partition, partition_block)]
+            for extent, partition_block, _ in record.logical_blocks()
+        ]
         return b"".join(pieces)[: record.size]

@@ -119,16 +119,22 @@ def block_ranges_for_read(
     scheduler uses it to deduplicate block ranges across concurrent
     requests before committing to PCR accesses.
 
+    A zero-length read is a valid empty read everywhere in the store layer
+    (mirroring ``ObjectStore.get(length=0) == b""``): it touches no blocks,
+    so the plan is empty.
+
     Raises:
         StoreError: if the byte range leaves the object.
     """
     if length is None:
         length = record.size - offset
-    if offset < 0 or length <= 0 or offset + length > record.size:
+    if offset < 0 or length < 0 or offset + length > record.size:
         raise StoreError(
             f"range [{offset}, {offset + length}) outside object "
             f"{record.name!r} of {record.size} bytes"
         )
+    if length == 0:
+        return {}
     block_size = record.block_size
     first_logical = offset // block_size
     last_logical = (offset + length - 1) // block_size

@@ -104,8 +104,16 @@ class DnaVolume:
         return self.pool.partition(name)
 
     def free_blocks(self, name: str) -> int:
-        """Unallocated blocks remaining in one partition."""
-        return self.config.partition_leaf_count - self._next_block[name]
+        """Unallocated blocks remaining in one partition.
+
+        Raises:
+            StoreError: if the partition is not part of this volume.
+        """
+        try:
+            allocated = self._next_block[name]
+        except KeyError as exc:
+            raise StoreError(f"unknown partition {name!r}") from exc
+        return self.config.partition_leaf_count - allocated
 
     def allocated_blocks(self) -> int:
         """Blocks handed out across all partitions."""

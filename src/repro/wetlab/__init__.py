@@ -31,6 +31,7 @@ from repro.wetlab.pool import MolecularPool
 
 _LAZY_EXPORTS = {
     "ErrorModel": "repro.wetlab.errors",
+    "WetlabReadout": "repro.wetlab.readout",
     "amplify_then_measure": "repro.wetlab.mixing",
     "measure_then_amplify": "repro.wetlab.mixing",
     "measure_concentration": "repro.wetlab.quantification",
@@ -54,6 +55,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "ErrorModel",
+    "WetlabReadout",
     "amplify_then_measure",
     "measure_then_amplify",
     "PCRConfig",

@@ -1,0 +1,144 @@
+"""Wetlab readout of a batched read plan: synthesis → PCR → sequencing.
+
+This is the physical half of the serving read path.  The scheduler's
+merged :class:`repro.store.planner.BatchReadPlan` names the PCR accesses a
+cycle must run; :class:`WetlabReadout` executes them against simulated
+molecular pools — one synthesized pool per partition, amplified per access
+with the plan's elongated primers, then sampled into noisy sequencing
+reads — so a serving simulation can decode *actual reads* instead of
+consulting the digital reference (see ``fidelity="wetlab"`` on
+:class:`repro.service.ServiceSimulator`).
+
+Everything is deterministic per seed: synthesis skew is seeded per
+partition (stable in the partition's name), sequencing sampling per
+``(batch, access)``, so re-running a trace reproduces every read.
+
+Requires numpy (the sequencing sampler); the serving layer only imports
+this module when wetlab fidelity is requested.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING
+
+from repro.exceptions import WetlabError
+from repro.wetlab.errors import ErrorModel
+from repro.wetlab.pcr import PCRConfig, PCRSimulator
+from repro.wetlab.pool import MolecularPool
+from repro.wetlab.sequencing import Sequencer
+from repro.wetlab.synthesis import SynthesisVendor, synthesize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.planner import BatchReadPlan
+    from repro.store.volume import DnaVolume
+
+
+class WetlabReadout:
+    """Runs read plans through simulated synthesis, PCR and sequencing.
+
+    Args:
+        volume: the volume whose partitions back the plans.
+        vendor: synthesis vendor profile (default: Twist, Section 6.1).
+        error_model: IDS channel applied to every sequencing read.
+        pcr_config: reaction parameters of each precise access (default:
+            a 15-cycle exact-primer protocol with the simulator's standard
+            mispriming behaviour).
+        reads_per_block: sequencing reads sampled per planned block — the
+            coverage budget for the block and its update slots (the paper
+            decodes a block from few precise reads, Section 7.3).
+        seed: base RNG seed; all synthesis and sequencing randomness
+            derives deterministically from it.
+    """
+
+    def __init__(
+        self,
+        volume: "DnaVolume",
+        *,
+        vendor: SynthesisVendor | None = None,
+        error_model: ErrorModel | None = None,
+        pcr_config: PCRConfig | None = None,
+        reads_per_block: int = 30,
+        seed: int = 0,
+    ) -> None:
+        if reads_per_block <= 0:
+            raise WetlabError("reads_per_block must be positive")
+        self.volume = volume
+        self.vendor = vendor or SynthesisVendor.twist()
+        self.error_model = error_model or ErrorModel()
+        self.pcr_config = pcr_config or PCRConfig()
+        self.reads_per_block = reads_per_block
+        self.seed = seed
+        self._pcr = PCRSimulator(self.pcr_config)
+        self._pools: dict[str, MolecularPool] = {}
+
+    # ------------------------------------------------------------------
+    # Pools
+    # ------------------------------------------------------------------
+    def partition_pool(self, name: str) -> MolecularPool:
+        """The synthesized pool of one partition (built once, then cached).
+
+        The pool holds every strand of the partition — all written blocks
+        and their update slots — with vendor skew applied.  Call
+        :meth:`reset_pools` after mutating the store (new objects, updates)
+        so the next readout re-synthesizes.
+        """
+        pool = self._pools.get(name)
+        if pool is None:
+            molecules = self.volume.partition(name).all_molecules()
+            pool = synthesize(
+                molecules,
+                self.vendor,
+                seed=self.seed + (zlib.crc32(name.encode("utf-8")) & 0xFFFF),
+                pool_name=name,
+            )
+            self._pools[name] = pool
+        return pool
+
+    def reset_pools(self) -> None:
+        """Drop cached pools (the store's contents changed)."""
+        self._pools.clear()
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+    def readout(
+        self, plan: "BatchReadPlan", *, batch_seed: int = 0
+    ) -> dict[str, list[str]]:
+        """Sequencing reads of every access of a plan, per partition.
+
+        Each access amplifies its partition's pool with the plan's
+        multiplexed elongated primers and is sequenced at
+        ``block_count * reads_per_block`` depth; a partition touched by
+        several accesses contributes the concatenation of their reads.
+
+        Args:
+            plan: the merged read plan of one wetlab cycle.
+            batch_seed: per-cycle seed component (e.g. the batch id), so
+                distinct cycles sample distinct reads deterministically.
+        """
+        reads_by_partition: dict[str, list[str]] = {}
+        for access_index, access in enumerate(plan.accesses):
+            partition = self.volume.partition(access.partition)
+            pool = self.partition_pool(access.partition)
+            amplified = self._pcr.amplify(
+                pool,
+                list(access.primers),
+                partition.config.primers.reverse,
+                residual_forward_primer=partition.config.primers.forward,
+                name=f"{access.partition}-{plan.object_name}",
+            )
+            sequencer = Sequencer(
+                self.error_model,
+                seed=self.seed * 1_000_003 + batch_seed * 8191 + access_index,
+            )
+            result = sequencer.sequence(
+                amplified, access.block_count * self.reads_per_block
+            )
+            reads_by_partition.setdefault(access.partition, []).extend(
+                result.sequences()
+            )
+        return reads_by_partition
+
+
+__all__ = ["WetlabReadout"]

@@ -1,0 +1,164 @@
+"""Tests for the clustering distance backends.
+
+The python backend (banded early-exit Levenshtein) and the numpy backend
+(vectorized banded DP over whole comparison batches) must be exact within
+the bound and therefore produce *identical* clusters.
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import ClusteringError
+from repro.pipeline.clustering import cluster_reads
+from repro.pipeline.distance import (
+    PythonDistanceBackend,
+    available_distance_backends,
+    get_distance_backend,
+)
+from repro.sequence import levenshtein_distance
+
+
+def _numpy_available() -> bool:
+    return "numpy" in available_distance_backends()
+
+
+requires_numpy = pytest.mark.skipif(
+    not _numpy_available(), reason="numpy backend unavailable"
+)
+
+
+def _mutate(rng, text, edits):
+    chars = list(text)
+    for _ in range(edits):
+        operation = rng.choice("sid")
+        position = rng.randrange(len(chars))
+        if operation == "s":
+            chars[position] = rng.choice("ACGT")
+        elif operation == "i":
+            chars.insert(position, rng.choice("ACGT"))
+        elif len(chars) > 1:
+            del chars[position]
+    return "".join(chars)
+
+
+def _random_read(rng, length):
+    return "".join(rng.choice("ACGT") for _ in range(length))
+
+
+class TestBackendResolution:
+    def test_python_always_available(self):
+        assert "python" in available_distance_backends()
+        assert get_distance_backend("python").name == "python"
+
+    def test_instances_are_cached(self):
+        assert get_distance_backend("python") is get_distance_backend("python")
+
+    def test_instance_passthrough(self):
+        backend = PythonDistanceBackend()
+        assert get_distance_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ClusteringError):
+            get_distance_backend("cuda")
+
+    @requires_numpy
+    def test_auto_prefers_numpy(self):
+        assert get_distance_backend("auto").name == "numpy"
+
+
+class TestFirstWithin:
+    def test_python_first_match_wins(self):
+        backend = get_distance_backend("python")
+        assert backend.first_within("ACGTACGT", ["TTTTTTTT", "ACGTACGA", "ACGTACGT"], 2) == 1
+        assert backend.first_within("ACGT", ["GGGG"], 1) is None
+        assert backend.first_within("ACGT", [], 3) is None
+
+    @requires_numpy
+    def test_numpy_matches_python(self):
+        python = get_distance_backend("python")
+        numpy_backend = get_distance_backend("numpy")
+        rng = random.Random(5)
+        queries, candidate_lists = [], []
+        for _ in range(300):
+            query = _random_read(rng, rng.randrange(80, 170))
+            candidates = [
+                _mutate(rng, query, rng.randrange(0, 25))
+                for _ in range(rng.randrange(0, 6))
+            ]
+            queries.append(query)
+            candidate_lists.append(candidates)
+        for bound in (2, 5, 12):
+            assert python.first_within_batch(
+                queries, candidate_lists, bound
+            ) == numpy_backend.first_within_batch(queries, candidate_lists, bound)
+
+    @requires_numpy
+    def test_numpy_batch_distances_exact_within_bound(self):
+        backend = get_distance_backend("numpy")
+        rng = random.Random(9)
+        pairs = []
+        for _ in range(500):
+            left = _random_read(rng, rng.randrange(1, 40))
+            right = (
+                _mutate(rng, left, rng.randrange(0, 8))
+                if rng.random() < 0.7
+                else _random_read(rng, rng.randrange(1, 40))
+            )
+            pairs.append((left, right))
+        pairs += [("", "ACGT"), ("ACGT", ""), ("AC", "AC")]
+        for bound in (0, 1, 3, 6):
+            got = backend.batch_distances(pairs, bound)
+            for (left, right), value in zip(pairs, got):
+                reference = levenshtein_distance(left, right, upper_bound=bound)
+                if reference <= bound:
+                    assert value == reference, (left, right, bound)
+                else:
+                    assert value > bound, (left, right, bound)
+
+
+class TestClusterEquivalence:
+    def _reads(self, seed, strands, copies, edits):
+        rng = random.Random(seed)
+        primer = "ATCGTGCAAGCTTGACCTGA"
+        originals = [
+            primer + _random_read(rng, 13) + _random_read(rng, 117)
+            for _ in range(strands)
+        ]
+        reads = []
+        for strand in originals:
+            for _ in range(copies):
+                reads.append(_mutate(rng, strand, rng.randrange(0, edits)))
+        rng.shuffle(reads)
+        return reads
+
+    @requires_numpy
+    def test_backends_produce_identical_clusters(self):
+        for seed, strands, copies, edits in [(1, 8, 12, 4), (2, 25, 8, 9), (3, 4, 60, 6)]:
+            reads = self._reads(seed, strands, copies, edits)
+            outcomes = {}
+            for backend in ("python", "numpy"):
+                clusters = cluster_reads(
+                    reads,
+                    signature_start=20,
+                    signature_length=13,
+                    distance_backend=backend,
+                )
+                outcomes[backend] = [
+                    (cluster.signature, tuple(cluster.reads)) for cluster in clusters
+                ]
+            assert outcomes["python"] == outcomes["numpy"]
+
+    def test_corrupted_signatures_still_route_through_index(self):
+        """The deletion-neighborhood index must find buckets within the
+        signature error budget exactly like the old linear scan."""
+        primer = "ATCGTGCAAGCTTGACCTGA"
+        strand = primer + "ACGTACGTACGTA" + "GT" * 58
+        corrupted = strand[:22] + ("A" if strand[22] != "A" else "C") + strand[23:]
+        clusters = cluster_reads(
+            [strand] * 6 + [corrupted],
+            signature_start=20,
+            signature_length=13,
+            distance_backend="python",
+        )
+        assert clusters[0].size == 7

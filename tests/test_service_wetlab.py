@@ -1,0 +1,214 @@
+"""Wetlab-fidelity serving: batches decode real (simulated) reads.
+
+Under ``fidelity="wetlab"`` every scheduled cycle runs its merged plan
+through PCR amplification and sequencing-read sampling, decodes exactly
+the planned block set (clustering → trace reconstruction → batched
+Reed-Solomon via :meth:`ObjectStore.decode_blocks`), and serves responses
+from those wetlab-decoded payloads.  These tests assert the headline
+guarantee — per-request bytes identical to the reference path on the same
+trace — plus determinism and the request-isolation bugfixes.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.exceptions import StoreError
+from repro.service import ServiceConfig, ServiceSimulator
+from repro.store import DnaVolume, ObjectStore, VolumeConfig
+from repro.workloads import RequestEvent, multi_tenant_trace
+from repro.workloads.objects import object_corpus
+
+
+def build_store(objects=4):
+    store = ObjectStore(
+        DnaVolume(
+            config=VolumeConfig(
+                partition_leaf_count=16, stripe_blocks=2, stripe_width=2
+            )
+        )
+    )
+    block_size = store.volume.block_size
+    corpus = object_corpus(
+        {f"obj-{i}": block_size * (1 + i % 3) for i in range(objects)}, seed=7
+    )
+    for name, data in corpus.items():
+        store.put(name, data)
+    return store, {name: len(data) for name, data in corpus.items()}
+
+
+def build_simulator(store):
+    return ServiceSimulator(
+        store,
+        config=ServiceConfig(
+            window_hours=0.5,
+            reads_per_block=150,
+            cache_capacity_bytes=store.volume.block_size * 32,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def wetlab_run():
+    store, catalog = build_store()
+    # An in-place update before serving: the patched slot must ride
+    # through synthesis, PCR and decoding like any original strand.
+    store.update("obj-1", 5, b"WETLAB-PATCH")
+    trace = multi_tenant_trace(
+        catalog, tenants=4, requests=12, duration_hours=8.0, seed=3
+    )
+    simulator = build_simulator(store)
+    wetlab = simulator.run(trace, "batched+cache", fidelity="wetlab", keep_data=True)
+    reference = simulator.run(trace, "batched+cache", keep_data=True)
+    return store, trace, wetlab, reference
+
+
+class TestWetlabFidelity:
+    def test_bytes_identical_to_reference_path(self, wetlab_run):
+        _, trace, wetlab, reference = wetlab_run
+        assert len(wetlab.completed) == len(trace)
+        assert wetlab.failed == ()
+        assert wetlab.checksum == reference.checksum
+        assert wetlab.payloads == reference.payloads
+        per_request = {
+            completed.request.request_id: completed.checksum
+            for completed in wetlab.completed
+        }
+        for completed in reference.completed:
+            assert per_request[completed.request.request_id] == completed.checksum
+
+    def test_update_patch_recovered_from_wetlab_reads(self, wetlab_run):
+        store, _, wetlab, _ = wetlab_run
+        expected = store.get("obj-1")
+        assert expected[5:17] == b"WETLAB-PATCH"
+        served = [
+            wetlab.payloads[c.request.request_id]
+            for c in wetlab.completed
+            if c.request.object_name == "obj-1"
+            and c.request.offset == 0
+            and c.request.length is None
+        ]
+        assert served and all(payload == expected for payload in served)
+
+    def test_wetlab_charges_match_reference_run(self, wetlab_run):
+        _, _, wetlab, reference = wetlab_run
+        assert wetlab.fidelity == "wetlab"
+        assert reference.fidelity == "reference"
+        for name in ("batches", "pcr_reactions", "amplified_blocks", "sequenced_reads"):
+            assert getattr(wetlab, name) == getattr(reference, name), name
+        assert wetlab.batches > 0
+
+    def test_wetlab_rerun_is_deterministic(self, wetlab_run):
+        store, trace, wetlab, _ = wetlab_run
+        simulator = build_simulator(store)
+        again = simulator.run(trace, "batched+cache", fidelity="wetlab")
+        assert again.checksum == wetlab.checksum
+        assert again.sequenced_reads == wetlab.sequenced_reads
+        assert again.latency == wetlab.latency
+
+    def test_unknown_fidelity_rejected(self, wetlab_run):
+        store, trace, _, _ = wetlab_run
+        from repro.exceptions import ServiceError
+
+        with pytest.raises(ServiceError):
+            build_simulator(store).run(trace, "batched", fidelity="drylab")
+
+    def test_unbatched_policy_supports_wetlab(self):
+        store, catalog = build_store(objects=2)
+        simulator = build_simulator(store)
+        names = list(catalog)
+        trace = [
+            RequestEvent(time_hours=0.0, tenant="a", object_name=names[0]),
+            RequestEvent(time_hours=0.1, tenant="b", object_name=names[1]),
+        ]
+        report = simulator.run(trace, "unbatched", fidelity="wetlab", keep_data=True)
+        for completed in report.completed:
+            request = completed.request
+            assert report.payloads[request.request_id] == store.get(request.object_name)
+
+
+class TestRequestIsolation:
+    """Malformed requests fail alone instead of killing the whole run."""
+
+    def _trace_with_bad_events(self, catalog):
+        names = list(catalog)
+        good = names[0]
+        return [
+            RequestEvent(time_hours=0.1, tenant="a", object_name=good),
+            RequestEvent(time_hours=0.2, tenant="b", object_name="no-such-object"),
+            RequestEvent(
+                time_hours=0.3, tenant="c", object_name=good,
+                offset=0, length=catalog[good] + 1,  # past the object's end
+            ),
+            RequestEvent(time_hours=0.4, tenant="d", object_name=good, offset=-3),
+            RequestEvent(time_hours=0.5, tenant="e", object_name=good, length=0),
+            RequestEvent(time_hours=0.6, tenant="f", object_name=good),
+        ]
+
+    @pytest.mark.parametrize("policy", ["unbatched", "batched", "batched+cache"])
+    def test_bad_requests_fail_individually(self, policy):
+        store, catalog = build_store(objects=2)
+        simulator = ServiceSimulator(
+            store, config=ServiceConfig(window_hours=0.5)
+        )
+        trace = self._trace_with_bad_events(catalog)
+        report = simulator.run(trace, policy, keep_data=True)
+        # Three bad events rejected, three valid ones served (including
+        # the zero-length read, which is a valid empty response).
+        assert len(report.failed) == 2 + 1
+        assert {f.tenant for f in report.failed} == {"b", "c", "d"}
+        assert all(f.reason for f in report.failed)
+        assert len(report.completed) == 3
+        zero_length = [
+            c for c in report.completed if c.request.tenant == "e"
+        ]
+        assert len(zero_length) == 1
+        assert zero_length[0].byte_count == 0
+        assert report.payloads[zero_length[0].request.request_id] == b""
+        served = {c.request.tenant for c in report.completed}
+        assert served == {"a", "e", "f"}
+
+    def test_failed_requests_record_arrival_time_and_reason(self):
+        store, catalog = build_store(objects=1)
+        simulator = ServiceSimulator(store)
+        trace = self._trace_with_bad_events(catalog)
+        report = simulator.run(trace, "batched")
+        by_tenant = {f.tenant: f for f in report.failed}
+        assert by_tenant["b"].arrival_hours == pytest.approx(0.2)
+        assert "no-such-object" in by_tenant["b"].reason
+        assert by_tenant["d"].offset == -3
+
+    def test_wetlab_fidelity_isolates_failures_too(self):
+        store, catalog = build_store(objects=2)
+        simulator = build_simulator(store)
+        trace = self._trace_with_bad_events(catalog)
+        report = simulator.run(trace, "batched+cache", fidelity="wetlab")
+        assert len(report.failed) == 3
+        assert len(report.completed) == 3
+
+    def test_all_requests_failing_yields_empty_report(self):
+        store, _ = build_store(objects=1)
+        simulator = ServiceSimulator(store)
+        trace = [
+            RequestEvent(time_hours=0.1, tenant="a", object_name="ghost"),
+            RequestEvent(time_hours=0.2, tenant="b", object_name="phantom"),
+        ]
+        report = simulator.run(trace, "batched")
+        assert report.completed == ()
+        assert len(report.failed) == 2
+        assert report.makespan_hours == 0.0
+        assert report.latency.count == 0
+
+
+class TestDecodeBlocksContract:
+    def test_decode_blocks_requires_reads_for_partition(self):
+        store, _ = build_store(objects=1)
+        record = store.record("obj-0")
+        blocks = {record.extents[0].partition: [record.extents[0].start_block]}
+        with pytest.raises(StoreError):
+            store.decode_blocks(blocks, {})
+
+    def test_decode_blocks_empty_request_is_empty(self):
+        store, _ = build_store(objects=1)
+        assert store.decode_blocks({}, {}) == {}
+        assert store.decode_blocks({"vol-000": []}, {}) == {}

@@ -68,6 +68,17 @@ class TestAllocationAndStriping:
             assert len(claimed) == len(set(claimed)), "blocks double-allocated"
 
 
+class TestPartitionLookups:
+    def test_free_blocks_unknown_partition_is_store_error(self):
+        """Store-layer APIs raise StoreError, never a raw KeyError."""
+        store = small_store()
+        store.put("obj", b"y" * 100)
+        name = store.volume.partition_names[0]
+        assert store.volume.free_blocks(name) >= 0
+        with pytest.raises(StoreError):
+            store.volume.free_blocks("no-such-partition")
+
+
 class TestBlockWindows:
     def test_blocks_in_range_matches_logical_blocks_window(self):
         store = small_store(stripe_blocks=2)
@@ -231,15 +242,25 @@ class TestReadPlanner:
 
 
 class TestPlannerEdgeCases:
-    def test_empty_byte_range_rejected(self):
+    def test_zero_length_reads_are_valid_empty_plans(self):
+        """Zero-length / at-object-end reads follow one contract everywhere:
+        ``get`` returns ``b""`` and the planner returns an empty plan, so a
+        zero-length request can never abort a serving batch."""
         store = small_store()
         store.put("obj", b"x" * 1000)
-        with pytest.raises(StoreError):
-            store.read_plan("obj", offset=100, length=0)
-        with pytest.raises(StoreError):
-            store.read_plan("obj", offset=1000)  # zero bytes left at the end
+        assert store.get("obj", offset=100, length=0) == b""
+        assert store.get("obj", offset=1000) == b""  # zero bytes left at end
+        plan = store.read_plan("obj", offset=100, length=0)
+        assert plan.accesses == () and plan.block_count == 0
+        assert store.read_plan("obj", offset=1000).accesses == ()
+        assert block_ranges_for_read(store.record("obj"), offset=500, length=0) == {}
+        # Negative lengths and ranges leaving the object are still errors.
         with pytest.raises(StoreError):
             block_ranges_for_read(store.record("obj"), offset=500, length=-1)
+        with pytest.raises(StoreError):
+            store.read_plan("obj", offset=1001, length=0)
+        with pytest.raises(StoreError):
+            store.read_plan("obj", offset=900, length=200)
 
     def test_single_block_object(self):
         store = small_store()
