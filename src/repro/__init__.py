@@ -47,7 +47,10 @@ from repro.service import (
     DecodedBlockCache,
     RequestQueue,
     ServiceConfig,
+    ServicePipeline,
+    ServiceRequest,
     ServiceSimulator,
+    SynthesisOrder,
 )
 from repro.store import (
     BatchReadPlan,
@@ -87,7 +90,10 @@ __all__ = [
     "DecodedBlockCache",
     "RequestQueue",
     "ServiceConfig",
+    "ServicePipeline",
+    "ServiceRequest",
     "ServiceSimulator",
+    "SynthesisOrder",
     "CodecBackend",
     "available_backends",
     "get_backend",

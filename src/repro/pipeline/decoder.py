@@ -136,6 +136,14 @@ class BlockDecoder:
         self, clusters: list[ReadCluster], block: int, report: DecodeReport
     ) -> dict[tuple[int, int], list[_Candidate]]:
         candidates: dict[tuple[int, int], list[_Candidate]] = {}
+        # Version slots are digital metadata: the partition knows exactly
+        # how many patches each block has logged.  A narrow precise access
+        # can misprime onto a *neighbouring* block's patch strand and
+        # overwrite its address prefix with the target's (PCR products
+        # carry their primer), parking a perfectly well-formed phantom
+        # patch in a slot the target never wrote — bound slots to the
+        # logged count so such artifacts can never apply.
+        max_slot = self.partition.update_count(block)
         for cluster in clusters:
             report.clusters_used += 1
             molecule = self._reconstruct(cluster)
@@ -143,6 +151,9 @@ class BlockDecoder:
                 continue
             address = self.partition.parse_unit_index(molecule.unit_index)
             if address is None or address.block != block:
+                continue
+            if address.slot > max_slot:
+                report.duplicate_strands_discarded += 1
                 continue
             key = (address.slot, molecule.intra_index)
             bucket = candidates.setdefault(key, [])
@@ -428,6 +439,13 @@ class BlockDecoder:
                 continue
             address = self.partition.parse_unit_index(molecule.unit_index)
             if address is None or address.block not in target_set:
+                continue
+            if address.slot > self.partition.update_count(address.block):
+                # Phantom version slot: a misprimed product of a
+                # neighbouring block's patch strand whose prefix the
+                # precise primer overwrote.  Slot counts are digital
+                # metadata, so slots the block never logged cannot apply.
+                duplicates[address.block] = duplicates.get(address.block, 0) + 1
                 continue
             key = (address.slot, molecule.intra_index)
             bucket = per_block.setdefault(address.block, {}).setdefault(key, [])

@@ -4,51 +4,90 @@ The paper makes block access *precise* (Sections 3–6) and argues that
 precision makes DNA storage economically servable (Sections 7.3–7.5);
 this package supplies the layer that argument presumes: a request
 front-end that amortizes each wetlab cycle across every concurrent
-caller.
+caller — for reads *and* writes.
 
-* :mod:`repro.service.requests` — read requests and served outcomes.
+* :mod:`repro.service.requests` — operation-agnostic requests
+  (read/put/update/delete) and served outcomes.
 * :mod:`repro.service.queue` — :class:`RequestQueue` and
   :class:`BatchScheduler`: coalesce a scheduling window's requests,
-  deduplicate overlapping per-partition block ranges across tenants, and
-  emit one merged :class:`repro.store.planner.BatchReadPlan` per cycle.
+  deduplicate overlapping per-partition block ranges across tenants into
+  one merged :class:`repro.store.planner.BatchReadPlan` per read cycle,
+  and coalesce queued writes into per-partition
+  :class:`SynthesisOrder` s.
 * :mod:`repro.service.cache` — :class:`DecodedBlockCache`: a
-  byte-bounded LRU over decoded blocks, so Zipfian-hot data
-  (Section 7.7.4) skips the wetlab entirely.
-* :mod:`repro.service.simulator` — :class:`ServiceSimulator`: a
-  deterministic discrete-event loop that serves arrival traces under
-  unbatched / batched / batched+cache policies and reports throughput,
-  tail latency, cache hit rate and amplification waste.
+  byte-bounded LRU over decoded blocks with an optional TinyLFU-style
+  frequency-aware admission gate, so Zipfian-hot data (Section 7.7.4)
+  skips the wetlab entirely and scans cannot flush it.
+* :mod:`repro.service.simulator` — :class:`ServicePipeline` (alias
+  ``ServiceSimulator``): a deterministic event-driven loop that serves
+  mixed read/write arrival traces under unbatched / batched /
+  batched+cache policies — with per-object read-after-write ordering,
+  decode-failure retry cycles and a bounded wetlab lane pool — and
+  reports throughput, tail latency, cache hit rate, synthesis volume and
+  amplification waste.
 
 Pure Python end to end — the serving layer imports only the sequencing
 *models* (not the simulator), so it runs without numpy.
 """
 
-from repro.service.cache import CacheStats, DecodedBlockCache, PinnedCacheView
-from repro.service.queue import BatchScheduler, RequestQueue, ScheduledBatch
-from repro.service.requests import CompletedRequest, FailedRequest, ReadRequest
+from repro.service.cache import (
+    ADMISSION_POLICIES,
+    CacheStats,
+    DecodedBlockCache,
+    FrequencySketch,
+    PinnedCacheView,
+)
+from repro.service.queue import (
+    BatchScheduler,
+    PartitionSynthesisJob,
+    RequestQueue,
+    ScheduledBatch,
+    SynthesisOrder,
+    WriteOutcome,
+)
+from repro.service.requests import (
+    OPERATIONS,
+    WRITE_OPERATIONS,
+    CompletedRequest,
+    FailedRequest,
+    ReadRequest,
+    ServiceRequest,
+)
 from repro.service.simulator import (
     FIDELITIES,
     POLICIES,
     PolicyReport,
     ServiceConfig,
+    ServicePipeline,
     ServiceSimulator,
     policy_latency_comparison,
+    schedule_lanes,
 )
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "FIDELITIES",
+    "OPERATIONS",
     "POLICIES",
+    "WRITE_OPERATIONS",
     "BatchScheduler",
     "CacheStats",
     "CompletedRequest",
     "DecodedBlockCache",
     "FailedRequest",
+    "FrequencySketch",
+    "PartitionSynthesisJob",
     "PinnedCacheView",
     "PolicyReport",
     "ReadRequest",
     "RequestQueue",
     "ScheduledBatch",
     "ServiceConfig",
+    "ServicePipeline",
+    "ServiceRequest",
     "ServiceSimulator",
+    "SynthesisOrder",
+    "WriteOutcome",
     "policy_latency_comparison",
+    "schedule_lanes",
 ]

@@ -12,16 +12,86 @@ Keys are ``(partition name, block number)``: the same physical block
 shared by many objects' requests dedupes naturally, and store-level
 updates invalidate exactly the patched keys
 (:meth:`repro.store.object_store.ObjectStore.update`).
+
+Eviction is LRU; *admission* is pluggable.  The default admits every
+decoded block.  The opt-in ``"tinylfu"`` policy adds a frequency-aware
+admission gate (a count-min sketch with periodic aging, TinyLFU-style):
+a block only displaces the LRU victim if it has been requested at least
+as often, so a scan-like tenant streaming cold blocks through the cache
+cannot evict another tenant's hot set.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.exceptions import ServiceError
 
 BlockKey = tuple[str, int]
+
+#: Supported admission policies of :class:`DecodedBlockCache`.
+ADMISSION_POLICIES = ("always", "tinylfu")
+
+
+class FrequencySketch:
+    """Count-min sketch with periodic aging (the TinyLFU frequency proxy).
+
+    Counts are 4 deterministic CRC32-salted rows of small counters; after
+    ``sample_size`` recorded accesses every counter is halved, so the
+    sketch tracks *recent* popularity rather than all-time counts.  Pure
+    Python, no randomized hashing — estimates are reproducible across
+    processes.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, sample_size: int = 8192):
+        if width <= 0 or depth <= 0 or sample_size <= 0:
+            raise ServiceError("sketch width, depth and sample_size must be positive")
+        self.width = width
+        self.depth = depth
+        self.sample_size = sample_size
+        self._rows = [[0] * width for _ in range(depth)]
+        self._recorded = 0
+
+    _MASK64 = (1 << 64) - 1
+
+    def _indexes(self, key: BlockKey) -> list[int]:
+        # CRC32 once, then one splitmix64-style finalizer per row.  Any
+        # CRC-only row variation (salted init, row-tagged token) is
+        # affine in the message, so same-length keys colliding in one
+        # row would collide in every row, collapsing the sketch to
+        # depth 1; the multiplicative mixes decorrelate the rows (keys
+        # now alias everywhere only on a full 32-bit CRC collision).
+        token = f"{key[0]}\x00{key[1]}".encode("utf-8")
+        seed = zlib.crc32(token)
+        indexes = []
+        for row in range(self.depth):
+            x = (seed + 0x9E3779B97F4A7C15 * (row + 1)) & self._MASK64
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & self._MASK64
+            x ^= x >> 31
+            indexes.append(x % self.width)
+        return indexes
+
+    def record(self, key: BlockKey) -> None:
+        """Count one access to ``key`` (aging once the sample fills up)."""
+        for row, index in zip(self._rows, self._indexes(key)):
+            row[index] += 1
+        self._recorded += 1
+        if self._recorded >= self.sample_size:
+            self._age()
+
+    def estimate(self, key: BlockKey) -> int:
+        """Estimated recent access count of ``key`` (an upper bound)."""
+        return min(row[index] for row, index in zip(self._rows, self._indexes(key)))
+
+    def _age(self) -> None:
+        for row in self._rows:
+            for index, count in enumerate(row):
+                if count:
+                    row[index] = count >> 1
+        self._recorded >>= 1
 
 
 @dataclass
@@ -40,6 +110,9 @@ class CacheStats:
         evictions: blocks evicted to respect the byte capacity.
         invalidations: blocks dropped because an update made them stale.
         rejections: blocks larger than the whole cache, never admitted.
+        admission_denials: blocks the frequency-aware admission gate
+            refused to admit (their recent popularity did not beat the
+            would-be eviction victim's; ``"tinylfu"`` policy only).
     """
 
     hits: int = 0
@@ -48,6 +121,7 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     rejections: int = 0
+    admission_denials: int = 0
 
     @property
     def lookups(self) -> int:
@@ -59,33 +133,54 @@ class CacheStats:
         """Fraction of lookups served from the cache."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def admission_attempts(self) -> int:
+        """Insertions the admission gate ruled on (admitted + denied)."""
+        return self.insertions + self.admission_denials
+
 
 @dataclass
 class DecodedBlockCache:
-    """Byte-capacity-bounded LRU cache of decoded block payloads.
+    """Byte-capacity-bounded cache of decoded block payloads.
+
+    Eviction order is LRU.  With ``admission="tinylfu"`` a count-min
+    frequency sketch (fed by every lookup) gates admission under
+    pressure: a new block that would force an eviction is only admitted
+    if its recent request frequency is at least the LRU victim's, so cold
+    scans cannot flush the hot set.
 
     Attributes:
         capacity_bytes: total payload bytes the cache may hold.
+        admission: ``"always"`` (admit everything) or ``"tinylfu"``.
         used_bytes: payload bytes currently held (derived, not settable).
-        stats: hit/miss/eviction counters (derived, not settable).
+        stats: hit/miss/eviction/admission counters (derived).
     """
 
     capacity_bytes: int
+    admission: str = "always"
     used_bytes: int = field(default=0, init=False)
     stats: CacheStats = field(default_factory=CacheStats, init=False)
     _entries: "OrderedDict[BlockKey, bytes]" = field(
         default_factory=OrderedDict, init=False, repr=False
     )
+    _sketch: FrequencySketch | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
             raise ServiceError("capacity_bytes must be positive")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ServiceError(
+                f"unknown admission policy {self.admission!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        if self.admission == "tinylfu":
+            self._sketch = FrequencySketch()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def contains(self, partition: str, block: int) -> bool:
-        """Peek for a block without touching stats or LRU order.
+        """Peek for a block without touching stats, LRU order or the sketch.
 
         The scheduler uses this to decide what wetlab work a batch still
         needs; only the actual serve path (``get``/``put``) is counted.
@@ -93,8 +188,14 @@ class DecodedBlockCache:
         return (partition, block) in self._entries
 
     def get(self, partition: str, block: int) -> bytes | None:
-        """Look a block up, refreshing its LRU position on a hit."""
+        """Look a block up, refreshing its LRU position on a hit.
+
+        Every lookup — hit or miss — feeds the admission sketch: demand,
+        not residency, is what makes a block worth caching.
+        """
         key = (partition, block)
+        if self._sketch is not None:
+            self._sketch.record(key)
         data = self._entries.get(key)
         if data is None:
             self.stats.misses += 1
@@ -104,7 +205,11 @@ class DecodedBlockCache:
         return data
 
     def put(self, partition: str, block: int, data: bytes) -> None:
-        """Admit a decoded block, evicting LRU entries to fit."""
+        """Admit a decoded block, evicting LRU entries to fit.
+
+        Under ``"tinylfu"`` the insert is denied instead when it would
+        evict a block with a higher recent request frequency.
+        """
         if len(data) > self.capacity_bytes:
             self.stats.rejections += 1
             return
@@ -112,6 +217,9 @@ class DecodedBlockCache:
         previous = self._entries.pop(key, None)
         if previous is not None:
             self.used_bytes -= len(previous)
+        elif self._sketch is not None and not self._admit(key, len(data)):
+            self.stats.admission_denials += 1
+            return
         self._entries[key] = data
         self.used_bytes += len(data)
         self.stats.insertions += 1
@@ -119,6 +227,25 @@ class DecodedBlockCache:
             _, evicted = self._entries.popitem(last=False)
             self.used_bytes -= len(evicted)
             self.stats.evictions += 1
+
+    def _admit(self, key: BlockKey, size: int) -> bool:
+        """TinyLFU gate: admit freely while there's room; else out-score victims.
+
+        The candidate must be at least as popular as *every* LRU victim
+        its bytes would displace (checked cheapest-first; the common case
+        is a single victim).
+        """
+        needed = self.used_bytes + size - self.capacity_bytes
+        if needed <= 0:
+            return True
+        frequency = self._sketch.estimate(key)
+        for victim_key, victim_data in self._entries.items():  # LRU order
+            if frequency < self._sketch.estimate(victim_key):
+                return False
+            needed -= len(victim_data)
+            if needed <= 0:
+                return True
+        return True
 
     def invalidate(self, partition: str, block: int) -> bool:
         """Drop a block (e.g. after an update patched it)."""
@@ -146,7 +273,8 @@ class PinnedCacheView:
     amplified block (``cache.stats.misses`` counts wetlab-decoded fills,
     nothing double-counts) and LRU evictions during the in-flight hours
     can never turn already-charged work into extra reads.  Everything is
-    still written through to the underlying cache for later batches.
+    still written through to the underlying cache for later batches
+    (subject to its admission policy).
     """
 
     def __init__(

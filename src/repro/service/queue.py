@@ -1,51 +1,82 @@
-"""Request queue and batch scheduler: amortizing PCR across tenants.
+"""Operation-agnostic request queue and batch scheduler.
 
 One PCR access amplifies a whole block range regardless of how many
 tenants asked for it (Section 3.1's prefix covers are shared physics, not
-per-caller state).  The scheduler exploits that: all requests that arrive
-within a scheduling window are coalesced, their per-partition block
-ranges merged via :func:`repro.store.planner.merge_partition_ranges`
-(overlap across tenants collapses), blocks already in the decoded-block
-cache are subtracted, and a single shared :class:`BatchReadPlan` is
-emitted for the cycle.  The plan's reaction/primer/block counts are the
-wetlab bill the whole batch splits.
+per-caller state).  The read side of the scheduler exploits that: all
+reads that arrive within a scheduling window are coalesced, their
+per-partition block ranges merged via
+:func:`repro.store.planner.merge_partition_ranges` (overlap across
+tenants collapses), blocks already in the decoded-block cache are
+subtracted, and a single shared :class:`BatchReadPlan` is emitted for the
+cycle.  The plan's reaction/primer/block counts are the wetlab bill the
+whole batch splits.
+
+The write side mirrors it: queued ``put``/``update``/``delete``
+operations are applied to the store in admission order and coalesced into
+one :class:`SynthesisOrder` per dispatch, whose per-partition
+:class:`PartitionSynthesisJob` s size the strands (and nucleotides) the
+vendor must manufacture — the synthesis bill the batch of writes splits,
+charged latency the way read cycles are charged PCR + sequencing.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.exceptions import ServiceError
+from repro.exceptions import DnaStorageError, ServiceError
 from repro.service.cache import DecodedBlockCache
-from repro.service.requests import ReadRequest
+from repro.service.requests import ServiceRequest
 from repro.store.object_store import ObjectStore
 from repro.store.planner import BatchReadPlan, plan_partition_ranges
 
 
 class RequestQueue:
-    """FIFO admission queue of pending read requests."""
+    """FIFO admission queue of pending requests, any operation.
+
+    ``drain`` empties the whole queue; ``drain_op``/``take`` remove
+    selectively (the pipeline drains reads at each dispatch but leaves
+    barrier-blocked writes queued for a later cycle).
+    """
 
     def __init__(self) -> None:
-        self._pending: deque[ReadRequest] = deque()
+        self._pending: list[ServiceRequest] = []
 
     def __len__(self) -> int:
         return len(self._pending)
 
-    def push(self, request: ReadRequest) -> None:
+    def push(self, request: ServiceRequest) -> None:
         """Admit one request at the tail of the queue."""
         self._pending.append(request)
 
-    def drain(self) -> list[ReadRequest]:
+    def drain(self) -> list[ServiceRequest]:
         """Remove and return every pending request, oldest first."""
-        drained = list(self._pending)
-        self._pending.clear()
+        drained = self._pending
+        self._pending = []
         return drained
+
+    def drain_op(self, op: str) -> list[ServiceRequest]:
+        """Remove and return the pending requests of one operation."""
+        return self.take(lambda request: request.op == op)
+
+    def take(self, predicate) -> list[ServiceRequest]:
+        """Remove and return the requests matching ``predicate`` (in order).
+
+        Non-matching requests keep their relative order in the queue.  The
+        predicate is evaluated exactly once per request, oldest first, so
+        stateful predicates (e.g. "skip every write behind a blocked one")
+        behave deterministically.
+        """
+        taken: list[ServiceRequest] = []
+        kept: list[ServiceRequest] = []
+        for request in self._pending:
+            (taken if predicate(request) else kept).append(request)
+        self._pending = kept
+        return taken
 
 
 @dataclass(frozen=True)
 class ScheduledBatch:
-    """One scheduling cycle's merged wetlab work.
+    """One scheduling cycle's merged wetlab read work.
 
     Attributes:
         batch_id: sequence number of the cycle.
@@ -61,7 +92,7 @@ class ScheduledBatch:
     """
 
     batch_id: int
-    requests: tuple[ReadRequest, ...]
+    requests: tuple[ServiceRequest, ...]
     plan: BatchReadPlan
     requested_blocks: tuple[tuple[str, int], ...]
     pinned_payloads: tuple[tuple[tuple[str, int], bytes], ...] = ()
@@ -87,13 +118,90 @@ class ScheduledBatch:
         return self.plan.reaction_count
 
 
+@dataclass(frozen=True)
+class WriteOutcome:
+    """How one queued write fared when its synthesis order was formed.
+
+    Attributes:
+        request: the originating write request.
+        applied: whether the store accepted the operation.
+        reason: rejection reason when ``applied`` is False.
+        partitions: partitions whose pools the write touched (their
+            wetlab pools must re-synthesize).
+        block_slots: block version slots the write synthesizes (new
+            originals for a ``put``, patch slots for an ``update``).
+        bytes_written: payload bytes accepted.
+    """
+
+    request: ServiceRequest
+    applied: bool
+    reason: str | None = None
+    partitions: tuple[str, ...] = ()
+    block_slots: int = 0
+    bytes_written: int = 0
+
+
+@dataclass(frozen=True)
+class PartitionSynthesisJob:
+    """One partition's slice of a synthesis order.
+
+    Vendors manufacture each partition's strands as an independent array
+    job, so jobs of the same order run concurrently — the order is
+    complete when its slowest job delivers.
+    """
+
+    partition: str
+    block_slots: int
+    strands: int
+    nucleotides: int
+
+
+@dataclass(frozen=True)
+class SynthesisOrder:
+    """One dispatch's coalesced write work.
+
+    Attributes:
+        order_id: sequence number (shared with read cycles' batch ids).
+        outcomes: per-request application outcomes, admission order.
+        jobs: per-partition synthesis jobs, first-touch order.
+    """
+
+    order_id: int
+    outcomes: tuple[WriteOutcome, ...] = ()
+    jobs: tuple[PartitionSynthesisJob, ...] = field(default=())
+
+    @property
+    def applied(self) -> tuple[WriteOutcome, ...]:
+        """The outcomes the store accepted."""
+        return tuple(outcome for outcome in self.outcomes if outcome.applied)
+
+    @property
+    def strand_count(self) -> int:
+        """Strands the order synthesizes."""
+        return sum(job.strands for job in self.jobs)
+
+    @property
+    def nucleotide_count(self) -> int:
+        """Bases the order synthesizes."""
+        return sum(job.nucleotides for job in self.jobs)
+
+    @property
+    def partitions(self) -> tuple[str, ...]:
+        """Partitions whose pools the order rewrites."""
+        return tuple(job.partition for job in self.jobs)
+
+
 class BatchScheduler:
-    """Coalesces concurrent requests into one merged read plan per cycle."""
+    """Coalesces concurrent requests into merged wetlab work per cycle.
+
+    Reads become one deduplicated :class:`ScheduledBatch`; writes become
+    one per-partition-coalesced :class:`SynthesisOrder`.
+    """
 
     def __init__(self, store: ObjectStore) -> None:
         self.store = store
 
-    def request_blocks(self, request: ReadRequest) -> list[tuple[str, int]]:
+    def request_blocks(self, request: ServiceRequest) -> list[tuple[str, int]]:
         """The ``(partition, block)`` keys backing one request's range."""
         ranges = self.store.block_ranges(
             request.object_name, offset=request.offset, length=request.length
@@ -107,13 +215,13 @@ class BatchScheduler:
 
     def schedule(
         self,
-        requests: list[ReadRequest],
+        requests: list[ServiceRequest],
         *,
         cache: DecodedBlockCache | None = None,
         batch_id: int = 0,
         blocks_by_request: dict[int, list[tuple[str, int]]] | None = None,
     ) -> ScheduledBatch:
-        """Merge a cycle's requests into one deduplicated wetlab plan.
+        """Merge a cycle's read requests into one deduplicated wetlab plan.
 
         Args:
             blocks_by_request: optional precomputed block keys per
@@ -121,10 +229,16 @@ class BatchScheduler:
                 admission); missing entries are resolved here.
 
         Raises:
-            ServiceError: if the cycle contains no requests.
+            ServiceError: if the cycle contains no requests or contains a
+                write (writes go through :meth:`schedule_writes`).
         """
         if not requests:
             raise ServiceError("cannot schedule an empty batch")
+        if any(request.is_write for request in requests):
+            raise ServiceError(
+                "write operations are scheduled as synthesis orders, "
+                "not read batches"
+            )
         # Dicts (not sets) keep every derived ordering deterministic
         # across processes regardless of string-hash randomization.
         requested: dict[tuple[str, int], None] = {}
@@ -157,4 +271,85 @@ class BatchScheduler:
             plan=plan,
             requested_blocks=tuple(requested),
             pinned_payloads=tuple(pinned.items()),
+        )
+
+    def schedule_writes(
+        self,
+        requests: list[ServiceRequest],
+        *,
+        order_id: int = 0,
+    ) -> SynthesisOrder:
+        """Apply a cycle's writes and coalesce them into one synthesis order.
+
+        Operations are applied to the store *digitally* here, in admission
+        order — that is what sizes the order exactly (a ``put``'s striped
+        extents, an ``update``'s actually-patched blocks) — but callers
+        acknowledge the writes only when the order's synthesis latency has
+        been charged.  A request the store rejects (duplicate name,
+        exhausted update slots, range outside the object) fails alone: its
+        outcome records the reason and every other write still applies.
+
+        Raises:
+            ServiceError: if the cycle is empty or contains a non-write.
+        """
+        if not requests:
+            raise ServiceError("cannot schedule an empty synthesis order")
+        if any(not request.is_write for request in requests):
+            raise ServiceError("schedule_writes only accepts write operations")
+        volume = self.store.volume
+        outcomes: list[WriteOutcome] = []
+        slots_by_partition: dict[str, int] = {}
+        for request in requests:
+            try:
+                if request.op == "put":
+                    record = self.store.put(request.object_name, request.payload)
+                    touched: dict[str, int] = {}
+                    for extent in record.extents:
+                        touched[extent.partition] = (
+                            touched.get(extent.partition, 0) + extent.block_count
+                        )
+                    bytes_written = len(request.payload)
+                elif request.op == "update":
+                    patched = self.store.update_blocks(
+                        request.object_name, request.offset, request.payload
+                    )
+                    touched = {}
+                    for partition_name, _ in patched:
+                        touched[partition_name] = touched.get(partition_name, 0) + 1
+                    bytes_written = len(request.payload)
+                else:  # delete: catalog drop, no new strands
+                    self.store.delete(request.object_name)
+                    touched = {}
+                    bytes_written = 0
+            except DnaStorageError as exc:
+                outcomes.append(
+                    WriteOutcome(request=request, applied=False, reason=str(exc))
+                )
+                continue
+            for partition_name, slots in touched.items():
+                slots_by_partition[partition_name] = (
+                    slots_by_partition.get(partition_name, 0) + slots
+                )
+            outcomes.append(
+                WriteOutcome(
+                    request=request,
+                    applied=True,
+                    partitions=tuple(touched),
+                    block_slots=sum(touched.values()),
+                    bytes_written=bytes_written,
+                )
+            )
+        jobs = []
+        for partition_name, slots in slots_by_partition.items():
+            strands, nucleotides = volume.synthesis_footprint(slots)
+            jobs.append(
+                PartitionSynthesisJob(
+                    partition=partition_name,
+                    block_slots=slots,
+                    strands=strands,
+                    nucleotides=nucleotides,
+                )
+            )
+        return SynthesisOrder(
+            order_id=order_id, outcomes=tuple(outcomes), jobs=tuple(jobs)
         )

@@ -1,12 +1,17 @@
 """Request and completion records for the serving layer.
 
-A :class:`ReadRequest` is one tenant's byte-range read against the object
-store; a :class:`CompletedRequest` is its fully-served outcome, carrying
-the latency accounting the simulator reports as the Section 7.4-style
-p50/p95/p99 numbers.  Payload bytes are summarized as a CRC32 checksum so
-simulations over tens of thousands of requests stay memory-bounded while
-still letting benchmarks prove that every serving policy decoded
-identical bytes.
+A :class:`ServiceRequest` is one tenant's operation against the object
+store — a byte-range ``read``, a whole-object ``put``, an in-place
+``update`` patch, or a ``delete``.  A :class:`CompletedRequest` is its
+fully-served outcome, carrying the latency accounting the simulator
+reports as the Section 7.4-style p50/p95/p99 numbers.  Payload bytes are
+summarized as a CRC32 checksum so simulations over tens of thousands of
+requests stay memory-bounded while still letting benchmarks prove that
+every serving policy decoded identical bytes.
+
+``ReadRequest`` remains as an alias of :class:`ServiceRequest` (whose
+default operation is ``"read"``) for callers of the original read-only
+serving layer.
 """
 
 from __future__ import annotations
@@ -15,18 +20,27 @@ from dataclasses import dataclass
 
 from repro.exceptions import ServiceError
 
+#: Operations the serving pipeline accepts.
+OPERATIONS = ("read", "put", "update", "delete")
+
+#: Operations that mutate the store (queued into synthesis orders).
+WRITE_OPERATIONS = ("put", "update", "delete")
+
 
 @dataclass(frozen=True)
-class ReadRequest:
-    """One tenant read request admitted to the service front-end.
+class ServiceRequest:
+    """One tenant operation admitted to the service front-end.
 
     Attributes:
         request_id: unique, monotonically assigned admission id.
         tenant: identifier of the issuing tenant.
-        object_name: requested object in the store catalog.
-        offset / length: requested byte range (``length=None`` reads to
-            the end of the object).
+        object_name: target object in the store catalog.
+        offset / length: byte range of a ``read`` (``length=None`` reads
+            to the end of the object); ``offset`` is also the patch
+            position of an ``update``.
         arrival_hours: arrival time on the simulated clock.
+        op: one of :data:`OPERATIONS`.
+        payload: the bytes to write (``put``/``update`` only).
     """
 
     request_id: int
@@ -35,14 +49,42 @@ class ReadRequest:
     offset: int = 0
     length: int | None = None
     arrival_hours: float = 0.0
+    op: str = "read"
+    payload: bytes | None = None
 
     def __post_init__(self) -> None:
+        if self.op not in OPERATIONS:
+            raise ServiceError(
+                f"unknown operation {self.op!r}; expected one of {OPERATIONS}"
+            )
         if self.offset < 0:
             raise ServiceError("request offset must be non-negative")
         if self.length is not None and self.length < 0:
             raise ServiceError("request length must be non-negative (or None)")
         if self.arrival_hours < 0:
             raise ServiceError("arrival_hours must be non-negative")
+        if self.op in ("put", "update"):
+            if not self.payload:
+                raise ServiceError(f"{self.op} requests require a payload")
+        elif self.payload is not None:
+            raise ServiceError(f"{self.op} requests cannot carry a payload")
+        if self.op in ("put", "delete") and (self.offset or self.length is not None):
+            raise ServiceError(f"{self.op} requests address whole objects")
+        if self.op == "update" and self.length is not None:
+            # The patch extent is the payload itself; a length field
+            # would be silently ignored, so reject it outright.
+            raise ServiceError(
+                "update requests are sized by their payload; length must be None"
+            )
+
+    @property
+    def is_write(self) -> bool:
+        """True for operations that mutate the store."""
+        return self.op in WRITE_OPERATIONS
+
+
+#: Backwards-compatible name for the read-only serving layer's requests.
+ReadRequest = ServiceRequest
 
 
 @dataclass(frozen=True)
@@ -51,21 +93,25 @@ class CompletedRequest:
 
     Attributes:
         request: the originating request.
-        completion_hours: simulated time the response was delivered.
-        byte_count: decoded payload size.
-        checksum: CRC32 of the decoded payload.
+        completion_hours: simulated time the response (or write
+            acknowledgment) was delivered.
+        byte_count: decoded payload size (reads) or bytes written.
+        checksum: CRC32 of the decoded/written payload.
         served_from_cache: True when every block came from the decoded
             block cache (no wetlab work charged).
-        batch_id: the wetlab cycle that served the request, or ``None``
-            for pure cache hits.
+        batch_id: the wetlab cycle (reads) or synthesis order (writes)
+            that served the request, or ``None`` for pure cache hits.
+        attempts: wetlab cycles this request rode, counting retries
+            (1 = served by its first cycle).
     """
 
-    request: ReadRequest
+    request: ServiceRequest
     completion_hours: float
     byte_count: int
     checksum: int
     served_from_cache: bool
     batch_id: int | None
+    attempts: int = 1
 
     @property
     def latency_hours(self) -> float:
@@ -77,18 +123,25 @@ class CompletedRequest:
 class FailedRequest:
     """A request the service rejected without aborting anyone else.
 
-    Malformed trace events (negative ranges), unknown objects and ranges
-    past the object's end fail *individually* at admission: the offending
-    request gets a rejection outcome at its arrival time and every other
-    tenant's requests keep being served.
+    Malformed trace events (negative ranges), unknown objects, ranges past
+    the object's end, writes that cannot apply (duplicate names, exhausted
+    update slots) and reads whose blocks still fail to decode after the
+    retry budget all fail *individually*: the offending request gets a
+    rejection outcome and every other tenant's requests keep being served.
 
     Attributes:
         request_id: admission id the request would have been assigned.
         tenant / object_name / offset / length: the faulty event's fields,
             kept verbatim (the event may be too malformed to build a
-            :class:`ReadRequest` from).
-        arrival_hours: arrival (and rejection) time on the simulated clock.
+            :class:`ServiceRequest` from).
+        arrival_hours: arrival time on the simulated clock.
         reason: human-readable rejection reason.
+        op: the attempted operation.
+        failure_hours: time the failure was decided (equals
+            ``arrival_hours`` for admission rejections; later for retry
+            exhaustion and write apply failures).
+        attempts: wetlab cycles attempted before giving up (0 when the
+            request never reached the wetlab).
     """
 
     request_id: int
@@ -98,3 +151,6 @@ class FailedRequest:
     length: int | None
     arrival_hours: float
     reason: str
+    op: str = "read"
+    failure_hours: float | None = None
+    attempts: int = 0

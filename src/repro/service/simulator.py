@@ -1,17 +1,47 @@
-"""Discrete-event simulator of the multi-tenant serving layer.
+"""Event-driven pipeline simulator of the multi-tenant serving layer.
 
-Drives a request arrival trace (:mod:`repro.workloads.service_traces`)
-against an :class:`ObjectStore` under three serving policies and charges
-every wetlab cycle the latency the paper's sequencing models predict
+:class:`ServicePipeline` drives a request arrival trace
+(:mod:`repro.workloads.service_traces`) — reads *and* writes — against an
+:class:`ObjectStore` under three serving policies and charges every
+wetlab cycle the latency the paper's sequencing models predict
 (Section 7.4, via :class:`IlluminaRunModel` / :class:`NanoporeRunModel`):
 
-* ``unbatched`` — every request runs its own PCR + sequencing cycle, the
-  one-synchronous-caller behaviour of ``ObjectStore.get``;
+* ``unbatched`` — every request runs its own wetlab cycle (or synthesis
+  order), the one-synchronous-caller behaviour of ``ObjectStore.get``;
 * ``batched`` — requests arriving within a scheduling window share one
   merged, cross-tenant-deduplicated cycle (:class:`BatchScheduler`);
 * ``batched+cache`` — additionally, decoded blocks land in a
   :class:`DecodedBlockCache`, so hot blocks skip the wetlab entirely and
   fully-cached requests complete at memory speed.
+
+**Writes** (``put`` / ``update`` / ``delete``) are queued like reads and
+coalesced into per-partition :class:`SynthesisOrder` s charged synthesis
+latency (array setup plus per-base manufacturing time) the way reads are
+charged PCR + sequencing.  Per-object read/write ordering is enforced: a
+read admitted while a write on its object is pending waits for the
+write's synthesis to commit (so it observes the written bytes), and a
+write waits for in-flight reads of its object before mutating the store —
+no request ever observes a torn state.
+
+**Wetlab cycles run on a bounded lane pool** (``config.wetlab_lanes``):
+each cycle's per-partition accesses are independent
+:class:`repro.wetlab.readout.ReadoutUnit` s (own PCR, own sequencing
+sample) greedily packed onto the earliest-free thermocycler/flow-cell
+lane; the cycle completes when its slowest lane drains, so independent
+partitions amplify and sequence concurrently and lane contention is
+modelled.  Unit seeding is lane-independent: the decoded bytes are
+identical for any lane count.
+
+**Decode failures retry instead of aborting.**  Under
+``fidelity="wetlab"``, a block that fails to decode no longer raises out
+of the batch: requests needing it re-enter a retry cycle — fresh PCR,
+fresh sequencing sample, coverage deepened by
+``config.retry_coverage_factor`` per attempt — and only become
+:class:`FailedRequest` outcomes once ``config.retry_budget`` retry cycles
+are exhausted.  Requests of the same batch that don't need the failed
+blocks are served on time.  ``config.decode_failure_injector`` can force
+deterministic failures (tests, resilience benchmarks) under either
+fidelity.
 
 The event loop is fully deterministic: simulated time only, ties broken
 by admission order, no wall-clock or unseeded randomness anywhere.  Every
@@ -19,25 +49,27 @@ policy decodes byte-identical payloads (checksummed per request), so the
 policies differ only in wetlab work and latency — which is exactly the
 comparison reported: throughput, p50/p95/p99 latency
 (:func:`repro.analysis.stats.summarize`), PCR reactions, sequenced reads,
-cache hit rate and amplification waste.
+synthesis strands, cache hit rate and amplification waste.
 
 Two *fidelities* of the read path are supported (orthogonal to policy):
 
 * ``fidelity="reference"`` — payload bytes come from the digital
   reference (originals plus patch chains); wetlab work is only *charged*.
 * ``fidelity="wetlab"`` — every scheduled cycle physically runs its
-  merged plan through simulated PCR amplification and sequencing-read
-  sampling (:class:`repro.wetlab.readout.WetlabReadout`), decodes exactly
-  the planned block set through clustering, trace reconstruction and
-  Reed-Solomon (:meth:`ObjectStore.decode_blocks`), serves responses from
-  those wetlab-decoded payloads and asserts each request's checksum
+  units through simulated PCR amplification and sequencing-read sampling
+  (:class:`repro.wetlab.readout.WetlabReadout`), decodes exactly the
+  planned block set through clustering, trace reconstruction and
+  Reed-Solomon (:meth:`ObjectStore.try_decode_blocks`), serves responses
+  from those wetlab-decoded payloads and asserts each request's checksum
   against the reference path.  Requires numpy.
 
 Malformed requests — negative ranges, unknown objects, ranges past the
-object's end — fail *individually* at admission (recorded as
+object's end, writes the store rejects — fail *individually* (recorded as
 :class:`FailedRequest` outcomes); they never abort other tenants'
 requests.  Zero-length reads are valid empty reads served at front-end
 speed with no wetlab work.
+
+``ServiceSimulator`` remains as an alias of :class:`ServicePipeline`.
 """
 
 from __future__ import annotations
@@ -46,20 +78,35 @@ import heapq
 import itertools
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.analysis.latency_model import LatencyComparison
 from repro.analysis.stats import SummaryStats, summarize
 from repro.exceptions import DnaStorageError, ServiceError
-from repro.service.cache import CacheStats, DecodedBlockCache, PinnedCacheView
-from repro.service.queue import BatchScheduler, RequestQueue, ScheduledBatch
-from repro.service.requests import CompletedRequest, FailedRequest, ReadRequest
+from repro.service.cache import (
+    ADMISSION_POLICIES,
+    CacheStats,
+    DecodedBlockCache,
+    PinnedCacheView,
+)
+from repro.service.queue import (
+    BatchScheduler,
+    RequestQueue,
+    ScheduledBatch,
+    SynthesisOrder,
+)
+from repro.service.requests import CompletedRequest, FailedRequest, ServiceRequest
 from repro.store.object_store import ObjectStore
+from repro.store.planner import plan_partition_ranges, ranges_from_block_keys
 from repro.wetlab.sequencing import IlluminaRunModel, NanoporeRunModel
 from repro.workloads.service_traces import RequestEvent
 
 POLICIES = ("unbatched", "batched", "batched+cache")
 FIDELITIES = ("reference", "wetlab")
+
+#: Optional deterministic fault hook: ``(cycle_id, attempt, block_key) ->
+#: bool`` — return True to force that block's decode to fail in that cycle.
+DecodeFailureInjector = Callable[[int, int, "tuple[str, int]"], bool]
 
 
 @dataclass(frozen=True)
@@ -68,31 +115,63 @@ class ServiceConfig:
 
     Attributes:
         window_hours: scheduling window; requests arriving within it share
-            one wetlab cycle (ignored by the unbatched policy).
-        pcr_hours: wall-clock hours of one PCR stage (the cycle's
-            reactions run in parallel on the thermocycler).
+            one wetlab cycle / synthesis order (ignored by the unbatched
+            policy).
+        pcr_hours: wall-clock hours of one PCR stage (each readout unit
+            amplifies on its own lane's thermocycler).
         reads_per_block: sequencing reads budgeted per amplified block —
             coverage for the block and its update slots (the paper decodes
             a block from ~30 precise-access reads, Section 7.3).
         sequencer: ``"nanopore"`` (streaming, latency scales with reads)
             or ``"illumina"`` (fixed-run, latency quantized in runs).
+        wetlab_lanes: thermocycler/flow-cell lanes available per cycle;
+            a cycle's readout units pack greedily onto the earliest-free
+            lane, so independent partitions run concurrently and the
+            cycle's latency is the slowest lane's drain time.
+        retry_budget: retry cycles a request may ride after its first
+            cycle fails to decode a needed block (0 = fail immediately).
+        retry_coverage_factor: sequencing-coverage multiplier applied per
+            retry attempt (deeper coverage, fresh PCR).
+        synthesis_setup_hours: fixed turnaround of one partition's
+            synthesis job (array setup, QC, shipping).
+        synthesis_hours_per_kilobase: marginal manufacturing time per
+            1000 synthesized bases; a dispatch's per-partition jobs run in
+            parallel at the vendor, so an order commits when its largest
+            job delivers.
         cache_capacity_bytes: byte budget of the decoded-block cache.
-        cache_service_hours: latency of a fully cache-served response.
+        cache_admission: admission policy of the decoded-block cache
+            (``"always"`` or frequency-aware ``"tinylfu"``).
+        cache_service_hours: latency of a fully cache-served response
+            (also the acknowledgment latency of synthesis-free writes,
+            i.e. deletes).
         illumina / nanopore: the run models used to charge latency.
         wetlab_seed: base RNG seed of the default wetlab readout engine
             (synthesis skew, sequencing sampling) under
             ``fidelity="wetlab"``.
+        decode_failure_injector: optional deterministic hook forcing
+            block-decode failures (see :data:`DecodeFailureInjector`);
+            honoured under both fidelities so retry accounting is testable
+            without numpy.
     """
 
     window_hours: float = 0.5
     pcr_hours: float = 2.0
     reads_per_block: int = 30
     sequencer: str = "nanopore"
+    wetlab_lanes: int = 4
+    retry_budget: int = 2
+    retry_coverage_factor: float = 2.0
+    synthesis_setup_hours: float = 12.0
+    synthesis_hours_per_kilobase: float = 0.01
     cache_capacity_bytes: int = 1 << 20
+    cache_admission: str = "always"
     cache_service_hours: float = 0.005
     illumina: IlluminaRunModel = field(default_factory=IlluminaRunModel)
     nanopore: NanoporeRunModel = field(default_factory=NanoporeRunModel)
     wetlab_seed: int = 0
+    decode_failure_injector: DecodeFailureInjector | None = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.window_hours < 0:
@@ -103,13 +182,58 @@ class ServiceConfig:
             raise ServiceError("reads_per_block must be positive")
         if self.sequencer not in ("nanopore", "illumina"):
             raise ServiceError(f"unknown sequencer {self.sequencer!r}")
+        if self.wetlab_lanes <= 0:
+            raise ServiceError("wetlab_lanes must be positive")
+        if self.retry_budget < 0:
+            raise ServiceError("retry_budget must be non-negative")
+        if self.retry_coverage_factor < 1.0:
+            raise ServiceError("retry_coverage_factor must be >= 1")
+        if self.synthesis_setup_hours < 0 or self.synthesis_hours_per_kilobase < 0:
+            raise ServiceError("synthesis latencies must be non-negative")
         if self.cache_capacity_bytes <= 0:
             raise ServiceError("cache_capacity_bytes must be positive")
+        if self.cache_admission not in ADMISSION_POLICIES:
+            raise ServiceError(
+                f"unknown cache admission policy {self.cache_admission!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
 
     def sequencing_hours(self, reads: int) -> float:
         """Latency of producing ``reads`` reads on the configured model."""
         model = self.nanopore if self.sequencer == "nanopore" else self.illumina
         return model.latency_hours(reads)
+
+    def retry_reads_per_block(self, attempt: int) -> int:
+        """Coverage of the ``attempt``-th cycle (1 = the original cycle)."""
+        if attempt <= 1:
+            return self.reads_per_block
+        scaled = self.reads_per_block * self.retry_coverage_factor ** (attempt - 1)
+        return max(int(scaled), self.reads_per_block + attempt - 1)
+
+
+def schedule_lanes(
+    durations: "list[float]", lane_count: int
+) -> list[tuple[int, float, float]]:
+    """Greedy earliest-free-lane packing of unit durations.
+
+    Units are assigned in submission order to the lane that frees up
+    first (ties broken by lane index), mirroring a lab queueing jobs onto
+    identical thermocycler/flow-cell stations.  Returns one
+    ``(lane, start_hours, end_hours)`` tuple per unit, in unit order —
+    fully deterministic for a given input.
+    """
+    if lane_count <= 0:
+        raise ServiceError("lane_count must be positive")
+    free = [0.0] * lane_count
+    schedule: list[tuple[int, float, float]] = []
+    for duration in durations:
+        if duration < 0:
+            raise ServiceError("unit durations must be non-negative")
+        lane = min(range(lane_count), key=lambda index: (free[index], index))
+        start = free[lane]
+        free[lane] = start + duration
+        schedule.append((lane, start, free[lane]))
+    return schedule
 
 
 @dataclass
@@ -120,14 +244,18 @@ class PolicyReport:
         policy: the serving policy name.
         fidelity: read-path fidelity the trace was served under
             (``"reference"`` or ``"wetlab"``).
-        completed: every served request, in completion order.
-        failed: requests rejected at admission (malformed range, unknown
-            object), in admission order; they are excluded from latency,
+        completed: every served request — read responses and write
+            acknowledgments — in completion order.
+        failed: requests rejected without service (malformed range,
+            unknown object, store-rejected write, retry budget exhausted),
+            ordered by admission id; they are excluded from latency,
             throughput and checksum accounting.
-        latency: p50/p95/p99-style summary of per-request latency hours.
+        latency: p50/p95/p99-style summary of per-read latency hours.
+        write_latency: the same summary over write acknowledgments
+            (``None`` when the trace carried no writes).
         makespan_hours: time of the last delivery.
         throughput_per_hour: requests delivered per simulated hour.
-        batches: wetlab cycles run (one per request when unbatched).
+        batches: wetlab read cycles run (retry cycles included).
         pcr_reactions: total PCR reactions across all cycles.
         amplified_blocks: total blocks amplified across all cycles.
         requested_block_accesses: per-request block needs, duplicates
@@ -135,11 +263,25 @@ class PolicyReport:
         distinct_requested_blocks: distinct blocks the whole trace
             touched — the floor any policy could amplify.
         sequenced_reads: total sequencing reads charged.
-        decoded_bytes: total payload bytes delivered.
+        decoded_bytes: total read payload bytes delivered.
+        written_bytes: total write payload bytes acknowledged.
+        synthesis_orders: synthesis orders dispatched for writes.
+        synthesized_strands / synthesized_nucleotides: DNA manufacturing
+            volume those orders charged.
+        synthesis_hours: total synthesis latency charged across orders.
+        retry_cycles: deeper-coverage retry cycles run after decode
+            failures.
+        retried_requests: request-retry events (one request retrying
+            twice counts twice).
+        decode_failures: block-decode failures observed (injected ones
+            included).
+        wetlab_lanes: lane-pool width the trace was served with.
+        lane_busy_hours: summed busy time of all lanes (units' PCR +
+            sequencing) across all cycles.
         checksum: order-independent digest over per-request payload CRCs;
             equal checksums across policies mean identical decoded bytes.
         cache: cache counters (``batched+cache`` only).
-        payloads: per-request payload bytes (only when ``keep_data``).
+        payloads: per-read payload bytes (only when ``keep_data``).
     """
 
     policy: str
@@ -159,6 +301,17 @@ class PolicyReport:
     failed: tuple[FailedRequest, ...] = ()
     cache: CacheStats | None = None
     payloads: dict[int, bytes] | None = None
+    write_latency: SummaryStats | None = None
+    written_bytes: int = 0
+    synthesis_orders: int = 0
+    synthesized_strands: int = 0
+    synthesized_nucleotides: int = 0
+    synthesis_hours: float = 0.0
+    retry_cycles: int = 0
+    retried_requests: int = 0
+    decode_failures: int = 0
+    wetlab_lanes: int = 1
+    lane_busy_hours: float = 0.0
 
     @property
     def amplification_factor(self) -> float:
@@ -171,6 +324,19 @@ class PolicyReport:
         if self.distinct_requested_blocks == 0:
             return 0.0
         return self.amplified_blocks / self.distinct_requested_blocks
+
+    @property
+    def lane_utilization(self) -> float:
+        """Busy-hours pressure on one lane pool over the makespan.
+
+        Each cycle packs its units onto its own pool of
+        ``wetlab_lanes`` stations, so values above 1.0 mean overlapping
+        cycles together demanded more than one pool's worth of lane time
+        — the signal to widen the pool or the scheduling window.
+        """
+        if self.makespan_hours <= 0 or self.wetlab_lanes <= 0:
+            return 0.0
+        return self.lane_busy_hours / (self.makespan_hours * self.wetlab_lanes)
 
 
 class _BatchScratch:
@@ -186,6 +352,31 @@ class _BatchScratch:
         self._blocks[(partition, block)] = data
 
 
+class _InvalidationFanout:
+    """Store attachment shim used while a run replaces a user's cache.
+
+    Serve-path traffic goes to the run's cache, but invalidations from
+    writes applied during the run must also reach the cache the caller
+    had attached — otherwise it would keep serving pre-write bytes after
+    the run restores it.
+    """
+
+    def __init__(self, run_cache, user_cache) -> None:
+        self._run = run_cache
+        self._user = user_cache
+
+    def get(self, partition: str, block: int):
+        return self._run.get(partition, block)
+
+    def put(self, partition: str, block: int, data: bytes) -> None:
+        self._run.put(partition, block, data)
+
+    def invalidate(self, partition: str, block: int) -> bool:
+        dropped = self._run.invalidate(partition, block)
+        self._user.invalidate(partition, block)
+        return dropped
+
+
 def policy_latency_comparison(
     baseline: PolicyReport, improved: PolicyReport
 ) -> LatencyComparison:
@@ -196,18 +387,20 @@ def policy_latency_comparison(
     )
 
 
-class ServiceSimulator:
-    """Deterministic discrete-event loop over a request arrival trace.
+class ServicePipeline:
+    """Deterministic event-driven loop over a mixed read/write trace.
 
     Args:
-        store: the object store requests read from.
-        config: serving tunables (window, latency models, cache budget).
+        store: the object store requests operate on.  Traces with writes
+            mutate it; rerun such traces against a freshly built store.
+        config: serving tunables (window, latency models, lanes, retries,
+            cache budget).
         readout: optional pre-built :class:`repro.wetlab.readout.WetlabReadout`
             used under ``fidelity="wetlab"`` (e.g. with a custom error
             model or PCR protocol); a default is built lazily from the
             config's ``reads_per_block`` and ``wetlab_seed``.  Synthesized
-            pools are cached on the engine, so repeated runs against an
-            unchanged store reuse them.
+            pools are cached on the engine; committed writes re-synthesize
+            exactly the touched partitions.
     """
 
     def __init__(
@@ -243,14 +436,37 @@ class ServiceSimulator:
     # ------------------------------------------------------------------
     # Wetlab charging
     # ------------------------------------------------------------------
-    def _cycle_hours(self, batch: ScheduledBatch) -> float:
-        """Latency of one wetlab cycle (PCR stage + sequencing)."""
+    def _cycle_makespan(
+        self, batch: ScheduledBatch, reads_per_block: int
+    ) -> tuple[float, float]:
+        """Lane-pool latency of one wetlab cycle.
+
+        Each planned access is one readout unit (its own PCR stage plus
+        its own sequencing sample); units pack greedily onto the
+        earliest-free lane.  Returns ``(makespan, busy_hours)``.
+        """
         if batch.amplified_block_count == 0:
             # Fully cache-covered batches are served at dispatch and never
             # schedule a cycle; reaching here is a scheduling bug.
             raise ServiceError("an empty plan has no wetlab cycle to charge")
-        reads = batch.amplified_block_count * self.config.reads_per_block
-        return self.config.pcr_hours + self.config.sequencing_hours(reads)
+        durations = [
+            self.config.pcr_hours
+            + self.config.sequencing_hours(access.block_count * reads_per_block)
+            for access in batch.plan.accesses
+        ]
+        lanes = schedule_lanes(durations, self.config.wetlab_lanes)
+        return max(end for _, _, end in lanes), sum(durations)
+
+    def _order_hours(self, order: SynthesisOrder) -> float:
+        """Commit latency of one synthesis order (parallel vendor jobs)."""
+        if not order.jobs:
+            # Nothing to manufacture (pure deletes): front-end latency.
+            return self.config.cache_service_hours
+        return max(
+            self.config.synthesis_setup_hours
+            + self.config.synthesis_hours_per_kilobase * job.nucleotides / 1000.0
+            for job in order.jobs
+        )
 
     # ------------------------------------------------------------------
     # Simulation
@@ -266,13 +482,14 @@ class ServiceSimulator:
         """Serve a whole arrival trace under one policy.
 
         Args:
-            trace: request events (need not be sorted).
+            trace: request events (need not be sorted); events may carry
+                write operations (``op="put"/"update"/"delete"``).
             policy: one of :data:`POLICIES`.
             fidelity: one of :data:`FIDELITIES`; ``"wetlab"`` serves every
                 cycle from physically decoded reads (PCR → sequencing →
                 clustering → RS) and asserts per-request checksums against
                 the reference path.
-            keep_data: retain per-request payload bytes in the report
+            keep_data: retain per-read payload bytes in the report
                 (tests only; defaults off to bound memory at scale).
 
         Raises:
@@ -290,11 +507,59 @@ class ServiceSimulator:
         if not events:
             raise ServiceError("cannot simulate an empty trace")
         wetlab = self._wetlab_readout() if fidelity == "wetlab" else None
+        config = self.config
+        injector = config.decode_failure_injector
 
-        requests: list[ReadRequest] = []
+        requests: list[ServiceRequest] = []
         failed: list[FailedRequest] = []
 
-        def reject(index: int, event: RequestEvent, reason: str) -> None:
+        # Per-object FIFO of outstanding operations, in admission order.
+        # An operation leaves its FIFO only at its terminal event (read
+        # served/failed; write committed or apply-failed), which yields
+        # exact per-object ordering:
+        #   * a read proceeds only once every write admitted *before* it
+        #     is terminal — it observes exactly those writes, never a
+        #     later one;
+        #   * a write applies only once everything admitted before it is
+        #     terminal or riding the same synthesis order — it can never
+        #     overtake an earlier read or write.
+        # Entries are mutable [kind, request_id, dispatched] triples.
+        object_fifo: dict[str, list[list]] = {}
+        held_reads: dict[int, ServiceRequest] = {}
+
+        def fifo_append(request: ServiceRequest) -> None:
+            object_fifo.setdefault(request.object_name, []).append(
+                ["write" if request.is_write else "read", request.request_id, False]
+            )
+
+        def fifo_remove(name: str, request_id: int) -> None:
+            entries = object_fifo.get(name)
+            if not entries:
+                return
+            remaining = [entry for entry in entries if entry[1] != request_id]
+            if remaining:
+                object_fifo[name] = remaining
+            else:
+                del object_fifo[name]
+
+        def write_ahead(name: str, request_id: int) -> bool:
+            """Is a write admitted before this request still outstanding?"""
+            for kind, rid, _ in object_fifo.get(name, ()):
+                if rid == request_id:
+                    return False
+                if kind == "write":
+                    return True
+            return False
+
+        def reject(
+            index: int,
+            event: RequestEvent,
+            reason: str,
+            *,
+            now: float | None = None,
+            attempts: int = 0,
+        ) -> None:
+            fifo_remove(event.object_name, index)
             failed.append(
                 FailedRequest(
                     request_id=index,
@@ -304,6 +569,9 @@ class ServiceSimulator:
                     length=event.length,
                     arrival_hours=event.time_hours,
                     reason=reason,
+                    op=getattr(event, "op", "read"),
+                    failure_hours=now if now is not None else event.time_hours,
+                    attempts=attempts,
                 )
             )
 
@@ -314,23 +582,43 @@ class ServiceSimulator:
             # request's alone.
             try:
                 requests.append(
-                    ReadRequest(
+                    ServiceRequest(
                         request_id=index,
                         tenant=event.tenant,
                         object_name=event.object_name,
                         offset=event.offset,
                         length=event.length,
                         arrival_hours=event.time_hours,
+                        # Duck-typed events predating the write path may
+                        # lack op/payload; default to a plain read.
+                        op=getattr(event, "op", "read"),
+                        payload=getattr(event, "payload", None),
                     )
                 )
             except DnaStorageError as exc:
                 reject(index, event, str(exc))
 
         cache = (
-            DecodedBlockCache(self.config.cache_capacity_bytes)
+            DecodedBlockCache(
+                config.cache_capacity_bytes, admission=config.cache_admission
+            )
             if policy == "batched+cache"
             else None
         )
+        # The run's cache rides the store for the duration of the event
+        # loop so applied writes (update patches, deletes) invalidate
+        # exactly the stale keys; every simulator read passes its cache
+        # view explicitly, so the attachment affects invalidation only.
+        # A caller-attached cache keeps receiving those invalidations
+        # through the fanout shim (it must not serve stale bytes after
+        # the run restores it).
+        previous_cache = self.store.block_cache
+        if cache is not None:
+            self.store.attach_cache(
+                cache
+                if previous_cache is None
+                else _InvalidationFanout(cache, previous_cache)
+            )
         queue = RequestQueue()
         sequence_counter = itertools.count()
         heap: list[tuple[float, int, str, object]] = [
@@ -352,17 +640,36 @@ class ServiceSimulator:
             "accesses": 0,
             "reads": 0,
             "bytes": 0,
+            "written_bytes": 0,
+            "synthesis_orders": 0,
+            "strands": 0,
+            "nucleotides": 0,
+            "synthesis_hours": 0.0,
+            "retry_cycles": 0,
+            "retried_requests": 0,
+            "decode_failures": 0,
+            "lane_busy_hours": 0.0,
         }
         dispatch_scheduled = False
         next_batch_id = 0
 
+        def push_event(when: float, kind: str, payload_) -> None:
+            heapq.heappush(heap, (when, next(sequence_counter), kind, payload_))
+
+        def ensure_dispatch(now: float) -> None:
+            nonlocal dispatch_scheduled
+            if not dispatch_scheduled:
+                push_event(now + config.window_hours, "dispatch", None)
+                dispatch_scheduled = True
+
         def serve(
-            request: ReadRequest,
+            request: ServiceRequest,
             completion_hours: float,
             *,
             from_cache: bool,
             batch_id: int | None,
             block_cache=None,
+            attempts: int = 1,
         ) -> None:
             data = self.store.get(
                 request.object_name,
@@ -397,25 +704,56 @@ class ServiceSimulator:
                     checksum=zlib.crc32(data),
                     served_from_cache=from_cache,
                     batch_id=batch_id,
+                    attempts=attempts,
                 )
             )
+            fifo_remove(request.object_name, request.request_id)
 
-        def charge(batch: ScheduledBatch) -> None:
+        def release_ready(name: str, now: float) -> None:
+            """Re-admit held reads no longer behind an outstanding write.
+
+            Only the FIFO prefix up to the first still-outstanding write
+            is releasable — reads behind a later write keep waiting for
+            exactly that write.
+            """
+            for kind, rid, _ in list(object_fifo.get(name, ())):
+                if kind == "write":
+                    break
+                request = held_reads.pop(rid, None)
+                if request is not None:
+                    admit_read(request, now, released=True)
+
+        def charge(batch: ScheduledBatch, reads_per_block: int) -> None:
             # A dispatch fully covered by the cache is not a wetlab cycle.
             if batch.amplified_block_count > 0:
                 totals["batches"] += 1
             totals["reactions"] += batch.reaction_count
             totals["amplified"] += batch.amplified_block_count
-            totals["reads"] += (
-                batch.amplified_block_count * self.config.reads_per_block
-            )
+            totals["reads"] += batch.amplified_block_count * reads_per_block
             for key in batch.requested_blocks:
                 distinct_requested.setdefault(key, None)
+
+        def start_cycle(
+            batch: ScheduledBatch,
+            riders: tuple[ServiceRequest, ...],
+            view,
+            now: float,
+            attempt: int,
+            reads_per_block: int,
+        ) -> None:
+            """Put a cycle's units on the lane pool and book its completion."""
+            makespan, busy = self._cycle_makespan(batch, reads_per_block)
+            totals["lane_busy_hours"] += busy
+            push_event(
+                now + makespan,
+                "complete",
+                (batch, riders, view, attempt, reads_per_block),
+            )
 
         def dispatch_batch(batch: ScheduledBatch, now: float) -> None:
             """Serve a scheduled batch: cache-covered requests leave at
             dispatch, the rest ride the wetlab cycle to completion."""
-            charge(batch)
+            charge(batch, config.reads_per_block)
             if cache is not None:
                 view = PinnedCacheView(cache, batch.pinned_payloads)
             else:
@@ -424,7 +762,7 @@ class ServiceSimulator:
                 # it — work counters come from the plan).
                 view = _BatchScratch()
             pinned_keys = frozenset(key for key, _ in batch.pinned_payloads)
-            riders: list[ReadRequest] = []
+            riders: list[ServiceRequest] = []
             for request in batch.requests:
                 # A request whose every block was pinned from the cache
                 # needs no wetlab of its own: it is answered at dispatch,
@@ -435,28 +773,101 @@ class ServiceSimulator:
                 ):
                     serve(
                         request,
-                        now + self.config.cache_service_hours,
+                        now + config.cache_service_hours,
                         from_cache=True,
                         batch_id=None,
                         block_cache=view,
                     )
                 else:
+                    # The rider's FIFO entry stays until it is served, so
+                    # no write to its object can apply under the cycle.
                     riders.append(request)
             if riders:
-                heapq.heappush(
-                    heap,
-                    (
-                        now + self._cycle_hours(batch),
-                        next(sequence_counter),
-                        "complete",
-                        (batch, tuple(riders), view),
-                    ),
+                start_cycle(
+                    batch, tuple(riders), view, now, 1, config.reads_per_block
                 )
+
+        def cycle_failures(
+            batch: ScheduledBatch,
+            attempt: int,
+            reads_per_block: int,
+            view,
+        ) -> dict[tuple[str, int], str]:
+            """Run a cycle physically (wetlab) and collect decode failures.
+
+            Successfully decoded blocks are published into the batch's
+            view (write-through makes them cache-visible, now that the
+            cycle is complete); failed and injected-failure blocks are
+            withheld so affected riders can retry.
+            """
+            failures: dict[tuple[str, int], str] = {}
+            planned: dict[str, list[int]] = {}
+            for access in batch.plan.accesses:
+                planned.setdefault(access.partition, []).extend(
+                    range(access.start_block, access.end_block + 1)
+                )
+            if injector is not None:
+                for partition_name, blocks in planned.items():
+                    for block in blocks:
+                        key = (partition_name, block)
+                        if injector(batch.batch_id, attempt, key):
+                            failures[key] = "injected decode failure"
+            decoded: dict[tuple[str, int], bytes] = {}
+            if wetlab is not None:
+                # Physically run the cycle: every unit amplifies its
+                # partition's pool and samples its own reads (fresh PCR
+                # and deeper coverage on retries), then decode exactly
+                # the planned block set.
+                reads: dict[str, list[str]] = {}
+                for unit in wetlab.plan_units(batch.plan):
+                    reads.setdefault(unit.partition, []).extend(
+                        wetlab.unit_reads(
+                            unit,
+                            batch_seed=batch.batch_id,
+                            reads_per_block=reads_per_block,
+                        )
+                    )
+                decoded, decode_failures = self.store.try_decode_blocks(
+                    planned, reads
+                )
+                for key, reason in decode_failures.items():
+                    failures.setdefault(key, reason)
+                for key, data in decoded.items():
+                    # Block-level checksum gate: a misassembled readout
+                    # (e.g. a misprimed neighbour strand winning a
+                    # shallow cluster) can decode "successfully" with
+                    # wrong bytes.  Catch it here so the retry budget
+                    # covers it — deeper coverage on the next cycle —
+                    # instead of a fidelity assertion aborting the run
+                    # at serve time.
+                    if key in failures:
+                        continue
+                    reference = self.store.volume.partition(
+                        key[0]
+                    ).read_block_reference(key[1])
+                    if data != reference:
+                        failures[key] = (
+                            f"decoded bytes of block {key[1]} in partition "
+                            f"{key[0]!r} failed the reference checksum "
+                            "(misassembled readout)"
+                        )
+            for key, data in decoded.items():
+                if key not in failures:
+                    # Mirror the reference path's fill sequence (lookup
+                    # miss, then insert): the miss records the block's
+                    # demand with the cache — its stats and the TinyLFU
+                    # admission sketch — before the pin makes later
+                    # serve-path lookups bypass the cache entirely.
+                    view.get(key[0], key[1])
+                    view.put(key[0], key[1], data)
+            return failures
 
         def complete(
             batch: ScheduledBatch,
-            riders: tuple[ReadRequest, ...],
+            riders: tuple[ServiceRequest, ...],
             view,
+            attempt: int,
+            reads_per_block: int,
             completion: float,
         ) -> None:
             # Serving (and therefore cache fill) happens at cycle
@@ -464,141 +875,356 @@ class ServiceSimulator:
             # cache-visible before the cycle's sequencing finishes.  The
             # batch's schedule-time cache hits were pinned, so evictions
             # during the cycle cannot turn charged work into free reads.
-            if wetlab is not None and batch.amplified_block_count > 0:
-                # Physically run the cycle: amplify and sequence the
-                # merged plan, decode exactly the planned block set, and
-                # serve the riders from those wetlab-decoded payloads
-                # (write-through makes them cache-visible, now that the
-                # cycle is complete).
-                planned: dict[str, list[int]] = {}
-                for access in batch.plan.accesses:
-                    planned.setdefault(access.partition, []).extend(
-                        range(access.start_block, access.end_block + 1)
-                    )
-                reads = wetlab.readout(batch.plan, batch_seed=batch.batch_id)
-                payloads = self.store.decode_blocks(planned, reads)
-                for (partition_name, block), data in payloads.items():
-                    view.put(partition_name, block, data)
+            failures: dict[tuple[str, int], str] = {}
+            if batch.amplified_block_count > 0 and (
+                wetlab is not None or injector is not None
+            ):
+                failures = cycle_failures(batch, attempt, reads_per_block, view)
+                totals["decode_failures"] += len(failures)
+            retriers: list[ServiceRequest] = []
             for request in riders:
+                if failures and any(
+                    key in failures for key in blocks_by_id[request.request_id]
+                ):
+                    retriers.append(request)
+                    continue
                 serve(
                     request,
                     completion,
                     from_cache=False,
                     batch_id=batch.batch_id,
                     block_cache=view,
+                    attempts=attempt,
                 )
-
-        while heap:
-            now, _, kind, payload = heapq.heappop(heap)
-            if kind == "arrival":
-                request = payload
-                try:
-                    blocks = self.scheduler.request_blocks(request)
-                except DnaStorageError as exc:
-                    # Unknown object or range past the object's end: this
-                    # request fails alone; everyone else keeps being served.
-                    # (request_id indexes the time-sorted events list.)
-                    reject(request.request_id, events[request.request_id], str(exc))
-                    continue
-                blocks_by_id[request.request_id] = blocks
-                totals["accesses"] += len(blocks)
-                if not blocks:
-                    # Zero-length read: a valid empty response needing no
-                    # wetlab work — answered at front-end speed.
-                    serve(
-                        request,
-                        now + self.config.cache_service_hours,
-                        from_cache=False,
-                        batch_id=None,
+            if retriers:
+                if attempt > config.retry_budget:
+                    for request in retriers:
+                        needed = sorted(
+                            key
+                            for key in blocks_by_id[request.request_id]
+                            if key in failures
+                        )
+                        reject(
+                            request.request_id,
+                            events[request.request_id],
+                            "decode failed after "
+                            f"{attempt} cycles (retry budget "
+                            f"{config.retry_budget}): blocks {needed} — "
+                            f"{failures[needed[0]]}",
+                            now=completion,
+                            attempts=attempt,
+                        )
+                else:
+                    # Retry cycle: only the failed blocks the retrying
+                    # requests still need, re-amplified with fresh PCR and
+                    # sequenced at deeper coverage under a fresh seed.
+                    nonlocal next_batch_id
+                    needed: dict[tuple[str, int], None] = {}
+                    for request in retriers:
+                        for key in blocks_by_id[request.request_id]:
+                            if key in failures:
+                                needed.setdefault(key, None)
+                    retry_plan = plan_partition_ranges(
+                        self.store.volume,
+                        ranges_from_block_keys(list(needed)),
+                        label=f"retry-{batch.batch_id:05d}-{attempt}",
                     )
-                    continue
-                if policy == "unbatched":
-                    batch = self.scheduler.schedule(
-                        [request],
+                    retry_batch = ScheduledBatch(
                         batch_id=next_batch_id,
-                        blocks_by_request=blocks_by_id,
+                        requests=tuple(retriers),
+                        plan=retry_plan,
+                        requested_blocks=(),
                     )
                     next_batch_id += 1
-                    dispatch_batch(batch, now)
-                    continue
-                if cache is not None and all(
-                    cache.contains(partition, block) for partition, block in blocks
+                    next_reads = config.retry_reads_per_block(attempt + 1)
+                    charge(retry_batch, next_reads)
+                    totals["retry_cycles"] += 1
+                    totals["retried_requests"] += len(retriers)
+                    start_cycle(
+                        retry_batch,
+                        tuple(retriers),
+                        view,
+                        completion,
+                        attempt + 1,
+                        next_reads,
+                    )
+            # Served/failed riders may have been the last in-flight reads
+            # blocking a queued write.
+            if policy == "unbatched":
+                pump_writes(completion)
+            elif len(queue):
+                ensure_dispatch(completion)
+
+        def pump_writes(now: float) -> None:
+            """Dispatch every queued write whose object barrier is clear.
+
+            A write is eligible only when everything admitted before it on
+            its object has reached a terminal state or is another
+            not-yet-dispatched write riding this same pump — so writes
+            serialize per object, never overtake a read, and same-window
+            writes still coalesce into one synthesis order whose
+            per-partition jobs run in parallel at the vendor.
+            """
+
+            def eligible(request: ServiceRequest) -> bool:
+                if not request.is_write:
+                    return False
+                for kind, rid, dispatched in object_fifo.get(
+                    request.object_name, ()
                 ):
-                    # Fast path: every block is hot; no wetlab, no window.
-                    for key in blocks:
-                        distinct_requested.setdefault(key, None)
-                    serve(
-                        request,
-                        now + self.config.cache_service_hours,
-                        from_cache=True,
-                        batch_id=None,
+                    if rid == request.request_id:
+                        return True
+                    if kind == "read" or dispatched:
+                        # An outstanding read, or a write already riding
+                        # an uncommitted order, must not be overtaken
+                        # (queue order guarantees earlier queued writes
+                        # of this object were ruled eligible first).
+                        return False
+                return False
+
+            writes = queue.take(eligible)
+            if not writes:
+                return
+            nonlocal next_batch_id
+            order = self.scheduler.schedule_writes(
+                writes, order_id=next_batch_id
+            )
+            next_batch_id += 1
+            applied = order.applied
+            rejected = False
+            for outcome in order.outcomes:
+                name = outcome.request.object_name
+                if outcome.applied:
+                    for entry in object_fifo.get(name, ()):
+                        if entry[1] == outcome.request.request_id:
+                            entry[2] = True  # dispatched, awaiting commit
+                            break
+                else:
+                    # The store rejected it (duplicate name, exhausted
+                    # update slots, bad range): this write fails alone,
+                    # at dispatch time (reject drops its FIFO entry).
+                    rejected = True
+                    reject(
+                        outcome.request.request_id,
+                        events[outcome.request.request_id],
+                        outcome.reason,
+                        now=now,
                     )
-                    continue
-                queue.push(request)
-                if not dispatch_scheduled:
-                    heapq.heappush(
-                        heap,
-                        (
-                            now + self.config.window_hours,
-                            next(sequence_counter),
-                            "dispatch",
-                            None,
-                        ),
+                    release_ready(name, now)
+            if applied:
+                totals["synthesis_orders"] += 1
+                totals["strands"] += order.strand_count
+                totals["nucleotides"] += order.nucleotide_count
+                hours = self._order_hours(order)
+                totals["synthesis_hours"] += hours
+                push_event(now + hours, "synthesis", order)
+            if rejected and len(queue):
+                # A rejection's release_ready may have served held reads
+                # instantly (cache hit, zero-length, admission reject),
+                # unblocking writes queued behind them with no future
+                # event left to pump — re-arm so they are never stranded.
+                if policy == "unbatched":
+                    pump_writes(now)
+                else:
+                    ensure_dispatch(now)
+
+        def commit_order(order: SynthesisOrder, now: float) -> None:
+            """A synthesis order delivered: acknowledge its writes."""
+            if wetlab is not None:
+                # The manufactured strands join their partitions' pools;
+                # only the touched pools re-synthesize.
+                for partition_name in order.partitions:
+                    wetlab.reset_pool(partition_name)
+            released: dict[str, None] = {}
+            for outcome in order.applied:
+                request = outcome.request
+                name = request.object_name
+                fifo_remove(name, request.request_id)
+                released[name] = None
+                totals["written_bytes"] += outcome.bytes_written
+                payload_bytes = request.payload or b""
+                completed.append(
+                    CompletedRequest(
+                        request=request,
+                        completion_hours=now,
+                        byte_count=outcome.bytes_written,
+                        checksum=zlib.crc32(payload_bytes),
+                        served_from_cache=False,
+                        batch_id=order.order_id,
                     )
-                    dispatch_scheduled = True
-            elif kind == "dispatch":
-                dispatch_scheduled = False
-                pending = queue.drain()
-                if not pending:
-                    continue
+                )
+            for name in released:
+                release_ready(name, now)
+            if policy == "unbatched":
+                pump_writes(now)
+            elif len(queue):
+                ensure_dispatch(now)
+
+        def admit_read(
+            request: ServiceRequest, now: float, *, released: bool = False
+        ) -> None:
+            name = request.object_name
+            if not released:
+                fifo_append(request)
+            if write_ahead(name, request.request_id):
+                # Read-after-write ordering: the read waits for exactly
+                # the writes admitted before it to commit, then observes
+                # their bytes (never a later write's).
+                held_reads[request.request_id] = request
+                return
+            try:
+                blocks = self.scheduler.request_blocks(request)
+            except DnaStorageError as exc:
+                # Unknown object or range past the object's end: this
+                # request fails alone; everyone else keeps being served.
+                # (request_id indexes the time-sorted events list; `now`
+                # is the decision time — later than arrival for reads
+                # validated only after a write barrier released them.)
+                reject(
+                    request.request_id,
+                    events[request.request_id],
+                    str(exc),
+                    now=now,
+                )
+                return
+            blocks_by_id[request.request_id] = blocks
+            totals["accesses"] += len(blocks)
+            if not blocks:
+                # Zero-length read: a valid empty response needing no
+                # wetlab work — answered at front-end speed.
+                serve(
+                    request,
+                    now + config.cache_service_hours,
+                    from_cache=False,
+                    batch_id=None,
+                )
+                return
+            if policy == "unbatched":
+                nonlocal next_batch_id
                 batch = self.scheduler.schedule(
-                    pending,
-                    cache=cache,
+                    [request],
                     batch_id=next_batch_id,
                     blocks_by_request=blocks_by_id,
                 )
                 next_batch_id += 1
                 dispatch_batch(batch, now)
-            else:  # complete: deliver the riders and publish their blocks
-                batch, riders, view = payload
-                complete(batch, riders, view, completion=now)
+                return
+            if cache is not None and all(
+                cache.contains(partition, block) for partition, block in blocks
+            ):
+                # Fast path: every block is hot; no wetlab, no window.
+                for key in blocks:
+                    distinct_requested.setdefault(key, None)
+                serve(
+                    request,
+                    now + config.cache_service_hours,
+                    from_cache=True,
+                    batch_id=None,
+                )
+                return
+            queue.push(request)
+            ensure_dispatch(now)
 
-        checksum = 0
-        for item in sorted(completed, key=lambda c: c.request.request_id):
-            checksum = zlib.crc32(item.checksum.to_bytes(4, "big"), checksum)
-        # The report lists deliveries in completion order (ties broken by
-        # admission id); serves were recorded in event order, which may
-        # run ahead for requests whose completion lies in the future.
-        completed.sort(key=lambda c: (c.completion_hours, c.request.request_id))
-        failed.sort(key=lambda f: f.request_id)
-        if completed:
-            makespan = max(item.completion_hours for item in completed)
-            latency = summarize([item.latency_hours for item in completed])
-        else:  # every request was rejected at admission
-            makespan = 0.0
-            latency = SummaryStats(
+        def admit_write(request: ServiceRequest, now: float) -> None:
+            fifo_append(request)
+            queue.push(request)
+            if policy == "unbatched":
+                pump_writes(now)
+            else:
+                ensure_dispatch(now)
+
+        try:
+            while heap:
+                now, _, kind, payload = heapq.heappop(heap)
+                if kind == "arrival":
+                    request = payload
+                    if request.is_write:
+                        admit_write(request, now)
+                    else:
+                        admit_read(request, now)
+                elif kind == "dispatch":
+                    dispatch_scheduled = False
+                    # Reads drain before writes apply: a queued read arrived
+                    # before every queued write on its object (later reads
+                    # were held at admission), so scheduling it first puts it
+                    # in flight and the write barrier below keeps the store
+                    # unmutated until its cycle delivers — same-window
+                    # operations serve in arrival order.
+                    pending = queue.drain_op("read")
+                    if pending:
+                        batch = self.scheduler.schedule(
+                            pending,
+                            cache=cache,
+                            batch_id=next_batch_id,
+                            blocks_by_request=blocks_by_id,
+                        )
+                        next_batch_id += 1
+                        dispatch_batch(batch, now)
+                    pump_writes(now)
+                elif kind == "synthesis":
+                    commit_order(payload, now)
+                else:  # complete: deliver the riders and publish their blocks
+                    batch, riders, view, attempt, reads_per_block = payload
+                    complete(
+                        batch, riders, view, attempt, reads_per_block, completion=now
+                    )
+
+            checksum = 0
+            for item in sorted(completed, key=lambda c: c.request.request_id):
+                checksum = zlib.crc32(item.checksum.to_bytes(4, "big"), checksum)
+            # The report lists deliveries in completion order (ties broken by
+            # admission id); serves were recorded in event order, which may
+            # run ahead for requests whose completion lies in the future.
+            completed.sort(key=lambda c: (c.completion_hours, c.request.request_id))
+            failed.sort(key=lambda f: f.request_id)
+            read_latencies = [
+                item.latency_hours for item in completed if item.request.op == "read"
+            ]
+            write_latencies = [
+                item.latency_hours for item in completed if item.request.op != "read"
+            ]
+            empty = SummaryStats(
                 count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
                 minimum=0.0, maximum=0.0,
             )
-        return PolicyReport(
-            policy=policy,
-            fidelity=fidelity,
-            completed=tuple(completed),
-            failed=tuple(failed),
-            latency=latency,
-            makespan_hours=makespan,
-            throughput_per_hour=len(completed) / makespan if makespan else 0.0,
-            batches=totals["batches"],
-            pcr_reactions=totals["reactions"],
-            amplified_blocks=totals["amplified"],
-            requested_block_accesses=totals["accesses"],
-            distinct_requested_blocks=len(distinct_requested),
-            sequenced_reads=totals["reads"],
-            decoded_bytes=totals["bytes"],
-            checksum=checksum,
-            cache=cache.stats if cache is not None else None,
-            payloads=payloads if keep_data else None,
-        )
+            if completed:
+                makespan = max(item.completion_hours for item in completed)
+            else:  # every request was rejected
+                makespan = 0.0
+            return PolicyReport(
+                policy=policy,
+                fidelity=fidelity,
+                completed=tuple(completed),
+                failed=tuple(failed),
+                latency=summarize(read_latencies) if read_latencies else empty,
+                write_latency=summarize(write_latencies) if write_latencies else None,
+                makespan_hours=makespan,
+                throughput_per_hour=len(completed) / makespan if makespan else 0.0,
+                batches=totals["batches"],
+                pcr_reactions=totals["reactions"],
+                amplified_blocks=totals["amplified"],
+                requested_block_accesses=totals["accesses"],
+                distinct_requested_blocks=len(distinct_requested),
+                sequenced_reads=totals["reads"],
+                decoded_bytes=totals["bytes"],
+                written_bytes=totals["written_bytes"],
+                synthesis_orders=totals["synthesis_orders"],
+                synthesized_strands=totals["strands"],
+                synthesized_nucleotides=totals["nucleotides"],
+                synthesis_hours=totals["synthesis_hours"],
+                retry_cycles=totals["retry_cycles"],
+                retried_requests=totals["retried_requests"],
+                decode_failures=totals["decode_failures"],
+                wetlab_lanes=config.wetlab_lanes,
+                lane_busy_hours=totals["lane_busy_hours"],
+                checksum=checksum,
+                cache=cache.stats if cache is not None else None,
+                payloads=payloads if keep_data else None,
+            )
+        finally:
+            # Detach the run's cache (exceptions included) so the
+            # store's prior attachment is preserved across runs.
+            self.store.block_cache = previous_cache
 
     def compare(
         self,
@@ -607,13 +1233,24 @@ class ServiceSimulator:
         policies: tuple[str, ...] = POLICIES,
         fidelity: str = "reference",
     ) -> dict[str, PolicyReport]:
-        """Serve the same trace under several policies (fresh cache each).
+        """Serve the same read-only trace under several policies.
 
-        The store itself is read-only during simulation, so every policy
-        sees identical object contents and must deliver identical bytes.
+        The store must stay read-only so every policy sees identical
+        object contents and must deliver identical bytes; traces carrying
+        writes are rejected (serve those per policy against freshly built
+        stores instead).
         """
         events = list(trace)
+        if any(getattr(event, "op", "read") != "read" for event in events):
+            raise ServiceError(
+                "compare() requires a read-only trace: writes mutate the "
+                "store, so each policy must run against a fresh store"
+            )
         return {
             policy: self.run(events, policy, fidelity=fidelity)
             for policy in policies
         }
+
+
+#: Backwards-compatible name of the original read-only simulator.
+ServiceSimulator = ServicePipeline

@@ -133,6 +133,17 @@ class ObjectStore:
         paper) and is invalidated from the attached block cache.  Returns
         the number of blocks patched.
         """
+        return len(self.update_blocks(name, offset, new_bytes))
+
+    def update_blocks(
+        self, name: str, offset: int, new_bytes: bytes
+    ) -> list[tuple[str, int]]:
+        """Like :meth:`update`, returning the patched block keys.
+
+        The serving pipeline uses the ``(partition, block)`` keys to size
+        the write's synthesis order and to re-synthesize exactly the
+        affected wetlab pools.
+        """
         record = self.record(name)
         patched = self.volume.update_record(record, offset, new_bytes)
         if patched:
@@ -140,7 +151,7 @@ class ObjectStore:
         if self.block_cache is not None:
             for partition_name, block in patched:
                 self.block_cache.invalidate(partition_name, block)
-        return len(patched)
+        return patched
 
     def delete(self, name: str) -> ObjectRecord:
         """Drop an object from the catalog and retire its extents.
@@ -208,34 +219,63 @@ class ObjectStore:
             StoreError: if reads for a required partition are missing or a
                 block cannot be decoded.
         """
+        payloads, failures = self.try_decode_blocks(
+            blocks_by_partition, reads_by_partition, **decoder_options
+        )
+        if failures:
+            raise StoreError(next(iter(failures.values())))
+        return payloads
+
+    def try_decode_blocks(
+        self,
+        blocks_by_partition: dict[str, list[int]],
+        reads_by_partition: dict[str, list[str]],
+        **decoder_options,
+    ) -> tuple[dict[tuple[str, int], bytes], dict[tuple[str, int], str]]:
+        """Decode a block set, reporting per-block failures instead of raising.
+
+        The serving pipeline's retry cycles need to know *which* blocks of
+        a wetlab cycle failed (insufficient coverage, unclusterable reads)
+        so only the affected requests re-enter a deeper-coverage cycle.
+
+        Returns:
+            ``(payloads, failures)``: decoded current contents keyed by
+            ``(partition, block)``, and a human-readable failure reason
+            per block that could not be decoded (missing partition reads
+            fail every requested block of that partition).
+        """
         payloads: dict[tuple[str, int], bytes] = {}
+        failures: dict[tuple[str, int], str] = {}
         for partition_name, blocks in blocks_by_partition.items():
             if not blocks:
                 continue
+            targets = sorted(set(blocks))
             if partition_name not in reads_by_partition:
-                raise StoreError(
-                    f"no reads provided for partition {partition_name!r}"
-                )
+                for block in targets:
+                    failures[(partition_name, block)] = (
+                        f"no reads provided for partition {partition_name!r}"
+                    )
+                continue
             partition = self.volume.partition(partition_name)
             decoder = BlockDecoder(partition, **decoder_options)
-            targets = sorted(set(blocks))
             reports = decoder.decode_readout(
                 reads_by_partition[partition_name], targets
             )
             for block in targets:
                 report = reports[block]
                 if not report.success or report.data is None:
-                    raise StoreError(
+                    failures[(partition_name, block)] = (
                         f"failed to decode block {block} of partition "
                         f"{partition_name!r} ({report.reads_on_prefix} "
                         f"on-prefix reads, {report.clusters_total} clusters)"
                     )
+                    continue
                 # Updates are size-preserving, so the stored original's
                 # length is the block's true current length; the decoded
                 # unit is padded to the full block size.
                 true_length = len(partition.original_block_data(block))
                 payloads[(partition_name, block)] = report.data[:true_length]
-        return payloads
+        return payloads, failures
 
     def decode_object(
         self,

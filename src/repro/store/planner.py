@@ -152,6 +152,24 @@ def block_ranges_for_read(
     }
 
 
+def ranges_from_block_keys(
+    keys: "list[tuple[str, int]]",
+) -> dict[str, list[tuple[int, int]]]:
+    """Per-partition merged block ranges from flat ``(partition, block)`` keys.
+
+    The serving pipeline's retry cycles target exactly the blocks that
+    failed to decode; this turns that flat key set back into the merged
+    per-partition ranges :func:`plan_partition_ranges` consumes.  Partition
+    order follows first appearance, keeping retry plans deterministic.
+    """
+    by_partition: dict[str, list[tuple[int, int]]] = {}
+    for partition_name, block in keys:
+        by_partition.setdefault(partition_name, []).append((block, block))
+    return {
+        name: _merge_ranges(ranges) for name, ranges in by_partition.items()
+    }
+
+
 def merge_partition_ranges(
     range_maps: "list[dict[str, list[tuple[int, int]]]]",
 ) -> dict[str, list[tuple[int, int]]]:

@@ -99,6 +99,33 @@ class DnaVolume:
         """Partitions created by this volume, in creation order."""
         return list(self._next_block)
 
+    @property
+    def strands_per_block_slot(self) -> int:
+        """DNA strands synthesized per written block version slot.
+
+        One block slot is one encoding unit — its data and ECC columns
+        each become one strand — so a synthesis order for ``n`` new block
+        slots (originals or update patches) manufactures
+        ``n * strands_per_block_slot`` distinct molecules.
+        """
+        return self.config.unit_layout.total_molecules
+
+    @property
+    def strand_nucleotides(self) -> int:
+        """Bases per synthesized strand (primers, indexes and payload)."""
+        return self.config.molecule_layout.strand_length
+
+    def synthesis_footprint(self, block_slots: int) -> tuple[int, int]:
+        """(strands, nucleotides) a synthesis order for block slots costs.
+
+        Used by the serving pipeline to charge queued writes synthesis
+        work the way reads are charged PCR reactions and sequencing reads.
+        """
+        if block_slots < 0:
+            raise StoreError("block_slots must be non-negative")
+        strands = block_slots * self.strands_per_block_slot
+        return strands, strands * self.strand_nucleotides
+
     def partition(self, name: str) -> Partition:
         """The partition registered under ``name``."""
         return self.pool.partition(name)

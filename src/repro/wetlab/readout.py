@@ -9,9 +9,16 @@ reads — so a serving simulation can decode *actual reads* instead of
 consulting the digital reference (see ``fidelity="wetlab"`` on
 :class:`repro.service.ServiceSimulator`).
 
+A plan is executed as independent per-partition-access
+:class:`ReadoutUnit` s: each unit amplifies and sequences one access and
+can run on its own thermocycler/flow-cell lane, so the serving pipeline
+schedules units of the same cycle concurrently onto a bounded lane pool.
+:meth:`WetlabReadout.readout` remains the run-everything convenience.
+
 Everything is deterministic per seed: synthesis skew is seeded per
 partition (stable in the partition's name), sequencing sampling per
-``(batch, access)``, so re-running a trace reproduces every read.
+``(batch, access)`` — independent of lane assignment, so the sampled
+reads are identical for any lane count.
 
 Requires numpy (the sequencing sampler); the serving layer only imports
 this module when wetlab fidelity is requested.
@@ -20,6 +27,7 @@ this module when wetlab fidelity is requested.
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.exceptions import WetlabError
@@ -30,8 +38,41 @@ from repro.wetlab.sequencing import Sequencer
 from repro.wetlab.synthesis import SynthesisVendor, synthesize
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.store.planner import BatchReadPlan
+    from repro.store.planner import BatchReadPlan, PcrAccess
     from repro.store.volume import DnaVolume
+
+
+@dataclass(frozen=True)
+class ReadoutUnit:
+    """One independently executable slice of a wetlab cycle.
+
+    A unit is one planned PCR access — one partition's merged block range
+    amplified with its multiplexed elongated primers and sequenced at the
+    unit's own depth.  Units of the same cycle are independent (distinct
+    reactions, distinct sequencing samples) and may run concurrently on
+    separate lanes.
+
+    Attributes:
+        access: the planned PCR access the unit executes.
+        access_index: the access's position in its plan (part of the
+            sequencing sampling seed, so unit identity — not lane or
+            execution order — decides the sampled reads).
+        label: name recorded on the amplified pool (diagnostics only).
+    """
+
+    access: "PcrAccess"
+    access_index: int
+    label: str = "readout"
+
+    @property
+    def partition(self) -> str:
+        """The partition the unit amplifies."""
+        return self.access.partition
+
+    @property
+    def block_count(self) -> int:
+        """Blocks retrieved by the unit's access."""
+        return self.access.block_count
 
 
 class WetlabReadout:
@@ -80,8 +121,8 @@ class WetlabReadout:
 
         The pool holds every strand of the partition — all written blocks
         and their update slots — with vendor skew applied.  Call
-        :meth:`reset_pools` after mutating the store (new objects, updates)
-        so the next readout re-synthesizes.
+        :meth:`reset_pool` (or :meth:`reset_pools`) after mutating the
+        store (new objects, updates) so the next readout re-synthesizes.
         """
         pool = self._pools.get(name)
         if pool is None:
@@ -95,50 +136,97 @@ class WetlabReadout:
             self._pools[name] = pool
         return pool
 
+    def reset_pool(self, name: str) -> None:
+        """Drop one partition's cached pool (its contents changed).
+
+        The serving pipeline calls this when a committed write touches the
+        partition, so only the affected pools pay a re-synthesis.
+        """
+        self._pools.pop(name, None)
+
     def reset_pools(self) -> None:
-        """Drop cached pools (the store's contents changed)."""
+        """Drop every cached pool (the store's contents changed)."""
         self._pools.clear()
 
     # ------------------------------------------------------------------
     # Readout
     # ------------------------------------------------------------------
+    def plan_units(self, plan: "BatchReadPlan") -> list[ReadoutUnit]:
+        """The independently executable units of one cycle's plan."""
+        return [
+            ReadoutUnit(
+                access=access,
+                access_index=access_index,
+                label=f"{access.partition}-{plan.object_name}",
+            )
+            for access_index, access in enumerate(plan.accesses)
+        ]
+
+    def unit_reads(
+        self,
+        unit: ReadoutUnit,
+        *,
+        batch_seed: int = 0,
+        reads_per_block: int | None = None,
+    ) -> list[str]:
+        """Amplify and sequence one unit, returning its sampled reads.
+
+        Args:
+            unit: the unit to execute.
+            batch_seed: per-cycle seed component (e.g. the batch id), so
+                distinct cycles — including retry cycles, which carry
+                fresh batch ids — run fresh PCR and sample fresh reads.
+            reads_per_block: coverage override (retry cycles sequence
+                deeper); defaults to the engine's budget.
+        """
+        depth = self.reads_per_block if reads_per_block is None else reads_per_block
+        if depth <= 0:
+            raise WetlabError("reads_per_block must be positive")
+        access = unit.access
+        partition = self.volume.partition(access.partition)
+        pool = self.partition_pool(access.partition)
+        amplified = self._pcr.amplify(
+            pool,
+            list(access.primers),
+            partition.config.primers.reverse,
+            residual_forward_primer=partition.config.primers.forward,
+            name=unit.label,
+        )
+        sequencer = Sequencer(
+            self.error_model,
+            seed=self.seed * 1_000_003 + batch_seed * 8191 + unit.access_index,
+        )
+        result = sequencer.sequence(amplified, access.block_count * depth)
+        return result.sequences()
+
     def readout(
-        self, plan: "BatchReadPlan", *, batch_seed: int = 0
+        self,
+        plan: "BatchReadPlan",
+        *,
+        batch_seed: int = 0,
+        reads_per_block: int | None = None,
     ) -> dict[str, list[str]]:
         """Sequencing reads of every access of a plan, per partition.
 
-        Each access amplifies its partition's pool with the plan's
-        multiplexed elongated primers and is sequenced at
-        ``block_count * reads_per_block`` depth; a partition touched by
-        several accesses contributes the concatenation of their reads.
+        Executes every :class:`ReadoutUnit` of the plan in access order; a
+        partition touched by several accesses contributes the
+        concatenation of their reads.  The result is identical however the
+        units are scheduled across lanes.
 
         Args:
             plan: the merged read plan of one wetlab cycle.
             batch_seed: per-cycle seed component (e.g. the batch id), so
                 distinct cycles sample distinct reads deterministically.
+            reads_per_block: optional per-cycle coverage override.
         """
         reads_by_partition: dict[str, list[str]] = {}
-        for access_index, access in enumerate(plan.accesses):
-            partition = self.volume.partition(access.partition)
-            pool = self.partition_pool(access.partition)
-            amplified = self._pcr.amplify(
-                pool,
-                list(access.primers),
-                partition.config.primers.reverse,
-                residual_forward_primer=partition.config.primers.forward,
-                name=f"{access.partition}-{plan.object_name}",
-            )
-            sequencer = Sequencer(
-                self.error_model,
-                seed=self.seed * 1_000_003 + batch_seed * 8191 + access_index,
-            )
-            result = sequencer.sequence(
-                amplified, access.block_count * self.reads_per_block
-            )
-            reads_by_partition.setdefault(access.partition, []).extend(
-                result.sequences()
+        for unit in self.plan_units(plan):
+            reads_by_partition.setdefault(unit.partition, []).extend(
+                self.unit_reads(
+                    unit, batch_seed=batch_seed, reads_per_block=reads_per_block
+                )
             )
         return reads_by_partition
 
 
-__all__ = ["WetlabReadout"]
+__all__ = ["ReadoutUnit", "WetlabReadout"]

@@ -88,3 +88,116 @@ class TestInvalidation:
         cache.clear()
         assert len(cache) == 0 and cache.used_bytes == 0
         assert cache.stats.hits == 1 and cache.stats.insertions == 1
+
+
+class TestFrequencySketch:
+    def test_estimates_track_recorded_counts(self):
+        from repro.service import FrequencySketch
+
+        sketch = FrequencySketch(width=256, depth=4, sample_size=10_000)
+        for _ in range(5):
+            sketch.record(("p", 1))
+        sketch.record(("p", 2))
+        assert sketch.estimate(("p", 1)) >= 5
+        assert sketch.estimate(("p", 2)) >= 1
+        assert sketch.estimate(("p", 3)) <= sketch.estimate(("p", 1))
+
+    def test_aging_halves_counts(self):
+        from repro.service import FrequencySketch
+
+        sketch = FrequencySketch(width=64, depth=2, sample_size=8)
+        for _ in range(8):  # hits the sample size -> one aging pass
+            sketch.record(("p", 0))
+        assert sketch.estimate(("p", 0)) == 4
+
+    def test_rows_are_decorrelated(self):
+        """Keys colliding in one row must not collide in every row —
+        otherwise the count-min sketch degenerates to a single hash and
+        aliased keys inherit each other's full frequency estimate."""
+        from repro.service import FrequencySketch
+
+        sketch = FrequencySketch()
+        vectors = {
+            block: tuple(sketch._indexes(("part", block)))
+            for block in range(10_000, 13_000)  # same-length tokens
+        }
+        by_row0 = {}
+        for block, vector in vectors.items():
+            by_row0.setdefault(vector[0], []).append(block)
+        colliding = full = 0
+        for bucket in by_row0.values():
+            for i in range(len(bucket)):
+                for j in range(i + 1, len(bucket)):
+                    colliding += 1
+                    if vectors[bucket[i]] == vectors[bucket[j]]:
+                        full += 1
+        assert colliding > 0
+        assert full == 0
+
+    def test_deterministic_across_instances(self):
+        from repro.service import FrequencySketch
+
+        a, b = (FrequencySketch() for _ in range(2))
+        for sketch in (a, b):
+            for block in range(20):
+                sketch.record(("part", block))
+        assert all(
+            a.estimate(("part", block)) == b.estimate(("part", block))
+            for block in range(20)
+        )
+
+
+class TestTinyLfuAdmission:
+    def hot_cold_cache(self, capacity=100):
+        """A full cache holding a block that has been requested often."""
+        cache = DecodedBlockCache(capacity, admission="tinylfu")
+        cache.put("p", 0, b"h" * 60)
+        cache.put("p", 1, b"w" * 40)
+        for _ in range(6):
+            cache.get("p", 0)  # block 0 is demonstrably hot
+        return cache
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ServiceError):
+            DecodedBlockCache(100, admission="lfu-ish")
+
+    def test_admits_freely_while_there_is_room(self):
+        cache = DecodedBlockCache(100, admission="tinylfu")
+        cache.put("p", 0, b"x" * 40)
+        cache.put("p", 1, b"y" * 40)
+        assert len(cache) == 2
+        assert cache.stats.admission_denials == 0
+
+    def test_cold_scan_cannot_evict_hot_block(self):
+        cache = self.hot_cold_cache()
+        # A scan streams never-requested blocks through the cache: every
+        # one would have to evict block 1 (or the hot block 0) and none
+        # has the frequency to justify it.
+        for block in range(100, 120):
+            cache.put("p", block, b"s" * 50)
+        assert cache.contains("p", 0)
+        assert cache.stats.admission_denials == 20
+        assert cache.stats.evictions == 0
+        assert cache.stats.admission_attempts == 2 + 20
+
+    def test_genuinely_hot_candidate_displaces_cold_victim(self):
+        cache = self.hot_cold_cache()
+        for _ in range(8):  # demand for an uncached block builds up...
+            cache.get("p", 9)
+        cache.put("p", 9, b"n" * 40)  # ...so its fill now displaces LRU
+        assert cache.contains("p", 9)
+        assert not cache.contains("p", 1)
+        assert cache.stats.evictions == 1
+
+    def test_replacing_resident_key_skips_the_gate(self):
+        cache = self.hot_cold_cache()
+        cache.put("p", 1, b"R" * 40)  # refresh in place, no admission ruling
+        assert cache.get("p", 1) == b"R" * 40
+        assert cache.stats.admission_denials == 0
+
+    def test_default_policy_unchanged(self):
+        cache = DecodedBlockCache(100)
+        for block in range(100, 120):
+            cache.put("p", block, b"s" * 50)
+        assert cache.stats.admission_denials == 0
+        assert cache.stats.evictions == 18

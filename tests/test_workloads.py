@@ -173,3 +173,162 @@ class TestMultiTenantTraces:
             multi_tenant_trace(self.CATALOG, tenants=1, requests=1, duration_hours=0)
         with pytest.raises(DnaStorageError):
             multi_tenant_trace({"a": 0}, tenants=1, requests=1)
+
+
+class TestTraceRealism:
+    """Diurnal load, bursty tenants, size-biased popularity, mixed ops."""
+
+    CATALOG = {f"obj-{i:02d}": 128 * (1 + i % 8) for i in range(24)}
+
+    def test_defaults_reproduce_the_original_traces(self):
+        """With every realism knob off, the generator is bit-compatible
+        with the pre-realism traces (same seed, same events)."""
+        plain = multi_tenant_trace(self.CATALOG, tenants=6, requests=80, seed=9)
+        explicit = multi_tenant_trace(
+            self.CATALOG, tenants=6, requests=80, seed=9,
+            update_fraction=0.0, put_fraction=0.0, diurnal_amplitude=0.0,
+            bursty_fraction=0.0, size_popularity_bias=0.0,
+        )
+        assert plain == explicit
+        assert all(e.op == "read" and e.payload is None for e in plain)
+
+    def test_mixed_operations_generated_deterministically(self):
+        kwargs = dict(
+            tenants=6, requests=400, seed=12,
+            update_fraction=0.2, put_fraction=0.1,
+        )
+        trace = multi_tenant_trace(self.CATALOG, **kwargs)
+        again = multi_tenant_trace(self.CATALOG, **kwargs)
+        assert trace == again
+        ops = {}
+        for event in trace:
+            ops[event.op] = ops.get(event.op, 0) + 1
+        assert 0.1 < ops["update"] / len(trace) < 0.3
+        assert 0.03 < ops["put"] / len(trace) < 0.2
+        for event in trace:
+            if event.op == "update":
+                size = self.CATALOG[event.object_name]
+                assert event.payload
+                assert event.offset + len(event.payload) <= size
+            elif event.op == "put":
+                assert event.object_name.startswith("put-")
+                assert event.object_name not in self.CATALOG
+                assert event.payload
+        put_names = [e.object_name for e in trace if e.op == "put"]
+        assert len(put_names) == len(set(put_names))
+
+    def test_diurnal_modulation_shapes_arrivals(self):
+        flat = multi_tenant_trace(
+            self.CATALOG, tenants=4, requests=4000, duration_hours=24.0, seed=5
+        )
+        diurnal = multi_tenant_trace(
+            self.CATALOG, tenants=4, requests=4000, duration_hours=24.0,
+            seed=5, diurnal_amplitude=0.9,
+        )
+
+        def peak_off_ratio(trace):
+            # Density peaks in the first quarter-period (sin > 0) and
+            # troughs in the second (sin < 0).
+            peak = sum(1 for e in trace if 0 <= e.time_hours % 24 < 12)
+            return peak / len(trace)
+
+        assert abs(peak_off_ratio(flat) - 0.5) < 0.05
+        assert peak_off_ratio(diurnal) > 0.65
+        assert len(diurnal) == 4000
+        assert [e.time_hours for e in diurnal] == sorted(
+            e.time_hours for e in diurnal
+        )
+
+    def test_bursty_tenants_concentrate_in_duty_windows(self):
+        trace = multi_tenant_trace(
+            self.CATALOG, tenants=10, requests=3000, duration_hours=48.0,
+            seed=6, bursty_fraction=0.5, burst_cycle_hours=8.0, burst_duty=0.25,
+        )
+        again = multi_tenant_trace(
+            self.CATALOG, tenants=10, requests=3000, duration_hours=48.0,
+            seed=6, bursty_fraction=0.5, burst_cycle_hours=8.0, burst_duty=0.25,
+        )
+        assert trace == again
+        # Per-tenant arrival spread: bursty tenants fire in narrow windows,
+        # so the fraction of inter-arrival gaps longer than one off period
+        # rises versus an always-on trace.
+        by_tenant = {}
+        for event in trace:
+            by_tenant.setdefault(event.tenant, []).append(event.time_hours)
+        long_gaps = sum(
+            1
+            for times in by_tenant.values()
+            for a, b in zip(times, times[1:])
+            if b - a > 6.0  # one full off window
+        )
+        flat = multi_tenant_trace(
+            self.CATALOG, tenants=10, requests=3000, duration_hours=48.0, seed=6
+        )
+        flat_by_tenant = {}
+        for event in flat:
+            flat_by_tenant.setdefault(event.tenant, []).append(event.time_hours)
+        flat_long_gaps = sum(
+            1
+            for times in flat_by_tenant.values()
+            for a, b in zip(times, times[1:])
+            if b - a > 6.0
+        )
+        assert long_gaps > flat_long_gaps
+
+    def test_bursty_subset_is_not_always_the_hottest_tenants(self):
+        """The bursty subset samples tenant ranks at random — it must not
+        systematically be the N most active (Zipf-hottest) tenants."""
+        top_tenant_gappy = []
+        for seed in range(5):
+            trace = multi_tenant_trace(
+                self.CATALOG, tenants=12, requests=2400, duration_hours=48.0,
+                seed=seed, bursty_fraction=0.25,
+                burst_cycle_hours=8.0, burst_duty=0.25,
+            )
+            by_tenant = {}
+            for event in trace:
+                by_tenant.setdefault(event.tenant, []).append(event.time_hours)
+            top = max(by_tenant, key=lambda t: len(by_tenant[t]))
+            times = by_tenant[top]
+            gappy = any(b - a > 6.0 for a, b in zip(times, times[1:]))
+            top_tenant_gappy.append(gappy)
+        # Were the bursty subset always the hottest ranks, the most
+        # active tenant would show burst gaps in every seed.
+        assert not all(top_tenant_gappy)
+
+    def test_size_bias_makes_small_objects_hot(self):
+        def mean_requested_size(bias):
+            trace = multi_tenant_trace(
+                self.CATALOG, tenants=5, requests=2000, seed=8,
+                size_popularity_bias=bias,
+            )
+            sizes = [self.CATALOG[e.object_name] for e in trace]
+            return sum(sizes) / len(sizes)
+
+        small_hot = mean_requested_size(1.0)
+        neutral = mean_requested_size(0.0)
+        large_hot = mean_requested_size(-1.0)
+        assert small_hot < neutral < large_hot
+
+    def test_invalid_realism_arguments(self):
+        with pytest.raises(DnaStorageError):
+            multi_tenant_trace(
+                self.CATALOG, tenants=1, requests=1, update_fraction=0.8,
+                put_fraction=0.5,
+            )
+        with pytest.raises(DnaStorageError):
+            multi_tenant_trace(
+                self.CATALOG, tenants=1, requests=1, diurnal_amplitude=1.5
+            )
+        with pytest.raises(DnaStorageError):
+            multi_tenant_trace(
+                self.CATALOG, tenants=1, requests=1, bursty_fraction=-0.1
+            )
+        with pytest.raises(DnaStorageError):
+            multi_tenant_trace(
+                self.CATALOG, tenants=1, requests=1, burst_duty=0.0
+            )
+        with pytest.raises(DnaStorageError):
+            multi_tenant_trace(
+                self.CATALOG, tenants=1, requests=1, size_popularity_bias=2.0
+            )
