@@ -58,7 +58,9 @@ from repro.store import (
     Extent,
     ObjectRecord,
     ObjectStore,
+    StoreSnapshot,
     VolumeConfig,
+    VolumeSnapshot,
 )
 from repro.wetlab.pcr import PCRConfig, PCRSimulator
 from repro.wetlab.pool import MolecularPool
@@ -102,6 +104,8 @@ __all__ = [
     "Extent",
     "ObjectRecord",
     "ObjectStore",
+    "StoreSnapshot",
+    "VolumeSnapshot",
     "VolumeConfig",
     "EncodingUnit",
     "UnitLayout",

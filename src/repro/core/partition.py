@@ -140,6 +140,10 @@ class Partition:
         """Block numbers that hold data, in ascending order."""
         return sorted(self._blocks)
 
+    def has_block(self, block: int) -> bool:
+        """Whether ``block`` currently holds data (and is in range)."""
+        return 0 <= block < self.capacity_blocks and block in self._blocks
+
     def update_count(self, block: int) -> int:
         """Number of updates applied to ``block``."""
         return len(self._require_block(block).patches)
@@ -185,6 +189,17 @@ class Partition:
             )
         self._blocks[block] = _BlockRecord(data=bytes(data))
 
+    def drop_block(self, block: int) -> None:
+        """Discard one block's digital record (reclamation).
+
+        The volume layer calls this when a retired block is no longer
+        referenced by the live catalog or any snapshot — the digital
+        counterpart of compacting the block out at the next pool
+        re-synthesis.  Dropping an unwritten block is a no-op.
+        """
+        self._check_block_number(block)
+        self._blocks.pop(block, None)
+
     def _check_block_number(self, block: int) -> None:
         if not 0 <= block < self.capacity_blocks:
             raise AddressError(
@@ -227,14 +242,27 @@ class Partition:
         record.patches.append(patch)
         return BlockAddress(block=block, slot=version)
 
-    def read_block_reference(self, block: int) -> bytes:
-        """Digitally reconstruct the current contents of a block.
+    def read_block_reference(self, block: int, *, patch_limit: int | None = None) -> bytes:
+        """Digitally reconstruct the contents of a block.
 
         This is the ground truth used by tests and benchmarks: original data
-        with the full update chain applied, without any DNA round trip.
+        with the update chain applied, without any DNA round trip.
+
+        Args:
+            patch_limit: apply only the first ``patch_limit`` updates of
+                the chain (a snapshot's captured chain length); ``None``
+                applies the whole chain (the current contents).
         """
         record = self._require_block(block)
-        return apply_patch_chain(record.data, record.patches)
+        patches = record.patches
+        if patch_limit is not None:
+            if patch_limit < 0 or patch_limit > len(patches):
+                raise UpdateError(
+                    f"block {block} has {len(patches)} updates; cannot apply "
+                    f"a chain prefix of {patch_limit}"
+                )
+            patches = patches[:patch_limit]
+        return apply_patch_chain(record.data, patches)
 
     def read(self, *, start_block: int = 0, block_count: int | None = None) -> bytes:
         """Digitally read a range of blocks with updates applied.

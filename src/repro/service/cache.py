@@ -8,10 +8,18 @@ absorbs most of a multi-tenant read stream before it reaches the
 scheduler — the cache is therefore the first stage of the serving layer's
 read path (see :mod:`repro.service.simulator`).
 
-Keys are ``(partition name, block number)``: the same physical block
-shared by many objects' requests dedupes naturally, and store-level
-updates invalidate exactly the patched keys
-(:meth:`repro.store.object_store.ObjectStore.update`).
+Keys are ``(partition name, block number, birth epoch)``: the same
+physical block shared by many objects' requests dedupes naturally, and
+store-level updates invalidate exactly the patched keys
+(:meth:`repro.store.object_store.ObjectStore.update`).  The *epoch* is
+the block's birth generation from the snapshot layer
+(:meth:`repro.store.volume.DnaVolume.block_epoch`): a restore rewinds the
+allocation frontier and rewritten addresses get a fresh epoch, so a view
+from one store generation can never serve another generation's bytes —
+while a time-travel read of an unchanged block shares the live read's
+entry (copy-on-write guarantees the bytes are the same).  Callers that
+never snapshot pass the default epoch 0 everywhere and see the exact
+pre-snapshot behaviour.
 
 Eviction is LRU; *admission* is pluggable.  The default admits every
 decoded block.  The opt-in ``"tinylfu"`` policy adds a frequency-aware
@@ -29,7 +37,8 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import ServiceError
 
-BlockKey = tuple[str, int]
+#: Cache key: ``(partition name, block number, birth epoch)``.
+BlockKey = tuple[str, int, int]
 
 #: Supported admission policies of :class:`DecodedBlockCache`.
 ADMISSION_POLICIES = ("always", "tinylfu")
@@ -63,7 +72,12 @@ class FrequencySketch:
         # row would collide in every row, collapsing the sketch to
         # depth 1; the multiplicative mixes decorrelate the rows (keys
         # now alias everywhere only on a full 32-bit CRC collision).
-        token = f"{key[0]}\x00{key[1]}".encode("utf-8")
+        # Epoch-0 keys keep the historical token so snapshot-free callers
+        # see identical admission decisions.
+        if len(key) > 2 and key[2]:
+            token = f"{key[0]}\x00{key[1]}\x00{key[2]}".encode("utf-8")
+        else:
+            token = f"{key[0]}\x00{key[1]}".encode("utf-8")
         seed = zlib.crc32(token)
         indexes = []
         for row in range(self.depth):
@@ -179,21 +193,21 @@ class DecodedBlockCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def contains(self, partition: str, block: int) -> bool:
+    def contains(self, partition: str, block: int, epoch: int = 0) -> bool:
         """Peek for a block without touching stats, LRU order or the sketch.
 
         The scheduler uses this to decide what wetlab work a batch still
         needs; only the actual serve path (``get``/``put``) is counted.
         """
-        return (partition, block) in self._entries
+        return (partition, block, epoch) in self._entries
 
-    def get(self, partition: str, block: int) -> bytes | None:
+    def get(self, partition: str, block: int, epoch: int = 0) -> bytes | None:
         """Look a block up, refreshing its LRU position on a hit.
 
         Every lookup — hit or miss — feeds the admission sketch: demand,
         not residency, is what makes a block worth caching.
         """
-        key = (partition, block)
+        key = (partition, block, epoch)
         if self._sketch is not None:
             self._sketch.record(key)
         data = self._entries.get(key)
@@ -204,7 +218,7 @@ class DecodedBlockCache:
         self.stats.hits += 1
         return data
 
-    def put(self, partition: str, block: int, data: bytes) -> None:
+    def put(self, partition: str, block: int, data: bytes, epoch: int = 0) -> None:
         """Admit a decoded block, evicting LRU entries to fit.
 
         Under ``"tinylfu"`` the insert is denied instead when it would
@@ -213,7 +227,7 @@ class DecodedBlockCache:
         if len(data) > self.capacity_bytes:
             self.stats.rejections += 1
             return
-        key = (partition, block)
+        key = (partition, block, epoch)
         previous = self._entries.pop(key, None)
         if previous is not None:
             self.used_bytes -= len(previous)
@@ -247,14 +261,28 @@ class DecodedBlockCache:
                 return True
         return True
 
-    def invalidate(self, partition: str, block: int) -> bool:
-        """Drop a block (e.g. after an update patched it)."""
-        data = self._entries.pop((partition, block), None)
-        if data is None:
-            return False
-        self.used_bytes -= len(data)
-        self.stats.invalidations += 1
-        return True
+    def invalidate(self, partition: str, block: int, epoch: int | None = None) -> bool:
+        """Drop a block (e.g. after an update patched it).
+
+        With an explicit ``epoch`` only that generation's entry is
+        dropped (O(1), what the store does — a block's readers only ever
+        query its current birth epoch).  With ``epoch=None`` every
+        generation of the block is swept (O(entries), a convenience for
+        callers that don't track epochs).
+        """
+        if epoch is None:
+            stale = [key for key in self._entries if key[0] == partition and key[1] == block]
+        else:
+            stale = [(partition, block, epoch)]
+        dropped = False
+        for key in stale:
+            data = self._entries.pop(key, None)
+            if data is None:
+                continue
+            self.used_bytes -= len(data)
+            self.stats.invalidations += 1
+            dropped = True
+        return dropped
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
@@ -280,22 +308,27 @@ class PinnedCacheView:
     def __init__(
         self,
         cache: DecodedBlockCache,
-        pinned: "tuple[tuple[BlockKey, bytes], ...]",
+        pinned: "tuple[tuple[tuple[str, int], bytes], ...]",
     ) -> None:
         self._cache = cache
+        # Pinned payloads are keyed (partition, block): a block's birth
+        # epoch cannot change while its batch is in flight (epochs only
+        # move on snapshot/restore, never mid-run), so the pin is the
+        # run-local identity and the epoch matters only for the
+        # write-through to the shared cache.
         self._pinned = dict(pinned)
 
-    def get(self, partition: str, block: int) -> bytes | None:
+    def get(self, partition: str, block: int, epoch: int = 0) -> bytes | None:
         data = self._pinned.get((partition, block))
         if data is not None:
             return data
-        data = self._cache.get(partition, block)
+        data = self._cache.get(partition, block, epoch)
         if data is not None:
             self._pinned[(partition, block)] = data
         return data
 
-    def put(self, partition: str, block: int, data: bytes) -> None:
+    def put(self, partition: str, block: int, data: bytes, epoch: int = 0) -> None:
         # The batch keeps its own decoded output in hand...
         self._pinned[(partition, block)] = data
         # ...and writes it through for batches that come later.
-        self._cache.put(partition, block, data)
+        self._cache.put(partition, block, data, epoch)

@@ -201,10 +201,20 @@ class BatchScheduler:
     def __init__(self, store: ObjectStore) -> None:
         self.store = store
 
-    def request_blocks(self, request: ServiceRequest) -> list[tuple[str, int]]:
-        """The ``(partition, block)`` keys backing one request's range."""
+    def request_blocks(
+        self, request: ServiceRequest, *, at=None
+    ) -> list[tuple[str, int]]:
+        """The ``(partition, block)`` keys backing one request's range.
+
+        Args:
+            at: optional :class:`repro.store.snapshots.StoreSnapshot` for
+                time-travel reads — the range is resolved against the
+                snapshot's catalog.  Blocks unchanged since the capture
+                keep their live keys, so historical and current requests
+                coalesce into the same PCR accesses.
+        """
         ranges = self.store.block_ranges(
-            request.object_name, offset=request.offset, length=request.length
+            request.object_name, offset=request.offset, length=request.length, at=at
         )
         return [
             (partition, block)
@@ -252,12 +262,16 @@ class BatchScheduler:
                 requested.setdefault(key, None)
         pinned: dict[tuple[str, int], bytes] = {}
         missing: dict[str, list[tuple[int, int]]] = {}
+        volume = self.store.volume
         for partition, block in requested:
-            if cache is not None and cache.contains(partition, block):
+            # Cache keys carry the block's birth epoch so entries from an
+            # earlier store generation (pre-restore) can never be served.
+            epoch = volume.block_epoch(partition, block)
+            if cache is not None and cache.contains(partition, block, epoch):
                 # One counted hit per distinct block (misses are counted
                 # at serve time, when the fill happens); the payload is
                 # pinned so in-flight evictions cannot unserve the batch.
-                pinned[(partition, block)] = cache.get(partition, block)
+                pinned[(partition, block)] = cache.get(partition, block, epoch)
             else:
                 missing.setdefault(partition, []).append((block, block))
         plan = plan_partition_ranges(

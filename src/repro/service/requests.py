@@ -41,6 +41,12 @@ class ServiceRequest:
         arrival_hours: arrival time on the simulated clock.
         op: one of :data:`OPERATIONS`.
         payload: the bytes to write (``put``/``update`` only).
+        as_of: optional historical timestamp (simulated hours) for a
+            *time-travel read*: the object is served as of the committed
+            store state at that time (resolved against the pipeline's
+            snapshot timeline).  Reads only; historical state is
+            immutable, so such reads neither wait for pending writes nor
+            block them.
     """
 
     request_id: int
@@ -51,6 +57,7 @@ class ServiceRequest:
     arrival_hours: float = 0.0
     op: str = "read"
     payload: bytes | None = None
+    as_of: float | None = None
 
     def __post_init__(self) -> None:
         if self.op not in OPERATIONS:
@@ -76,6 +83,11 @@ class ServiceRequest:
             raise ServiceError(
                 "update requests are sized by their payload; length must be None"
             )
+        if self.as_of is not None:
+            if self.op != "read":
+                raise ServiceError("as_of is only valid on read requests")
+            if self.as_of < 0:
+                raise ServiceError("as_of must be non-negative")
 
     @property
     def is_write(self) -> bool:

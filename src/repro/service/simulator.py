@@ -69,6 +69,31 @@ object's end, writes the store rejects — fail *individually* (recorded as
 requests.  Zero-length reads are valid empty reads served at front-end
 speed with no wetlab work.
 
+**Time-travel reads** (``ServiceRequest(op="read", as_of=hours)``) serve
+an object as of the committed store state at a historical timestamp.
+When a trace carries them, the pipeline snapshots the store at run start
+and after every committed synthesis order (copy-on-write — no data is
+copied, see :mod:`repro.store.snapshots`); an ``as_of`` read resolves
+against the latest snapshot at or before its timestamp.  Historical
+state is immutable, so such reads skip the per-object write barrier in
+both directions: they never wait for a pending write and never delay
+one.  Their blocks are physical strands still in the pool, so under
+wetlab fidelity they amplify and decode like any other access — and
+blocks unchanged since the capture share cache entries (and batched PCR
+accesses) with live reads of the same data.
+
+**``compare()`` runs every policy from one snapshotted seed store.**
+The store is captured once (copy-on-write) and restored before each
+policy × fidelity run, so mixed read/write traces no longer force a
+full store rebuild per policy: every run starts from the byte-identical
+seed state — allocation frontier, round-robin cursor, primers and seeds
+included — at a fraction of the setup cost.  Read-only traces reproduce
+the rebuild path's report bit for bit; traces with updates deliver the
+same bytes, failures and synthesis volume, but lay the updates out as
+copy-on-write redirects (fresh blocks) instead of in-place patch slots,
+so PCR access counts and cycle latencies can differ from an
+unsnapshotted store's.
+
 ``ServiceSimulator`` remains as an alias of :class:`ServicePipeline`.
 """
 
@@ -340,15 +365,20 @@ class PolicyReport:
 
 
 class _BatchScratch:
-    """Per-batch decode memo for cache-less serving (block_cache protocol)."""
+    """Per-batch decode memo for cache-less serving (block_cache protocol).
+
+    Keys are ``(partition, block)``: a block's birth epoch cannot change
+    within a run (epochs only move on snapshot/restore), so the scratch
+    needs no epoch discrimination — it only spans one batch anyway.
+    """
 
     def __init__(self) -> None:
         self._blocks: dict[tuple[str, int], bytes] = {}
 
-    def get(self, partition: str, block: int) -> bytes | None:
+    def get(self, partition: str, block: int, epoch: int = 0) -> bytes | None:
         return self._blocks.get((partition, block))
 
-    def put(self, partition: str, block: int, data: bytes) -> None:
+    def put(self, partition: str, block: int, data: bytes, epoch: int = 0) -> None:
         self._blocks[(partition, block)] = data
 
 
@@ -365,15 +395,15 @@ class _InvalidationFanout:
         self._run = run_cache
         self._user = user_cache
 
-    def get(self, partition: str, block: int):
-        return self._run.get(partition, block)
+    def get(self, partition: str, block: int, epoch: int = 0):
+        return self._run.get(partition, block, epoch)
 
-    def put(self, partition: str, block: int, data: bytes) -> None:
-        self._run.put(partition, block, data)
+    def put(self, partition: str, block: int, data: bytes, epoch: int = 0) -> None:
+        self._run.put(partition, block, data, epoch)
 
-    def invalidate(self, partition: str, block: int) -> bool:
-        dropped = self._run.invalidate(partition, block)
-        self._user.invalidate(partition, block)
+    def invalidate(self, partition: str, block: int, epoch: int | None = None) -> bool:
+        dropped = self._run.invalidate(partition, block, epoch)
+        self._user.invalidate(partition, block, epoch)
         return dropped
 
 
@@ -590,13 +620,40 @@ class ServicePipeline:
                         length=event.length,
                         arrival_hours=event.time_hours,
                         # Duck-typed events predating the write path may
-                        # lack op/payload; default to a plain read.
+                        # lack op/payload/as_of; default to a plain read.
                         op=getattr(event, "op", "read"),
                         payload=getattr(event, "payload", None),
+                        as_of=getattr(event, "as_of", None),
                     )
                 )
             except DnaStorageError as exc:
                 reject(index, event, str(exc))
+
+        # Time-travel support: when the trace carries as_of reads, the
+        # committed-state timeline is sampled as copy-on-write snapshots —
+        # one at run start, one per committed synthesis order.  Traces
+        # without as_of reads pay nothing, and sampling stops after the
+        # trace's largest as_of (resolution only ever looks backwards, so
+        # later snapshots would be unreachable — and every live snapshot
+        # forces subsequent updates to CoW-redirect, so taking them has a
+        # real cost).
+        time_travel = any(request.as_of is not None for request in requests)
+        max_as_of = max(
+            (request.as_of for request in requests if request.as_of is not None),
+            default=float("-inf"),
+        )
+        timeline: list[tuple[float, object]] = []
+        if time_travel:
+            timeline.append((float("-inf"), self.store.snapshot()))
+        #: request_id -> resolved StoreSnapshot for admitted as_of reads.
+        asof_views: dict[int, object] = {}
+
+        def resolve_as_of(as_of: float):
+            """Latest committed-state snapshot at or before ``as_of``."""
+            for taken, snapshot in reversed(timeline):
+                if taken <= as_of:
+                    return snapshot
+            return timeline[0][1]
 
         cache = (
             DecodedBlockCache(
@@ -671,11 +728,13 @@ class ServicePipeline:
             block_cache=None,
             attempts: int = 1,
         ) -> None:
+            view_at = asof_views.get(request.request_id)
             data = self.store.get(
                 request.object_name,
                 offset=request.offset,
                 length=request.length,
                 block_cache=block_cache if block_cache is not None else cache,
+                at=view_at,
             )
             if wetlab is not None:
                 # Wetlab fidelity: the served bytes came from physically
@@ -685,6 +744,7 @@ class ServicePipeline:
                     offset=request.offset,
                     length=request.length,
                     block_cache=None,
+                    at=view_at,
                 )
                 if zlib.crc32(data) != zlib.crc32(reference):
                     raise ServiceError(
@@ -858,8 +918,9 @@ class ServicePipeline:
                     # demand with the cache — its stats and the TinyLFU
                     # admission sketch — before the pin makes later
                     # serve-path lookups bypass the cache entirely.
-                    view.get(key[0], key[1])
-                    view.put(key[0], key[1], data)
+                    epoch = self.store.volume.block_epoch(key[0], key[1])
+                    view.get(key[0], key[1], epoch)
+                    view.put(key[0], key[1], data, epoch)
             return failures
 
         def complete(
@@ -1053,6 +1114,12 @@ class ServicePipeline:
                         batch_id=order.order_id,
                     )
                 )
+            if time_travel and now <= max_as_of:
+                # Sample the committed-state timeline: later as_of reads
+                # at or past `now` observe this order's writes.  Commits
+                # after the largest as_of in the trace need no snapshot —
+                # nothing can resolve to them.
+                timeline.append((now, self.store.snapshot()))
             for name in released:
                 release_ready(name, now)
             if policy == "unbatched":
@@ -1064,16 +1131,25 @@ class ServicePipeline:
             request: ServiceRequest, now: float, *, released: bool = False
         ) -> None:
             name = request.object_name
-            if not released:
+            view_at = None
+            if request.as_of is not None:
+                # Time-travel read: resolve the committed-state snapshot
+                # once, at admission.  Historical state is immutable, so
+                # the read joins neither side of the per-object write
+                # barrier: it never waits for a pending write (the
+                # snapshot keeps the old blocks) and never delays one.
+                view_at = resolve_as_of(request.as_of)
+                asof_views[request.request_id] = view_at
+            elif not released:
                 fifo_append(request)
-            if write_ahead(name, request.request_id):
+            if view_at is None and write_ahead(name, request.request_id):
                 # Read-after-write ordering: the read waits for exactly
                 # the writes admitted before it to commit, then observes
                 # their bytes (never a later write's).
                 held_reads[request.request_id] = request
                 return
             try:
-                blocks = self.scheduler.request_blocks(request)
+                blocks = self.scheduler.request_blocks(request, at=view_at)
             except DnaStorageError as exc:
                 # Unknown object or range past the object's end: this
                 # request fails alone; everyone else keeps being served.
@@ -1110,7 +1186,10 @@ class ServicePipeline:
                 dispatch_batch(batch, now)
                 return
             if cache is not None and all(
-                cache.contains(partition, block) for partition, block in blocks
+                cache.contains(
+                    partition, block, self.store.volume.block_epoch(partition, block)
+                )
+                for partition, block in blocks
             ):
                 # Fast path: every block is hot; no wetlab, no window.
                 for key in blocks:
@@ -1223,8 +1302,21 @@ class ServicePipeline:
             )
         finally:
             # Detach the run's cache (exceptions included) so the
-            # store's prior attachment is preserved across runs.
+            # store's prior attachment is preserved across runs, and
+            # release the run's time-travel snapshots so blocks they
+            # pinned (e.g. pre-update versions, deleted objects) become
+            # reclaimable again.
             self.store.block_cache = previous_cache
+            for _, snapshot in timeline:
+                if not snapshot.released:
+                    snapshot.release()
+
+    def _restore_seed(self, seed) -> None:
+        """Rewind the store to the seed snapshot and refresh stale pools."""
+        changed = self.store.restore(seed)
+        if self.readout is not None:
+            for name in changed:
+                self.readout.reset_pool(name)
 
     def compare(
         self,
@@ -1232,24 +1324,55 @@ class ServicePipeline:
         *,
         policies: tuple[str, ...] = POLICIES,
         fidelity: str = "reference",
+        fidelities: tuple[str, ...] | None = None,
     ) -> dict[str, PolicyReport]:
-        """Serve the same read-only trace under several policies.
+        """Serve the same trace under several policies from one seed store.
 
-        The store must stay read-only so every policy sees identical
-        object contents and must deliver identical bytes; traces carrying
-        writes are rejected (serve those per policy against freshly built
-        stores instead).
+        The store is snapshotted once (copy-on-write — no data is copied)
+        and restored before every run, so each policy × fidelity
+        combination executes against a writable clone of the identical
+        seed state: same catalog, same allocation frontier and cursor,
+        same partitions, primers and seeds.  Mixed read/write traces are
+        therefore fully supported — every run reproduces byte-identical
+        per-request outcomes to serving it against a freshly rebuilt
+        store, at a fraction of the setup cost (no primer-library
+        regeneration, no re-striping, no re-synthesis of untouched
+        pools).  Read-only traces reproduce the rebuild path's whole
+        report bit for bit; with updates in the trace, the seed snapshot
+        makes them copy-on-write redirects instead of in-place patch
+        slots, so the physical layout (PCR access counts, cycle
+        latencies) may differ from an unsnapshotted store's while the
+        bytes, failures and synthesis volume stay identical.  The store
+        is left restored to the seed state and the snapshot is released
+        when the comparison finishes.
+
+        Args:
+            trace: request events; writes are allowed (they mutate only
+                the run's clone, never the seed state).
+            policies: serving policies to run (default: all three).
+            fidelity: fidelity used when ``fidelities`` is omitted.
+            fidelities: optional tuple of fidelities to cross with the
+                policies.  With a single fidelity the result is keyed by
+                policy name (backwards compatible); with several, by
+                ``"policy@fidelity"``.
         """
         events = list(trace)
-        if any(getattr(event, "op", "read") != "read" for event in events):
-            raise ServiceError(
-                "compare() requires a read-only trace: writes mutate the "
-                "store, so each policy must run against a fresh store"
-            )
-        return {
-            policy: self.run(events, policy, fidelity=fidelity)
-            for policy in policies
-        }
+        if fidelities is None:
+            fidelities = (fidelity,)
+        if not fidelities:
+            raise ServiceError("fidelities must name at least one fidelity")
+        seed = self.store.snapshot()
+        try:
+            reports: dict[str, PolicyReport] = {}
+            for fid in fidelities:
+                for policy in policies:
+                    self._restore_seed(seed)
+                    key = policy if len(fidelities) == 1 else f"{policy}@{fid}"
+                    reports[key] = self.run(events, policy, fidelity=fid)
+            return reports
+        finally:
+            self._restore_seed(seed)
+            seed.release()
 
 
 #: Backwards-compatible name of the original read-only simulator.

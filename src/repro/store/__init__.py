@@ -11,6 +11,9 @@ abstractions a production front-end needs:
   library, plus digital block I/O and block-granular update patching.
 * :mod:`repro.store.planner` — the batched read planner: merged
   per-partition prefix-cover PCR accesses for an object or byte range.
+* :mod:`repro.store.snapshots` — copy-on-write snapshots:
+  :class:`VolumeSnapshot` / :class:`StoreSnapshot` point-in-time views
+  with deferred reclamation, restore, and time-travel reads.
 * :mod:`repro.store.object_store` — :class:`ObjectStore`: named-object
   put/get/update/delete, and full-pipeline decoding from sequencing reads.
 
@@ -20,6 +23,7 @@ Everything here runs on the batched codec engine
 
 from repro.store.object_store import ObjectStore
 from repro.store.objects import Extent, ObjectRecord
+from repro.store.snapshots import StoreSnapshot, VolumeSnapshot
 from repro.store.planner import (
     BatchReadPlan,
     PcrAccess,
@@ -37,7 +41,9 @@ __all__ = [
     "ObjectRecord",
     "ObjectStore",
     "PcrAccess",
+    "StoreSnapshot",
     "VolumeConfig",
+    "VolumeSnapshot",
     "block_ranges_for_read",
     "merge_partition_ranges",
     "plan_object_read",

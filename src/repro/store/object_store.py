@@ -18,6 +18,12 @@ Two retrieval paths exist:
 :meth:`ObjectStore.read_plan` exposes the batched prefix-cover planner so
 callers can run the minimal set of PCR reactions for an object (or byte
 range) before sequencing.
+
+The store is **snapshotable**: :meth:`ObjectStore.snapshot` captures a
+copy-on-write :class:`repro.store.snapshots.StoreSnapshot` (catalog plus
+volume view), :meth:`ObjectStore.restore` rewinds the store to one, and
+``get`` / ``block_ranges`` / ``read_plan`` accept ``at=snapshot`` for
+time-travel reads of historical object versions.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.store.planner import (
     block_ranges_for_read,
     plan_object_read,
 )
+from repro.store.snapshots import StoreSnapshot
 from repro.store.volume import DnaVolume
 
 
@@ -61,12 +68,53 @@ class ObjectStore:
         """Stored object names, in insertion order."""
         return list(self._catalog)
 
-    def record(self, name: str) -> ObjectRecord:
-        """The catalog record of one object."""
+    def record(self, name: str, *, at: StoreSnapshot | None = None) -> ObjectRecord:
+        """The catalog record of one object (live, or as of a snapshot)."""
+        if at is not None:
+            return at.record(name)
         try:
             return self._catalog[name]
         except KeyError as exc:
             raise StoreError(f"unknown object {name!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StoreSnapshot:
+        """Capture a copy-on-write point-in-time view of the store.
+
+        The snapshot pairs a copy of the object catalog with a refcounted
+        :class:`repro.store.snapshots.VolumeSnapshot`; no block data is
+        copied.  While it is live, writes copy-on-write around it,
+        deletes defer block reclamation, ``get(name, at=snapshot)`` reads
+        historical versions, and :meth:`restore` rewinds to it.  Release
+        it (``snapshot.release()``) when the view is no longer needed so
+        deferred blocks can be reclaimed.
+        """
+        return StoreSnapshot(
+            volume=self.volume.snapshot(),
+            catalog={name: record.clone() for name, record in self._catalog.items()},
+        )
+
+    def restore(self, snapshot: StoreSnapshot) -> list[str]:
+        """Rewind the store to a live snapshot's captured state.
+
+        The catalog and the volume's allocation frontier return to the
+        capture point (see :meth:`repro.store.volume.DnaVolume.restore`);
+        the snapshot stays live, so it can be restored repeatedly — the
+        backbone of :meth:`repro.service.ServicePipeline.compare`, which
+        serves every policy run from one restored seed store.
+
+        Returns:
+            Names of partitions whose digital contents changed (callers
+            holding synthesized wetlab pools must re-synthesize exactly
+            those).
+        """
+        changed = self.volume.restore(snapshot.volume)
+        self._catalog = {
+            name: record.clone() for name, record in snapshot.catalog.items()
+        }
+        return changed
 
     # ------------------------------------------------------------------
     # Object lifecycle
@@ -110,6 +158,7 @@ class ObjectStore:
         offset: int = 0,
         length: int | None = None,
         block_cache=_ATTACHED,
+        at: StoreSnapshot | None = None,
     ) -> bytes:
         """Read an object (or byte range) with all updates applied.
 
@@ -118,11 +167,20 @@ class ObjectStore:
                 Omitted, it defaults to the cache attached via
                 :meth:`attach_cache`; pass ``None`` explicitly to bypass
                 any attached cache.
+            at: optional live snapshot — a *time-travel read*: the object
+                is resolved against the snapshot's catalog and each block
+                applies only the update chain captured then.  Blocks
+                unchanged since the capture share the live read path's
+                cache entries (their birth epoch is the cache key).
         """
-        record = self.record(name)
+        record = self.record(name, at=at)
         cache = self.block_cache if block_cache is _ATTACHED else block_cache
         return self.volume.read_record(
-            record, offset=offset, length=length, block_cache=cache
+            record,
+            offset=offset,
+            length=length,
+            block_cache=cache,
+            at=None if at is None else at.volume,
         )
 
     def update(self, name: str, offset: int, new_bytes: bytes) -> int:
@@ -150,45 +208,79 @@ class ObjectStore:
             record.version += 1
         if self.block_cache is not None:
             for partition_name, block in patched:
-                self.block_cache.invalidate(partition_name, block)
+                self.block_cache.invalidate(
+                    partition_name,
+                    block,
+                    self.volume.block_epoch(partition_name, block),
+                )
         return patched
 
     def delete(self, name: str) -> ObjectRecord:
         """Drop an object from the catalog and retire its extents.
 
         The DNA strands are immutable, so the addresses are retired rather
-        than reused; physical reclamation would be a pool re-synthesis.
+        than reused; blocks a live snapshot references stay readable
+        through it (their reclamation is deferred), the rest reclaim
+        immediately.  Physical reclamation is the next pool re-synthesis.
         """
         record = self.record(name)
+        # Capture cache epochs before the release reclaims any block.
+        stale = [
+            (extent.partition, block, self.volume.block_epoch(extent.partition, block))
+            for extent in record.extents
+            for block in extent.blocks()
+        ]
         del self._catalog[name]
         self.volume.release(record.extents)
         if self.block_cache is not None:
-            for extent in record.extents:
-                for block in extent.blocks():
-                    self.block_cache.invalidate(extent.partition, block)
+            for partition_name, block, epoch in stale:
+                self.block_cache.invalidate(partition_name, block, epoch)
         return record
 
     # ------------------------------------------------------------------
     # Batched retrieval
     # ------------------------------------------------------------------
     def read_plan(
-        self, name: str, *, offset: int = 0, length: int | None = None
+        self,
+        name: str,
+        *,
+        offset: int = 0,
+        length: int | None = None,
+        at: StoreSnapshot | None = None,
     ) -> BatchReadPlan:
-        """The merged prefix-cover PCR plan for an object (or byte range)."""
+        """The merged prefix-cover PCR plan for an object (or byte range).
+
+        With ``at=snapshot`` the plan targets the snapshot's version of
+        the object — its blocks are physical strands still in the pool,
+        so a historical read costs ordinary PCR accesses (labelled with
+        the snapshot epoch for diagnostics).
+        """
+        record = self.record(name, at=at)
+        label = record.name if at is None else f"{record.name}@s{at.epoch}"
         return plan_object_read(
-            self.volume, self.record(name), offset=offset, length=length
+            self.volume, record, offset=offset, length=length, label=label
         )
 
     def block_ranges(
-        self, name: str, *, offset: int = 0, length: int | None = None
+        self,
+        name: str,
+        *,
+        offset: int = 0,
+        length: int | None = None,
+        at: StoreSnapshot | None = None,
     ) -> dict[str, list[tuple[int, int]]]:
         """Per-partition merged block ranges backing an object byte range.
 
         The addressing stage of :meth:`read_plan` without the primer
         synthesis — what the serving layer's batch scheduler merges across
-        concurrent requests before planning one shared PCR cycle.
+        concurrent requests before planning one shared PCR cycle.  With
+        ``at=snapshot`` the ranges address the snapshot's version; blocks
+        unchanged since the capture carry the same keys as live reads, so
+        historical and current requests dedupe into the same accesses.
         """
-        return block_ranges_for_read(self.record(name), offset=offset, length=length)
+        return block_ranges_for_read(
+            self.record(name, at=at), offset=offset, length=length
+        )
 
     def decode_blocks(
         self,

@@ -71,6 +71,72 @@ class ObjectRecord:
         if self.block_size <= 0:
             raise StoreError("block_size must be positive")
 
+    def clone(self) -> "ObjectRecord":
+        """An independent copy of the record (snapshot/restore support).
+
+        Extents are immutable and shared; the extent *list* and the
+        mutable fields are copied, so remaps and version bumps on one
+        copy never show through to the other.
+        """
+        return ObjectRecord(
+            name=self.name,
+            size=self.size,
+            block_size=self.block_size,
+            extents=list(self.extents),
+            version=self.version,
+        )
+
+    def remap_block(
+        self, object_offset: int, new_partition: str, new_block: int
+    ) -> tuple[str, int]:
+        """Redirect one backing block to a freshly allocated block (CoW).
+
+        The extent covering ``object_offset`` is split so that exactly the
+        one block holding that offset now lives at ``new_block`` of
+        ``new_partition``; the surrounding blocks keep their addresses.
+        The volume uses this when an update targets a block a live
+        snapshot references: the snapshot keeps the old block, the live
+        object moves on to the fresh one.
+
+        Returns:
+            The ``(partition, block)`` key the offset previously mapped
+            to (the block the snapshot retains).
+        """
+        extent, old_block = self.locate(object_offset)
+        index = self.extents.index(extent)
+        delta = (object_offset - extent.object_offset) // self.block_size
+        pieces: list[Extent] = []
+        if delta > 0:
+            pieces.append(
+                Extent(
+                    partition=extent.partition,
+                    start_block=extent.start_block,
+                    block_count=delta,
+                    object_offset=extent.object_offset,
+                )
+            )
+        pieces.append(
+            Extent(
+                partition=new_partition,
+                start_block=new_block,
+                block_count=1,
+                object_offset=extent.object_offset + delta * self.block_size,
+            )
+        )
+        tail = extent.block_count - delta - 1
+        if tail > 0:
+            pieces.append(
+                Extent(
+                    partition=extent.partition,
+                    start_block=extent.start_block + delta + 1,
+                    block_count=tail,
+                    object_offset=extent.object_offset
+                    + (delta + 1) * self.block_size,
+                )
+            )
+        self.extents[index : index + 1] = pieces
+        return (extent.partition, old_block)
+
     @property
     def block_count(self) -> int:
         """Number of blocks backing the object."""

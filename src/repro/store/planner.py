@@ -226,17 +226,25 @@ def plan_object_read(
     *,
     offset: int = 0,
     length: int | None = None,
+    label: str | None = None,
 ) -> BatchReadPlan:
     """Plan the PCR accesses that retrieve a byte range of an object.
 
     Args:
         volume: the volume holding the object's partitions.
-        record: the object's catalog record.
+        record: the object's catalog record — a live record or one from a
+            :class:`repro.store.snapshots.StoreSnapshot` (snapshot blocks
+            are physical strands still in the pool, so historical reads
+            plan like any other access).
         offset / length: byte range to retrieve (defaults to the whole
             object).
+        label: name recorded on the plan (defaults to the record's name;
+            the store labels time-travel plans ``name@s<epoch>``).
 
     Raises:
         StoreError: if the byte range leaves the object.
     """
     ranges = block_ranges_for_read(record, offset=offset, length=length)
-    return plan_partition_ranges(volume, ranges, label=record.name)
+    return plan_partition_ranges(
+        volume, ranges, label=record.name if label is None else label
+    )

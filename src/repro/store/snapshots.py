@@ -1,0 +1,165 @@
+"""Copy-on-write snapshots of the volume layer.
+
+A snapshot is a refcounted, immutable point-in-time view of a store:
+:meth:`repro.store.volume.DnaVolume.snapshot` captures which blocks exist
+(and how long each block's update-patch chain is), and
+:meth:`repro.store.object_store.ObjectStore.snapshot` pairs that with a
+copy of the object catalog.  DNA pools are naturally copy-on-write —
+synthesized strands are immutable and addresses are never rewritten — so
+a snapshot never copies data:
+
+* writes after a snapshot allocate *fresh* blocks instead of mutating
+  captured ones (an update whose block is referenced by a live snapshot
+  is redirected to a newly allocated block; see
+  :meth:`DnaVolume.update_record`);
+* deleting an object whose blocks a live snapshot references *defers*
+  their reclamation — the snapshot keeps reading them — and the blocks
+  are reclaimed only when the last referencing snapshot is released;
+* restoring a snapshot rewinds the catalog and the allocation frontier,
+  dropping only blocks no live snapshot references.
+
+Snapshots are what let one seed store serve every policy run of
+:meth:`repro.service.ServicePipeline.compare` and what back the serving
+layer's time-travel reads (``ServiceRequest(op="read", as_of=...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.exceptions import StoreError
+from repro.store.objects import ObjectRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.volume import DnaVolume
+
+
+@dataclass
+class VolumeSnapshot:
+    """An immutable point-in-time view of a :class:`DnaVolume`.
+
+    The snapshot holds no block data: it records which blocks existed at
+    capture time and the length of each block's update-patch chain, and
+    the volume's copy-on-write rules guarantee that captured state is
+    never mutated while the snapshot is live.
+
+    Attributes:
+        snapshot_id: the volume epoch at capture (unique, monotonic).
+        captured: per-partition mapping ``block -> patch-chain length``
+            at capture time.
+        frontier: per-partition allocation frontier (``next free block``)
+            at capture time.
+        cursor: the volume's round-robin allocation cursor at capture.
+        released: True once :meth:`release` ran; a released snapshot can
+            no longer be read or restored.
+    """
+
+    snapshot_id: int
+    captured: dict[str, dict[int, int]]
+    frontier: dict[str, int]
+    cursor: int
+    released: bool = False
+    _volume: "DnaVolume | None" = field(default=None, repr=False)
+
+    @property
+    def epoch(self) -> int:
+        """Alias of :attr:`snapshot_id` (the capture epoch)."""
+        return self.snapshot_id
+
+    @property
+    def block_count(self) -> int:
+        """Blocks referenced by this snapshot."""
+        return sum(len(blocks) for blocks in self.captured.values())
+
+    def require_live(self) -> None:
+        """Raise if the snapshot has been released (use-after-free guard)."""
+        if self.released:
+            raise StoreError(
+                f"snapshot {self.snapshot_id} has been released; "
+                "its view is no longer readable"
+            )
+
+    def contains(self, partition: str, block: int) -> bool:
+        """Whether the snapshot references one block."""
+        return block in self.captured.get(partition, ())
+
+    def patch_count(self, partition: str, block: int) -> int:
+        """Update-patch chain length of a captured block at capture time.
+
+        Raises:
+            StoreError: if the snapshot is released or does not reference
+                the block.
+        """
+        self.require_live()
+        try:
+            return self.captured[partition][block]
+        except KeyError as exc:
+            raise StoreError(
+                f"snapshot {self.snapshot_id} does not reference block "
+                f"{block} of partition {partition!r}"
+            ) from exc
+
+    def release(self) -> int:
+        """Release the snapshot, reclaiming blocks only it still protected.
+
+        Returns:
+            The number of deferred blocks this release reclaimed.
+
+        Raises:
+            StoreError: if the snapshot was already released.
+        """
+        if self._volume is None:
+            raise StoreError("snapshot is not bound to a volume")
+        return self._volume.release_snapshot(self)
+
+
+@dataclass
+class StoreSnapshot:
+    """A point-in-time view of an :class:`ObjectStore`: catalog + volume.
+
+    Attributes:
+        volume: the underlying :class:`VolumeSnapshot`.
+        catalog: the object catalog at capture time (records are copies;
+            the live store's later mutations never show through).
+    """
+
+    volume: VolumeSnapshot
+    catalog: dict[str, ObjectRecord]
+
+    @property
+    def epoch(self) -> int:
+        """The capture epoch (shared with the volume snapshot)."""
+        return self.volume.snapshot_id
+
+    @property
+    def released(self) -> bool:
+        """Whether the underlying volume snapshot has been released."""
+        return self.volume.released
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.catalog
+
+    def names(self) -> list[str]:
+        """Object names captured by the snapshot, in insertion order."""
+        return list(self.catalog)
+
+    def record(self, name: str) -> ObjectRecord:
+        """The captured catalog record of one object.
+
+        Raises:
+            StoreError: if the snapshot is released or never held the
+                object.
+        """
+        self.volume.require_live()
+        try:
+            return self.catalog[name]
+        except KeyError as exc:
+            raise StoreError(
+                f"object {name!r} does not exist in snapshot "
+                f"{self.volume.snapshot_id}"
+            ) from exc
+
+    def release(self) -> int:
+        """Release the underlying volume snapshot."""
+        return self.volume.release()

@@ -14,6 +14,17 @@ consecutive stripes round-robin across partitions:
   never reused (a reused address would collide with the old strands still
   in the pool).
 
+The volume is also **snapshotable** (see :mod:`repro.store.snapshots`):
+:meth:`DnaVolume.snapshot` captures a refcounted copy-on-write view.
+While a snapshot is live, an update targeting a captured block is
+redirected to a freshly allocated block (the snapshot keeps the old one),
+:meth:`DnaVolume.release` defers reclamation of captured blocks until the
+last referencing snapshot is released, and :meth:`DnaVolume.restore`
+rewinds the allocation frontier to the capture point, dropping only
+blocks no live snapshot still references.  Every written block carries a
+*birth epoch* that cached decoded payloads are keyed by, so views from
+different store generations can never alias in a block cache.
+
 All digital I/O against the allocated blocks (write, reference read,
 block-granular update patches) also lives here; the object-level catalog
 is :class:`repro.store.object_store.ObjectStore`.
@@ -31,6 +42,7 @@ from repro.core.pool_manager import DnaPoolManager
 from repro.core.updates import diff_as_patch
 from repro.exceptions import StoreError
 from repro.store.objects import Extent, ObjectRecord
+from repro.store.snapshots import VolumeSnapshot
 
 
 @dataclass(frozen=True)
@@ -83,8 +95,26 @@ class DnaVolume:
         self._next_block: dict[str, int] = {}
         #: Round-robin cursor over the volume's partitions.
         self._cursor = 0
-        #: Blocks surrendered by deleted objects (never reused).
+        #: Blocks surrendered by deleted objects (lifetime counter).
         self.retired_blocks = 0
+        #: Retired blocks whose digital record was actually dropped
+        #: (immediately, or deferred until the last snapshot released).
+        self.reclaimed_blocks = 0
+        #: Blocks copy-on-write-redirected because a live snapshot
+        #: referenced the original (lifetime counter).
+        self.cow_blocks = 0
+        #: Store generation, bumped by snapshot() and restore(); newly
+        #: written blocks are stamped with it (their *birth epoch*).
+        self._epoch = 0
+        #: Birth epoch per written block (missing entries mean epoch 0).
+        self._block_epoch: dict[tuple[str, int], int] = {}
+        #: Live snapshots by id.
+        self._snapshots: dict[int, VolumeSnapshot] = {}
+        #: Live-snapshot references per captured block.
+        self._refcounts: dict[tuple[str, int], int] = {}
+        #: Blocks released from the live catalog but still referenced by
+        #: a snapshot — readable through it, reclaimed when it releases.
+        self._deferred: dict[tuple[str, int], None] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -146,18 +176,62 @@ class DnaVolume:
         """Blocks handed out across all partitions."""
         return sum(self._next_block.values())
 
+    def block_epoch(self, name: str, block: int) -> int:
+        """Birth epoch of one written block (cache-key component).
+
+        A block keeps its birth epoch for as long as it exists; after a
+        :meth:`restore`, a fresh block written at the same address gets
+        the new generation's epoch, so decoded-block caches keyed by
+        ``(partition, block, epoch)`` can never serve bytes from a
+        previous store generation.
+        """
+        return self._block_epoch.get((name, block), 0)
+
+    @property
+    def epoch(self) -> int:
+        """Current store generation (bumped by snapshot and restore)."""
+        return self._epoch
+
+    def live_snapshots(self) -> list[VolumeSnapshot]:
+        """Snapshots not yet released, oldest first."""
+        return [self._snapshots[key] for key in sorted(self._snapshots)]
+
+    def deferred_block_count(self) -> int:
+        """Released blocks still pinned by a live snapshot."""
+        return len(self._deferred)
+
+    def is_deferred(self, name: str, block: int) -> bool:
+        """Whether one released block is awaiting snapshot release."""
+        return (name, block) in self._deferred
+
+    def snapshot_references(self, name: str, block: int) -> int:
+        """Live snapshots referencing one block."""
+        return self._refcounts.get((name, block), 0)
+
     # ------------------------------------------------------------------
     # Partition lifecycle
     # ------------------------------------------------------------------
     def _create_partition(self) -> str:
         name = f"{self.config.partition_prefix}-{len(self._next_block):03d}"
-        self.pool.create_partition(
-            name,
-            leaf_count=self.config.partition_leaf_count,
-            slots_per_block=self.config.slots_per_block,
-            unit_layout=self.config.unit_layout,
-            molecule_layout=self.config.molecule_layout,
-        )
+        if name in self.pool:
+            # A partition created after a snapshot and emptied again by a
+            # restore: re-adopt the existing (digitally empty) partition so
+            # re-running the same workload reuses the same primers and
+            # seeds deterministically.
+            partition = self.pool.partition(name)
+            if partition.block_count:
+                raise StoreError(
+                    f"partition {name!r} already exists in the pool and "
+                    "holds data; it cannot be re-adopted by the volume"
+                )
+        else:
+            self.pool.create_partition(
+                name,
+                leaf_count=self.config.partition_leaf_count,
+                slots_per_block=self.config.slots_per_block,
+                unit_layout=self.config.unit_layout,
+                molecule_layout=self.config.molecule_layout,
+            )
         self._next_block[name] = 0
         return name
 
@@ -211,9 +285,205 @@ class DnaVolume:
             blocks_needed -= count
         return extents
 
+    def _allocate_block(self) -> tuple[str, int]:
+        """Allocate a single fresh block (copy-on-write redirection)."""
+        name = self._partition_with_space()
+        block = self._next_block[name]
+        self._next_block[name] = block + 1
+        return name, block
+
     def release(self, extents: list[Extent]) -> None:
-        """Retire extents of a deleted object (addresses are never reused)."""
+        """Retire extents of a deleted object (addresses are never reused).
+
+        A retired block still referenced by a live snapshot stays readable
+        through it: reclamation of its digital record is *deferred* until
+        the last referencing snapshot is released.  Unreferenced blocks
+        are reclaimed immediately.
+
+        Raises:
+            StoreError: if a block was already released (double free) or
+                never written — either would silently corrupt a
+                snapshot's view or the reclamation accounting.
+        """
+        for extent in extents:
+            partition = self.partition(extent.partition)
+            for block in extent.blocks():
+                key = (extent.partition, block)
+                if key in self._deferred:
+                    raise StoreError(
+                        f"block {block} of partition {extent.partition!r} "
+                        "was already released (reclamation pending on a "
+                        "live snapshot); double free"
+                    )
+                if not partition.has_block(block):
+                    raise StoreError(
+                        f"block {block} of partition {extent.partition!r} "
+                        "holds no data (already reclaimed or never "
+                        "written); double free"
+                    )
+        for extent in extents:
+            for block in extent.blocks():
+                self._release_block((extent.partition, block))
         self.retired_blocks += sum(extent.block_count for extent in extents)
+
+    def _release_block(self, key: tuple[str, int]) -> None:
+        """Defer (snapshot-referenced) or immediately reclaim one block."""
+        if self._refcounts.get(key, 0) > 0:
+            self._deferred[key] = None
+        else:
+            self._reclaim(key)
+
+    def _reclaim(self, key: tuple[str, int]) -> None:
+        """Drop a block's digital record (no live reference remains)."""
+        self.partition(key[0]).drop_block(key[1])
+        self._block_epoch.pop(key, None)
+        self.reclaimed_blocks += 1
+
+    # ------------------------------------------------------------------
+    # Snapshots (copy-on-write views)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> VolumeSnapshot:
+        """Capture a refcounted point-in-time view of the volume.
+
+        The snapshot references every currently live block (released
+        blocks pending reclamation are excluded) and records each block's
+        update-patch chain length.  While it is live:
+
+        * updates targeting captured blocks are copy-on-write-redirected
+          to fresh blocks (:meth:`update_record`);
+        * :meth:`release` defers reclamation of captured blocks;
+        * :meth:`restore` can rewind the volume to this exact state.
+
+        Capturing is O(written blocks) and copies no data.
+        """
+        self._epoch += 1
+        captured: dict[str, dict[int, int]] = {}
+        for name in self._next_block:
+            partition = self.partition(name)
+            blocks: dict[int, int] = {}
+            for block in partition.written_blocks():
+                if (name, block) in self._deferred:
+                    continue
+                blocks[block] = partition.update_count(block)
+            captured[name] = blocks
+            for block in blocks:
+                key = (name, block)
+                self._refcounts[key] = self._refcounts.get(key, 0) + 1
+        snapshot = VolumeSnapshot(
+            snapshot_id=self._epoch,
+            captured=captured,
+            frontier=dict(self._next_block),
+            cursor=self._cursor,
+            _volume=self,
+        )
+        self._snapshots[snapshot.snapshot_id] = snapshot
+        return snapshot
+
+    def release_snapshot(self, snapshot: VolumeSnapshot) -> int:
+        """Release a snapshot, reclaiming blocks only it still protected.
+
+        Returns:
+            The number of deferred blocks reclaimed by this release.
+
+        Raises:
+            StoreError: if the snapshot was already released or belongs
+                to another volume.
+        """
+        snapshot.require_live()
+        if self._snapshots.get(snapshot.snapshot_id) is not snapshot:
+            raise StoreError(
+                f"snapshot {snapshot.snapshot_id} is not a live snapshot "
+                "of this volume"
+            )
+        del self._snapshots[snapshot.snapshot_id]
+        snapshot.released = True
+        reclaimed = 0
+        for name, blocks in snapshot.captured.items():
+            for block in blocks:
+                key = (name, block)
+                remaining = self._refcounts.get(key, 0) - 1
+                if remaining > 0:
+                    self._refcounts[key] = remaining
+                    continue
+                self._refcounts.pop(key, None)
+                if key in self._deferred:
+                    del self._deferred[key]
+                    self._reclaim(key)
+                    reclaimed += 1
+        return reclaimed
+
+    def restore(self, snapshot: VolumeSnapshot) -> list[str]:
+        """Rewind the volume to a live snapshot's captured state.
+
+        The allocation frontier, round-robin cursor and per-partition
+        contents return to the capture point: blocks allocated after the
+        capture are dropped — unless a *newer* live snapshot references
+        them, in which case they are deferred (and reclaimed when that
+        snapshot releases) and the frontier stays above them.  Blocks the
+        snapshot captured that were released afterwards become live
+        again (the restored catalog references them).
+
+        Address-reuse safety is preserved: rewound addresses are only
+        ever rewritten once no snapshot can still read their old bytes,
+        and the epoch bump gives rewritten addresses fresh cache keys.
+
+        Returns:
+            Names of partitions whose digital contents changed (their
+            synthesized wetlab pools must be re-synthesized).
+
+        Raises:
+            StoreError: if the snapshot is released or foreign.
+        """
+        snapshot.require_live()
+        if self._snapshots.get(snapshot.snapshot_id) is not snapshot:
+            raise StoreError(
+                f"snapshot {snapshot.snapshot_id} is not a live snapshot "
+                "of this volume"
+            )
+        self._epoch += 1
+        # Frontier floor per partition: nothing a newer live snapshot
+        # references may be dropped or re-allocated.
+        floor: dict[str, int] = {}
+        for other in self._snapshots.values():
+            if other is snapshot:
+                continue
+            for name, next_block in other.frontier.items():
+                floor[name] = max(floor.get(name, 0), next_block)
+        changed: list[str] = []
+        for name in list(self._next_block):
+            target = snapshot.frontier.get(name, 0)
+            keep_until = max(target, floor.get(name, 0))
+            current = self._next_block[name]
+            partition = self.partition(name)
+            touched = False
+            for block in range(target, current):
+                key = (name, block)
+                if not partition.has_block(block):
+                    continue
+                if block < keep_until:
+                    # Referenced by a newer live snapshot: orphaned from
+                    # every catalog, readable through that snapshot, and
+                    # reclaimed when it releases.
+                    self._deferred.setdefault(key, None)
+                else:
+                    self._deferred.pop(key, None)
+                    self._reclaim(key)
+                    touched = True
+            if touched:
+                changed.append(name)
+            if keep_until == 0 and name not in snapshot.frontier:
+                # Partition born after the capture and emptied again: the
+                # volume forgets it (the pool keeps the primer pair; a
+                # re-run re-adopts it under the same name).
+                del self._next_block[name]
+            else:
+                self._next_block[name] = keep_until
+        # Captured blocks released after the capture are live again.
+        for key in list(self._deferred):
+            if snapshot.contains(*key):
+                del self._deferred[key]
+        self._cursor = snapshot.cursor
+        return changed
 
     # ------------------------------------------------------------------
     # Digital block I/O
@@ -227,6 +497,9 @@ class DnaVolume:
                 + extent.block_count * self.block_size
             ]
             partition.write(chunk, start_block=extent.start_block)
+            if self._epoch:
+                for block in extent.blocks():
+                    self._block_epoch[(extent.partition, block)] = self._epoch
 
     def read_record(
         self,
@@ -235,6 +508,7 @@ class DnaVolume:
         offset: int = 0,
         length: int | None = None,
         block_cache=None,
+        at: VolumeSnapshot | None = None,
     ) -> bytes:
         """Digitally read an object byte range (reference path).
 
@@ -245,11 +519,20 @@ class DnaVolume:
 
         Args:
             block_cache: optional decoded-block cache (anything with
-                ``get(partition, block)`` / ``put(partition, block, data)``,
-                e.g. :class:`repro.service.DecodedBlockCache`); cached
-                blocks skip the partition read, missing blocks are
-                inserted after decoding.
+                ``get(partition, block, epoch)`` /
+                ``put(partition, block, data, epoch)``, e.g.
+                :class:`repro.service.DecodedBlockCache`); cached blocks
+                skip the partition read, missing blocks are inserted
+                after decoding.  The epoch is the block's birth epoch, so
+                entries from different store generations never alias —
+                and a time-travel read of an unchanged block shares the
+                live read's cache entry.
+            at: optional live snapshot; ``record`` must then be that
+                snapshot's catalog record, and each block applies only
+                the patch-chain prefix the snapshot captured.
         """
+        if at is not None:
+            at.require_live()
         if length is None:
             length = record.size - offset
         if offset < 0 or length < 0 or offset + length > record.size:
@@ -265,15 +548,19 @@ class DnaVolume:
         for extent, partition_block, _ in record.blocks_in_range(
             first_block, last_block
         ):
+            patch_limit = None
+            if at is not None:
+                patch_limit = at.patch_count(extent.partition, partition_block)
             data = None
+            epoch = self._block_epoch.get((extent.partition, partition_block), 0)
             if block_cache is not None:
-                data = block_cache.get(extent.partition, partition_block)
+                data = block_cache.get(extent.partition, partition_block, epoch)
             if data is None:
                 data = self.partition(extent.partition).read_block_reference(
-                    partition_block
+                    partition_block, patch_limit=patch_limit
                 )
                 if block_cache is not None:
-                    block_cache.put(extent.partition, partition_block, data)
+                    block_cache.put(extent.partition, partition_block, data, epoch)
             pieces.append(data)
         combined = b"".join(pieces)
         start = offset - first_block * self.block_size
@@ -284,17 +571,28 @@ class DnaVolume:
     ) -> list[tuple[str, int]]:
         """Apply an in-place byte-range update as block-granular patches.
 
-        Every touched block gets one minimal :class:`UpdatePatch` (logged
-        in the block's next version slot; the original DNA is immutable).
-        The operation is all-or-nothing: every patch is computed and
-        validated against its block's remaining version slots before any
-        is applied, so a failure never leaves the object half-updated (or
-        burns slots on a retry).
+        A touched block normally gets one minimal :class:`UpdatePatch`
+        (logged in the block's next version slot; the original DNA is
+        immutable).  When the block is referenced by a live snapshot,
+        patching it in place would corrupt the snapshot's view, so the
+        write is **copy-on-write redirected** instead: a fresh block is
+        allocated, the spliced contents are written there as a new
+        original, and the record's extent map is remapped — the snapshot
+        keeps the old block (now pending reclamation with it).
+
+        The operation is all-or-nothing on the record's visible bytes:
+        every in-place patch is computed and validated against its
+        block's remaining version slots before anything is applied, and
+        redirected blocks are written before any extent is remapped, so a
+        failure never leaves the object half-updated (or burns slots on a
+        retry).
 
         Returns:
-            The patched blocks as ``(partition name, block)`` pairs
-            (unchanged blocks are skipped) — exactly the cache keys a
-            decoded-block cache must invalidate.
+            The written blocks as ``(partition name, block)`` pairs —
+            patched blocks under their existing key (exactly the cache
+            keys to invalidate), redirected blocks under their fresh key
+            (nothing stale to invalidate; the key names the synthesis
+            work).  Unchanged blocks are skipped.
 
         Raises:
             StoreError: if the range leaves the object, or a touched block
@@ -311,6 +609,7 @@ class DnaVolume:
         last_block = (offset + len(new_bytes) - 1) // self.block_size
         planned: list[tuple[Partition, str, int]] = []
         patches = []
+        redirects: list[tuple[int, bytes]] = []  # (block offset, new bytes)
         for extent, partition_block, block_offset in record.blocks_in_range(
             first_block, last_block
         ):
@@ -328,6 +627,10 @@ class DnaVolume:
             )
             if new == old:
                 continue
+            if self._refcounts.get((extent.partition, partition_block), 0) > 0:
+                # Shared with a live snapshot: redirect, don't patch.
+                redirects.append((block_offset, new))
+                continue
             patch = diff_as_patch(old, new)
             slots = partition.config.slots_per_block
             if partition.update_count(partition_block) + 1 >= slots:
@@ -344,9 +647,35 @@ class DnaVolume:
                 )
             planned.append((partition, extent.partition, partition_block))
             patches.append(patch)
-        for (partition, _, partition_block), patch in zip(planned, patches):
+        # Write every redirected block before remapping anything: an
+        # allocation failure here leaves the record untouched — and the
+        # blocks already written for this batch are dropped again, so a
+        # failed update can never leak record-less blocks that every
+        # future snapshot would capture as live.
+        written: list[tuple[int, str, int]] = []
+        try:
+            for block_offset, new in redirects:
+                name, block = self._allocate_block()
+                self.partition(name).write_block(block, new)
+                self._block_epoch[(name, block)] = self._epoch
+                written.append((block_offset, name, block))
+        except Exception:
+            for _, name, block in written:
+                self.partition(name).drop_block(block)
+                self._block_epoch.pop((name, block), None)
+            raise
+        touched: list[tuple[str, int]] = []
+        for block_offset, name, block in written:
+            old_key = record.remap_block(block_offset, name, block)
+            # The live catalog no longer references the old block; it
+            # survives exactly as long as a snapshot does.
+            self._release_block(old_key)
+            self.cow_blocks += 1
+            touched.append((name, block))
+        for (partition, name, partition_block), patch in zip(planned, patches):
             partition.update_block(partition_block, patch)
-        return [(name, block) for _, name, block in planned]
+            touched.append((name, partition_block))
+        return touched
 
     # ------------------------------------------------------------------
     # Synthesis support

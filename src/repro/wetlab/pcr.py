@@ -24,7 +24,7 @@ precise block access (Sections 3.2, 7.2, 8.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.elongation import ElongatedPrimer
 from repro.exceptions import PCRError

@@ -21,7 +21,11 @@ seeded, fully deterministic axes:
   their own on/off duty windows (on-off arrival processes);
 * **size-correlated popularity** — popularity rank can be biased toward
   small objects (or large ones), instead of being assigned uniformly at
-  random.
+  random;
+* **time-travel reads** — a fraction of reads carry an ``as_of``
+  timestamp drawn from the trace's past, querying historical object
+  versions through the store's copy-on-write snapshots
+  (:mod:`repro.store.snapshots`).
 
 With every knob at its default the generator reproduces the original
 i.i.d. read-only traces byte for byte (same seed, same events).
@@ -52,6 +56,8 @@ class RequestEvent:
             position of an update.
         op: ``"read"`` (default), ``"put"``, ``"update"`` or ``"delete"``.
         payload: the bytes written (``put``/``update`` events only).
+        as_of: optional historical timestamp of a time-travel read — the
+            object is served as of the committed store state then.
     """
 
     time_hours: float
@@ -61,6 +67,7 @@ class RequestEvent:
     length: int | None = None
     op: str = "read"
     payload: bytes | None = None
+    as_of: float | None = None
 
 
 def _diurnal_arrivals(
@@ -133,6 +140,7 @@ def multi_tenant_trace(
     burst_cycle_hours: float = 6.0,
     burst_duty: float = 0.25,
     size_popularity_bias: float = 0.0,
+    time_travel_fraction: float = 0.0,
 ) -> list[RequestEvent]:
     """Generate a multi-tenant Zipfian trace over an object catalog.
 
@@ -167,6 +175,10 @@ def multi_tenant_trace(
             each bursty tenant gets a seeded phase so bursts interleave.
         size_popularity_bias: -1..1; positive makes small objects hot,
             negative makes large objects hot, 0 keeps the seeded shuffle.
+        time_travel_fraction: fraction of reads that are *time-travel*
+            reads: they carry ``as_of`` drawn uniformly from the trace's
+            past (before their own arrival), querying the object's
+            historical version through the pipeline's snapshot timeline.
 
     Returns:
         Request events sorted by arrival time.
@@ -197,6 +209,8 @@ def multi_tenant_trace(
         )
     if not -1.0 <= size_popularity_bias <= 1.0:
         raise DnaStorageError("size_popularity_bias must be in [-1, 1]")
+    if not 0.0 <= time_travel_fraction <= 1.0:
+        raise DnaStorageError("time_travel_fraction must be in [0, 1]")
 
     rng = random.Random(seed)
     names = _size_biased_ranks(rng, catalog, size_popularity_bias)
@@ -291,6 +305,16 @@ def multi_tenant_trace(
         else:
             offset = rng.randrange(size)
             length = rng.randint(1, size - offset)
+        as_of = None
+        if (
+            time_travel_fraction
+            and time_hours > 0.0
+            and rng.random() < time_travel_fraction
+        ):
+            # Query the committed state at a uniformly drawn past moment
+            # (the knob is draw-gated, so the default trace stream stays
+            # bit-identical to earlier generator versions).
+            as_of = rng.random() * time_hours
         events.append(
             RequestEvent(
                 time_hours=time_hours,
@@ -298,6 +322,7 @@ def multi_tenant_trace(
                 object_name=name,
                 offset=offset,
                 length=length,
+                as_of=as_of,
             )
         )
     return events

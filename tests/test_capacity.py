@@ -1,6 +1,5 @@
 """Tests for the partition capacity / information-density model (Figure 3)."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codec.matrix_unit import UnitLayout
 from repro.core.addressing import BlockAddress
 from repro.core.partition import Partition, PartitionConfig
 from repro.core.updates import ReplacementPatch, UpdatePatch

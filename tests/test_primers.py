@@ -1,8 +1,6 @@
 """Tests for primer constraints, melting temperature and library generation."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.exceptions import PrimerDesignError
 from repro.primers.constraints import (

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import MixingError, SequencingError, WetlabError
+from repro.exceptions import SequencingError, WetlabError
 from repro.wetlab.errors import ErrorModel
 from repro.wetlab.mixing import amplify_then_measure, measure_then_amplify
 from repro.wetlab.pool import MolecularPool

@@ -714,17 +714,37 @@ class TestMixedTraceDeterminism:
         assert first.written_bytes > 0
         assert first.synthesis_orders > 0
 
-    def test_compare_rejects_mixed_traces(self):
-        store, catalog = build_store(objects=2)
-        sim = pipeline(store)
+    def test_compare_accepts_mixed_traces_and_restores_the_seed_store(self):
+        """compare() snapshots the seed store and runs every policy
+        against a restored clone, so traces with writes no longer need a
+        fresh store per policy — and the store comes back byte-identical
+        to the seed state afterwards."""
+        store, catalog = build_store(objects=3)
+        seed_bytes = {name: store.get(name) for name in store.names()}
+        sim = pipeline(store, window_hours=0.5)
         trace = [
+            RequestEvent(time_hours=0.0, tenant="a", object_name="obj-0"),
             RequestEvent(
-                time_hours=0.0, tenant="a", object_name="obj-0",
-                op="update", payload=b"x",
-            )
+                time_hours=0.1, tenant="a", object_name="obj-0",
+                op="update", payload=b"COMPARED",
+            ),
+            RequestEvent(time_hours=0.2, tenant="b", object_name="obj-1"),
+            RequestEvent(time_hours=30.0, tenant="b", object_name="obj-0"),
         ]
-        with pytest.raises(ServiceError):
-            sim.compare(trace)
+        reports = sim.compare(trace)
+        # Every policy served every request from identical seed state;
+        # per-object FIFO ordering makes the decoded bytes identical
+        # across policies even though the trace mutates the store.
+        assert len({r.checksum for r in reports.values()}) == 1
+        for r in reports.values():
+            assert len(r.completed) == len(trace)
+            assert r.failed == ()
+            assert r.synthesis_orders == 1
+        # The seed store is restored when compare() returns.
+        assert sorted(store.names()) == sorted(seed_bytes)
+        for name, data in seed_bytes.items():
+            assert store.get(name) == data
+        assert store.volume.live_snapshots() == []
 
     def test_simulator_alias_is_pipeline(self):
         assert ServiceSimulator is ServicePipeline

@@ -333,15 +333,21 @@ class TestCacheReadPath:
             self.entries = {}
             self.gets = 0
 
-        def get(self, partition, block):
+        def get(self, partition, block, epoch=0):
             self.gets += 1
-            return self.entries.get((partition, block))
+            return self.entries.get((partition, block, epoch))
 
-        def put(self, partition, block, data):
-            self.entries[(partition, block)] = data
+        def put(self, partition, block, data, epoch=0):
+            self.entries[(partition, block, epoch)] = data
 
-        def invalidate(self, partition, block):
-            self.entries.pop((partition, block), None)
+        def invalidate(self, partition, block, epoch=None):
+            stale = [
+                key
+                for key in self.entries
+                if key[:2] == (partition, block) and epoch in (None, key[2])
+            ]
+            for key in stale:
+                del self.entries[key]
 
     def test_get_fills_and_then_serves_from_cache(self):
         store = small_store()

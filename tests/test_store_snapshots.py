@@ -1,0 +1,342 @@
+"""Copy-on-write snapshot semantics of the volume/object-store layer.
+
+Covers the contract of :mod:`repro.store.snapshots`:
+
+* writes after a snapshot allocate fresh blocks (copy-on-write) and are
+  invisible to the snapshot;
+* time-travel reads (``get(name, at=snapshot)``) return the captured
+  version, including through the decoded-block cache without aliasing;
+* restore rewinds catalog + allocation frontier and can be repeated;
+* ``release()`` on blocks a live snapshot references defers reclamation
+  (the double-free / early-address-reuse bugfix) and releasing the last
+  snapshot reclaims them.
+
+Everything here is pure Python — it must pass without numpy.
+"""
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.service import DecodedBlockCache
+from repro.store import DnaVolume, ObjectStore, VolumeConfig
+
+
+def small_store(leaf_count=16, stripe_blocks=2, stripe_width=2):
+    volume = DnaVolume(
+        config=VolumeConfig(
+            partition_leaf_count=leaf_count,
+            stripe_blocks=stripe_blocks,
+            stripe_width=stripe_width,
+        )
+    )
+    return ObjectStore(volume)
+
+
+def payload(size, seed=0):
+    return bytes((seed + i * 131) % 256 for i in range(size))
+
+
+class TestCopyOnWrite:
+    def test_update_after_snapshot_allocates_fresh_block(self):
+        store = small_store()
+        data = payload(3 * store.volume.block_size - 5, seed=1)
+        store.put("obj", data)
+        snapshot = store.snapshot()
+        allocated = store.volume.allocated_blocks()
+
+        store.update("obj", 10, b"XYZ")
+
+        assert store.volume.allocated_blocks() == allocated + 1
+        assert store.volume.cow_blocks == 1
+        current = store.get("obj")
+        assert current[10:13] == b"XYZ"
+        assert store.get("obj", at=snapshot) == data
+        snapshot.release()
+
+    def test_update_without_snapshot_patches_in_place(self):
+        store = small_store()
+        store.put("obj", payload(2 * store.volume.block_size, seed=2))
+        allocated = store.volume.allocated_blocks()
+        store.update("obj", 3, b"PATCH")
+        assert store.volume.allocated_blocks() == allocated
+        assert store.volume.cow_blocks == 0
+
+    def test_cow_block_patches_in_place_once_unshared(self):
+        """After the CoW redirect, the fresh block belongs only to the
+        live object: the next update logs an ordinary patch slot."""
+        store = small_store()
+        data = payload(store.volume.block_size, seed=3)
+        store.put("obj", data)
+        snapshot = store.snapshot()
+        store.update("obj", 0, b"one")
+        allocated = store.volume.allocated_blocks()
+        store.update("obj", 0, b"two")
+        assert store.volume.allocated_blocks() == allocated
+        assert store.get("obj")[:3] == b"two"
+        assert store.get("obj", at=snapshot) == data
+        snapshot.release()
+
+    def test_chained_snapshots_each_keep_their_version(self):
+        store = small_store()
+        data = payload(store.volume.block_size, seed=4)
+        store.put("obj", data)
+        snap1 = store.snapshot()
+        store.update("obj", 0, b"v1")
+        snap2 = store.snapshot()
+        store.update("obj", 0, b"v2")
+
+        assert store.get("obj", at=snap1) == data
+        assert store.get("obj", at=snap2)[:2] == b"v1"
+        assert store.get("obj")[:2] == b"v2"
+
+        snap1.release()
+        assert store.get("obj", at=snap2)[:2] == b"v1"
+        snap2.release()
+
+    def test_snapshot_read_of_unknown_object_raises(self):
+        store = small_store()
+        store.put("early", payload(32, seed=5))
+        snapshot = store.snapshot()
+        store.put("late", payload(32, seed=6))
+        assert store.get("late")  # live read works
+        with pytest.raises(StoreError):
+            store.get("late", at=snapshot)
+        snapshot.release()
+
+    def test_released_snapshot_cannot_be_read_or_restored(self):
+        store = small_store()
+        store.put("obj", payload(64, seed=7))
+        snapshot = store.snapshot()
+        snapshot.release()
+        with pytest.raises(StoreError):
+            store.get("obj", at=snapshot)
+        with pytest.raises(StoreError):
+            store.restore(snapshot)
+        with pytest.raises(StoreError):
+            snapshot.release()
+
+
+class TestDeferredReclamation:
+    def test_delete_defers_reclamation_under_live_snapshot(self):
+        store = small_store()
+        data = payload(2 * store.volume.block_size, seed=8)
+        record = store.put("obj", data)
+        snapshot = store.snapshot()
+
+        store.delete("obj")
+
+        # The snapshot's view survives the delete untouched.
+        assert store.volume.reclaimed_blocks == 0
+        assert store.volume.deferred_block_count() == record.block_count
+        assert store.get("obj", at=snapshot) == data
+        reclaimed = snapshot.release()
+        assert reclaimed == record.block_count
+        assert store.volume.reclaimed_blocks == record.block_count
+        assert store.volume.deferred_block_count() == 0
+
+    def test_delete_without_snapshot_reclaims_immediately(self):
+        store = small_store()
+        record = store.put("obj", payload(3 * store.volume.block_size, seed=9))
+        store.delete("obj")
+        assert store.volume.reclaimed_blocks == record.block_count
+        assert store.volume.retired_blocks == record.block_count
+
+    def test_double_free_raises_instead_of_corrupting(self):
+        store = small_store()
+        record = store.put("obj", payload(64, seed=10))
+        snapshot = store.snapshot()
+        store.volume.release(record.extents)
+        with pytest.raises(StoreError):
+            store.volume.release(record.extents)
+        snapshot.release()
+        # After reclamation a further release is also a detected error.
+        with pytest.raises(StoreError):
+            store.volume.release(record.extents)
+
+    def test_deferred_addresses_are_never_reused(self):
+        store = small_store()
+        record = store.put("obj", payload(2 * store.volume.block_size, seed=11))
+        snapshot = store.snapshot()
+        store.delete("obj")
+        deferred = {
+            (extent.partition, block)
+            for extent in record.extents
+            for block in extent.blocks()
+        }
+        fresh = store.put("obj2", payload(4 * store.volume.block_size, seed=12))
+        fresh_keys = {
+            (extent.partition, block)
+            for extent in fresh.extents
+            for block in extent.blocks()
+        }
+        assert not deferred & fresh_keys
+        assert store.get("obj", at=snapshot) == payload(
+            2 * store.volume.block_size, seed=11
+        )
+        snapshot.release()
+
+    def test_blocks_shared_by_two_snapshots_wait_for_both(self):
+        store = small_store()
+        data = payload(store.volume.block_size, seed=13)
+        store.put("obj", data)
+        snap1 = store.snapshot()
+        snap2 = store.snapshot()
+        store.delete("obj")
+        assert snap1.release() == 0  # snap2 still references the block
+        assert store.get("obj", at=snap2) == data
+        assert snap2.release() == 1
+
+
+class TestRestore:
+    def test_restore_round_trip_after_mixed_mutations(self):
+        store = small_store()
+        contents = {
+            f"obj-{i}": payload((i + 1) * store.volume.block_size - i, seed=20 + i)
+            for i in range(3)
+        }
+        for name, data in contents.items():
+            store.put(name, data)
+        snapshot = store.snapshot()
+
+        store.update("obj-0", 2, b"MUTATED")
+        store.delete("obj-1")
+        store.put("new", payload(5 * store.volume.block_size, seed=30))
+
+        changed = store.restore(snapshot)
+        assert changed  # some partition contents were rewound
+        assert sorted(store.names()) == sorted(contents)
+        for name, data in contents.items():
+            assert store.get(name) == data
+        # The snapshot survives a restore and can be restored again.
+        store.update("obj-2", 0, b"AGAIN")
+        store.restore(snapshot)
+        assert store.get("obj-2") == contents["obj-2"]
+        snapshot.release()
+
+    def test_restore_rewinds_allocation_frontier_deterministically(self):
+        """Two identical workloads against the same restored snapshot
+        allocate identical addresses — the property compare() relies on
+        for byte-identical policy runs."""
+        store = small_store()
+        for i in range(2):
+            store.put(f"seed-{i}", payload(3 * store.volume.block_size, seed=40 + i))
+        snapshot = store.snapshot()
+
+        def workload():
+            store.put("w", payload(6 * store.volume.block_size, seed=50))
+            store.update("seed-0", 1, b"ww")
+            record = store.record("w")
+            return (
+                [
+                    (e.partition, e.start_block, e.block_count, e.object_offset)
+                    for e in record.extents
+                ],
+                store.get("w"),
+                store.get("seed-0"),
+            )
+
+        first = workload()
+        store.restore(snapshot)
+        second = workload()
+        assert first == second
+        store.restore(snapshot)
+        snapshot.release()
+
+    def test_restore_resurrects_deleted_objects_for_redeletion(self):
+        store = small_store()
+        data = payload(store.volume.block_size, seed=60)
+        store.put("obj", data)
+        snapshot = store.snapshot()
+        store.delete("obj")
+        store.restore(snapshot)
+        assert store.get("obj") == data
+        store.delete("obj")  # must not be a double free
+        store.restore(snapshot)
+        assert store.get("obj") == data
+        snapshot.release()
+
+
+class TestSnapshotCacheEpochs:
+    def test_snapshot_and_live_reads_share_unchanged_blocks(self):
+        store = small_store()
+        cache = DecodedBlockCache(1 << 20)
+        data = payload(2 * store.volume.block_size, seed=70)
+        store.put("obj", data)
+        snapshot = store.snapshot()
+        assert store.get("obj", block_cache=cache) == data
+        filled = len(cache)
+        # A time-travel read of the unchanged object is pure cache hits.
+        misses = cache.stats.misses
+        assert store.get("obj", at=snapshot, block_cache=cache) == data
+        assert len(cache) == filled
+        assert cache.stats.misses == misses
+        snapshot.release()
+
+    def test_cache_never_aliases_across_restore_generations(self):
+        """A block rewritten at the same address after a restore carries a
+        new birth epoch, so a warm cache cannot serve the old bytes."""
+        store = small_store()
+        cache = DecodedBlockCache(1 << 20)
+        store.attach_cache(cache)
+        store.put("seed", payload(store.volume.block_size, seed=80))
+        snapshot = store.snapshot()
+
+        first = payload(store.volume.block_size, seed=81)
+        store.put("gen1", first)
+        assert store.get("gen1") == first  # warms the cache
+        store.restore(snapshot)
+
+        second = payload(store.volume.block_size, seed=82)
+        store.put("gen2", second)  # same address as gen1's block
+        assert store.record("gen2").extents[0] is not None
+        assert store.get("gen2") == second
+        snapshot.release()
+
+    def test_cow_preserves_old_cache_entry_for_snapshot_reads(self):
+        store = small_store()
+        cache = DecodedBlockCache(1 << 20)
+        store.attach_cache(cache)
+        data = payload(store.volume.block_size, seed=90)
+        store.put("obj", data)
+        snapshot = store.snapshot()
+        assert store.get("obj") == data  # cache now holds the original
+        store.update("obj", 0, b"NEW")  # CoW: old entry stays valid
+        hits = cache.stats.hits
+        assert store.get("obj", at=snapshot) == data
+        assert cache.stats.hits == hits + 1
+        assert store.get("obj")[:3] == b"NEW"
+        snapshot.release()
+
+
+class TestVolumeLevelView:
+    def test_patch_limited_reference_read(self):
+        store = small_store()
+        data = payload(store.volume.block_size, seed=100)
+        store.put("obj", data)
+        record = store.record("obj")
+        extent = record.extents[0]
+        partition = store.volume.partition(extent.partition)
+        store.update("obj", 0, b"abc")
+        # Without a snapshot the update logged an in-place patch.
+        assert partition.update_count(extent.start_block) == 1
+        original = partition.read_block_reference(extent.start_block, patch_limit=0)
+        patched = partition.read_block_reference(extent.start_block)
+        assert original == data
+        assert patched[:3] == b"abc"
+
+    def test_snapshot_counters_and_introspection(self):
+        store = small_store()
+        store.put("obj", payload(2 * store.volume.block_size, seed=110))
+        volume = store.volume
+        assert volume.live_snapshots() == []
+        snapshot = store.snapshot()
+        assert [s.snapshot_id for s in volume.live_snapshots()] == [
+            snapshot.volume.snapshot_id
+        ]
+        record = store.record("obj")
+        key = (record.extents[0].partition, record.extents[0].start_block)
+        assert volume.snapshot_references(*key) == 1
+        assert snapshot.volume.block_count == record.block_count
+        snapshot.release()
+        assert volume.live_snapshots() == []
+        assert volume.snapshot_references(*key) == 0
