@@ -195,8 +195,11 @@ def test_service_wetlab_fidelity_smoke():
             cache_capacity_bytes=block_size * 32,
         ),
     )
+    from repro.pipeline.stage_timing import collect_stages, orchestration_seconds
+
     started = time.perf_counter()
-    wetlab = simulator.run(trace, "batched+cache", fidelity="wetlab")
+    with collect_stages() as stages:
+        wetlab = simulator.run(trace, "batched+cache", fidelity="wetlab")
     elapsed = time.perf_counter() - started
     reference = simulator.run(trace, "batched+cache")
     assert wetlab.failed == ()
@@ -207,6 +210,10 @@ def test_service_wetlab_fidelity_smoke():
         [
             f"{len(trace)} requests, {wetlab.batches} wetlab cycles, "
             f"{wetlab.sequenced_reads} reads sequenced (in {elapsed:.1f}s)",
+            f"decode stages: cluster {stages.get('cluster', 0.0):.2f}s, "
+            f"consensus {stages.get('consensus', 0.0):.2f}s, "
+            f"RS solve {stages.get('syndrome_solve', 0.0):.2f}s, "
+            f"other {orchestration_seconds(elapsed, stages):.2f}s",
             "per-request checksums identical to the reference path",
         ],
     )
@@ -218,6 +225,14 @@ def test_service_wetlab_fidelity_smoke():
             "wetlab_cycles": wetlab.batches,
             "sequenced_reads": wetlab.sequenced_reads,
             "wall_seconds": round(elapsed, 2),
+            "decode_stage_seconds": {
+                "cluster": round(stages.get("cluster", 0.0), 3),
+                "consensus": round(stages.get("consensus", 0.0), 3),
+                "syndrome_solve": round(stages.get("syndrome_solve", 0.0), 3),
+                "orchestration": round(
+                    orchestration_seconds(elapsed, stages), 3
+                ),
+            },
             "checksum_matches_reference": wetlab.checksum == reference.checksum,
         },
     )

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.codec.backend.base import CodecBackend, SymbolMatrix
 from repro.exceptions import DecodingError, ReedSolomonError
+from repro.fastpath import fused_kernels_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.codec.galois import GaloisField
@@ -342,8 +343,13 @@ class NumpyBackend(CodecBackend):
             return []
         tables = self._tables_for_code(code)
         payload_bytes = rows * symbol_bits // 8
-        # Group units sharing an erasure pattern so each group is one
-        # matrix decode.
+        if fused_kernels_enabled():
+            return self._decode_units_fused(
+                code, tables, units_columns,
+                rows=rows, symbol_bits=symbol_bits, payload_bytes=payload_bytes,
+            )
+        # Reference path: group units sharing an erasure pattern so each
+        # group is one matrix decode.
         groups: dict[tuple[int, ...], list[int]] = {}
         for index, columns in enumerate(units_columns):
             erasures = tuple(c for c in range(code.n) if c not in columns)
@@ -379,6 +385,93 @@ class NumpyBackend(CodecBackend):
         # EncodingUnit.decode_batch, so fail loudly instead.
         assert all(result is not None for result in results)
         return results
+
+    def _decode_units_fused(
+        self,
+        code: "ReedSolomonCode",
+        tables: _CodeTables,
+        units_columns: Sequence[dict[int, bytes]],
+        *,
+        rows: int,
+        symbol_bits: int,
+        payload_bytes: int,
+    ) -> list[bytes]:
+        """All units of a batch through **one** syndrome matmul.
+
+        Unlike the reference path (one matrix decode per erasure pattern,
+        each with its own syndrome passes), this unpacks every unit into
+        one codeword matrix, computes every row's syndromes in a single GF
+        matrix product, then touches only the dirty rows: each erasure
+        pattern's linear solve runs over just its dirty rows, one shared
+        residual-syndrome pass re-checks everything repaired, and only
+        rows still failing fall back to the scalar Berlekamp-Massey
+        reference.  Byte-identical to the reference path by construction
+        (same solves, same fallback, same raise semantics).
+        """
+        np_ = np
+        unit_count = len(units_columns)
+        erasure_of_unit = [
+            tuple(c for c in range(code.n) if c not in columns)
+            for columns in units_columns
+        ]
+        for erasures in erasure_of_unit:
+            if len(erasures) > code.parity_symbols:
+                raise ReedSolomonError("too many erasures to correct")
+        zero_payload = bytes(payload_bytes)
+        raw = np_.frombuffer(
+            b"".join(
+                columns.get(c, zero_payload)
+                for columns in units_columns
+                for c in range(code.n)
+            ),
+            dtype=np_.uint8,
+        ).reshape(unit_count, code.n, payload_bytes)
+        codewords = (
+            self._unpack_bytes(raw, symbol_bits)
+            .transpose(0, 2, 1)
+            .reshape(unit_count * rows, code.n)
+        )
+        working = codewords.copy()
+        syndromes = self._syndrome_matrix(tables, working)
+        dirty = np_.flatnonzero(syndromes.any(axis=1))
+        if dirty.size:
+            # Erased columns already hold zeros (missing molecules were
+            # filled with a zero payload), so the solve applies directly.
+            by_pattern: dict[tuple[int, ...], list[int]] = {}
+            for row_index in dirty.tolist():
+                by_pattern.setdefault(
+                    erasure_of_unit[row_index // rows], []
+                ).append(row_index)
+            still_dirty = set(by_pattern.pop((), []))
+            repaired: list[int] = []
+            for erasures, row_list in by_pattern.items():
+                solver = tables.erasure_solver(code, erasures)
+                row_array = np_.asarray(row_list, dtype=np_.int64)
+                magnitudes = self._gf_matmul(
+                    tables.field,
+                    syndromes[row_array][:, : len(erasures)],
+                    solver,
+                )
+                block = working[row_array]
+                block[:, list(erasures)] ^= magnitudes
+                working[row_array] = block
+                repaired.extend(row_list)
+            if repaired:
+                row_array = np_.asarray(sorted(repaired), dtype=np_.int64)
+                residual = self._syndrome_matrix(tables, working[row_array])
+                still_dirty.update(row_array[residual.any(axis=1)].tolist())
+            for row_index in sorted(still_dirty):
+                working[row_index] = code.decode(
+                    [int(value) for value in codewords[row_index]],
+                    erasure_positions=erasure_of_unit[row_index // rows],
+                )
+        data_columns = (
+            working.reshape(unit_count, rows, code.n)[:, :, : code.k]
+            .transpose(0, 2, 1)
+            .reshape(unit_count, code.k * rows)
+        )
+        packed = self._pack_symbols(data_columns, symbol_bits)
+        return [bytes(packed[position]) for position in range(unit_count)]
 
     # ------------------------------------------------------------------
     # Symbol packing

@@ -32,6 +32,13 @@ _PRIMITIVE_POLYNOMIALS: dict[int, int] = {
     16: 0b10001000000001011,
 }
 
+#: Module-scope exp/log tables keyed by ``(m, primitive_polynomial)``.
+#: Every :class:`GaloisField` built for the same field — no matter how it
+#: was constructed, pickled into a worker, or wrapped by a codec backend —
+#: binds the *same* list objects, so the tables exist once per process and
+#: the python and numpy backends provably read one table source.
+_TABLE_CACHE: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
+
 
 class GaloisField:
     """Arithmetic in GF(2^m) using exp/log tables.
@@ -54,8 +61,8 @@ class GaloisField:
             if primitive_polynomial is not None
             else _PRIMITIVE_POLYNOMIALS[m]
         )
-        self._exp: list[int] = [0] * (2 * self.size)
-        self._log: list[int] = [0] * self.size
+        self._exp: list[int]
+        self._log: list[int]
         self._build_tables()
 
     @classmethod
@@ -81,6 +88,13 @@ class GaloisField:
         return cls(m, primitive_polynomial)
 
     def _build_tables(self) -> None:
+        key = (self.m, self.primitive_polynomial)
+        cached = _TABLE_CACHE.get(key)
+        if cached is not None:
+            self._exp, self._log = cached
+            return
+        self._exp = [0] * (2 * self.size)
+        self._log = [0] * self.size
         value = 1
         for power in range(self.max_value):
             self._exp[power] = value
@@ -95,6 +109,12 @@ class GaloisField:
         # Duplicate the exp table so that exp[i + j] never needs a modulo.
         for power in range(self.max_value, 2 * self.size):
             self._exp[power] = self._exp[power - self.max_value]
+        _TABLE_CACHE[key] = (self._exp, self._log)
+
+    def __reduce__(self):
+        # Unpickling (e.g. shipping a codec to a decode worker) resolves to
+        # the shared per-process instance instead of rebuilding tables.
+        return (GaloisField.cached, (self.m, self.primitive_polynomial))
 
     # ------------------------------------------------------------------
     # Element arithmetic

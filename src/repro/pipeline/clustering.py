@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import ClusteringError
+from repro.fastpath import fused_kernels_enabled
 from repro.pipeline.distance import DistanceBackend, get_distance_backend
 from repro.sequence import kmer_set, levenshtein_distance
 
@@ -81,6 +82,25 @@ class ReadCluster:
 
 def _signature(read: str, signature_start: int, signature_length: int) -> str:
     return read[signature_start : signature_start + signature_length]
+
+
+def _kmer_mask(read: str, k: int, bit_of_kmer: dict[str, int]) -> int:
+    """The read's distinct k-mers as one bitmask over ``bit_of_kmer``.
+
+    Bits are assigned on first sight, so masks built with one dict are
+    comparable across reads; ``mask.bit_count()`` equals
+    ``len(kmer_set(read, k))`` and ``(a & b).bit_count()`` the size of the
+    corresponding set intersection — the fused Jaccard prefilter turns
+    every intersection into a word-parallel AND+popcount.
+    """
+    mask = 0
+    for position in range(len(read) - k + 1):
+        kmer = read[position : position + k]
+        bit = bit_of_kmer.get(kmer)
+        if bit is None:
+            bit = bit_of_kmer[kmer] = len(bit_of_kmer)
+        mask |= 1 << bit
+    return mask
 
 
 def _deletion_variants(text: str, max_deletions: int) -> set[str]:
@@ -171,11 +191,26 @@ def cluster_reads(
     # Phase 1 — route each read to a signature bucket.  Routing only
     # depends on which buckets exist, never on cluster contents, so it is
     # a cheap sequential pass over the signature index.
+    #
+    # Corrupted signatures repeat heavily (every read of a skewed strand
+    # shares the same corruption), so the fused path memoizes each routed
+    # signature's answer.  A memo entry is revalidated incrementally: a
+    # distance-1 route is final (distance 0 would have hit the exact
+    # membership check above it), and a farther route can only be beaten
+    # by a *strictly closer* bucket created since the entry was written,
+    # so only the new signatures are scanned, in creation order to keep
+    # the earliest-bucket tie-break.  ``REPRO_FUSED_KERNELS=0`` routes
+    # every read through the reference index lookup instead.
     # ------------------------------------------------------------------
+    fused = fused_kernels_enabled()
     buckets: dict[str, list[ReadCluster]] = {}
     bucket_reads: dict[str, list[int]] = {}
     index = _SignatureIndex(max_signature_errors)
     read_kmers: dict[int, frozenset[str]] = {}
+    read_masks: dict[int, int] = {}
+    kmer_bits: dict[str, int] = {}
+    created_signatures: list[str] = []
+    route_memo: dict[str, tuple[str, int, int]] = {}
 
     for read_index, read in enumerate(reads):
         if len(read) < signature_start + signature_length:
@@ -186,16 +221,46 @@ def cluster_reads(
             # slightly corrupted version of one we have seen (candidates
             # from the deletion index, verified through the backend; ties
             # go to the earliest-created bucket).
-            candidates = index.candidates(signature)
-            found = backend.nearest(signature, candidates, max_signature_errors)
-            if found is not None:
-                signature = candidates[found[0]]
+            routed: str | None = None
+            memo = route_memo.get(signature) if fused else None
+            if memo is not None:
+                target, distance, version = memo
+                if distance > 1:
+                    for newer in created_signatures[version:]:
+                        closer = levenshtein_distance(
+                            signature, newer, upper_bound=distance - 1
+                        )
+                        if closer < distance:
+                            target, distance = newer, closer
+                            if distance <= 1:
+                                break
+                    route_memo[signature] = (
+                        target, distance, len(created_signatures)
+                    )
+                routed = target
+            else:
+                candidates = index.candidates(signature)
+                found = backend.nearest(
+                    signature, candidates, max_signature_errors
+                )
+                if found is not None:
+                    routed = candidates[found[0]]
+                    if fused:
+                        route_memo[signature] = (
+                            routed, found[1], len(created_signatures)
+                        )
+            if routed is not None:
+                signature = routed
             else:
                 buckets[signature] = []
                 bucket_reads[signature] = []
                 index.add(signature)
+                created_signatures.append(signature)
         bucket_reads[signature].append(read_index)
-        read_kmers[read_index] = kmer_set(read, _KMER_SIZE)
+        if fused:
+            read_masks[read_index] = _kmer_mask(read, _KMER_SIZE, kmer_bits)
+        else:
+            read_kmers[read_index] = kmer_set(read, _KMER_SIZE)
 
     # ------------------------------------------------------------------
     # Phase 2 — greedy agglomeration around representatives.  Buckets are
@@ -206,14 +271,18 @@ def cluster_reads(
     # comparisons run in the sequential fix-up below, which keeps the
     # result bit-identical to a fully sequential pass.
     #
-    # The k-mer prefilter consults an inverted index (k-mer → positions of
-    # the representatives containing it) per bucket, so a read only pays
-    # for representatives it shares k-mers with — the misprimed junk that
-    # piles hundreds of foreign-payload clusters into one bucket
-    # (Section 8.1) is skipped instead of re-intersected per read.
+    # The k-mer prefilter has two byte-identical implementations: the
+    # reference walks an inverted index (k-mer → positions of the
+    # representatives containing it) per bucket; the fused path stores
+    # every k-mer set as a bitmask (one shared bit numbering for the whole
+    # call) and evaluates the same Jaccard test with a word-parallel
+    # AND+popcount per representative, which is an order of magnitude
+    # cheaper than set intersections.
     # ------------------------------------------------------------------
     rep_kmer_sizes: dict[str, list[int]] = {key: [] for key in buckets}
-    rep_kmer_index: dict[str, dict[str, list[int]]] = {key: {} for key in buckets}
+    rep_kmer_sets: dict[str, list[frozenset[str]]] = {key: [] for key in buckets}
+    rep_masks: dict[str, list[int]] = {key: [] for key in buckets}
+    rep_kmer_index: dict[str, dict[str, list[int]]] = {}
     empty_kmer_reps: dict[str, list[int]] = {key: [] for key in buckets}
     cursors = {key: 0 for key in buckets}
     chunk_sizes = {key: _CHUNK_START for key in buckets}
@@ -222,32 +291,67 @@ def cluster_reads(
     def start_cluster(key: str, read_index: int) -> None:
         position = len(buckets[key])
         buckets[key].append(ReadCluster(signature=key, reads=[reads[read_index]]))
-        kmers = read_kmers[read_index]
-        rep_kmer_sizes[key].append(len(kmers))
-        if kmers:
-            index_for_key = rep_kmer_index[key]
-            for kmer in kmers:
-                index_for_key.setdefault(kmer, []).append(position)
+        if fused:
+            mask = read_masks[read_index]
+            size = mask.bit_count()
+            rep_masks[key].append(mask)
         else:
+            kmers = read_kmers[read_index]
+            size = len(kmers)
+            rep_kmer_sets[key].append(kmers)
+            index_for_key = rep_kmer_index.get(key)
+            if index_for_key is not None:
+                for kmer in kmers:
+                    index_for_key.setdefault(kmer, []).append(position)
+        rep_kmer_sizes[key].append(size)
+        if not size:
             empty_kmer_reps[key].append(position)
 
-    def passing_positions(key: str, mine: frozenset[str], lo: int, hi: int) -> list[int]:
+    def kmer_index_for(key: str) -> dict[str, list[int]]:
+        """The bucket's inverted k-mer index, built on first demand."""
+        index_for_key = rep_kmer_index.get(key)
+        if index_for_key is None:
+            index_for_key = {}
+            for position, kmers in enumerate(rep_kmer_sets[key]):
+                for kmer in kmers:
+                    index_for_key.setdefault(kmer, []).append(position)
+            rep_kmer_index[key] = index_for_key
+        return index_for_key
+
+    def passing_positions(key: str, read_index: int, lo: int, hi: int) -> list[int]:
         """Representative positions in ``[lo, hi)`` passing the k-mer
-        prefilter, ascending — exactly the Jaccard test, via the index."""
+        prefilter, ascending — exactly the Jaccard test."""
         if min_kmer_similarity <= 0.0:
             return list(range(lo, hi))
+        sizes = rep_kmer_sizes[key]
+        if fused:
+            mine_mask = read_masks[read_index]
+            mine_size = mine_mask.bit_count()
+            if not mine_size:
+                # An empty k-mer set matches only other empty sets
+                # (Jaccard 1).
+                if 1.0 >= min_kmer_similarity:
+                    return [p for p in empty_kmer_reps[key] if lo <= p < hi]
+                return []
+            masks = rep_masks[key]
+            return [
+                position
+                for position in range(lo, hi)
+                if (shared := (mine_mask & masks[position]).bit_count())
+                and shared / (mine_size + sizes[position] - shared)
+                >= min_kmer_similarity
+            ]
+        mine = read_kmers[read_index]
         if not mine:
-            # An empty k-mer set matches only other empty sets (Jaccard 1).
             if 1.0 >= min_kmer_similarity:
                 return [p for p in empty_kmer_reps[key] if lo <= p < hi]
             return []
+        mine_size = len(mine)
         counts: dict[int, int] = {}
-        index_for_key = rep_kmer_index[key]
+        index_for_key = kmer_index_for(key)
         for kmer in mine:
             for position in index_for_key.get(kmer, ()):
                 counts[position] = counts.get(position, 0) + 1
-        sizes = rep_kmer_sizes[key]
-        mine_size = len(mine)
         passing = [
             position
             for position, shared in counts.items()
@@ -284,9 +388,7 @@ def cluster_reads(
             clusters = buckets[key]
             snapshot = len(clusters)
             for read_index in chunk:
-                passing = passing_positions(
-                    key, read_kmers[read_index], 0, snapshot
-                )
+                passing = passing_positions(key, read_index, 0, snapshot)
                 queries.append(reads[read_index])
                 candidate_lists.append(
                     [clusters[position].representative for position in passing]
@@ -308,7 +410,7 @@ def cluster_reads(
             # early exit beats any batching.
             placed = False
             for position in passing_positions(
-                key, read_kmers[read_index], snapshot, len(clusters)
+                key, read_index, snapshot, len(clusters)
             ):
                 distance = levenshtein_distance(
                     reads[read_index],

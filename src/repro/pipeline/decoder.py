@@ -33,8 +33,9 @@ from repro.exceptions import (
     UpdateError,
 )
 from repro.pipeline.clustering import ReadCluster, cluster_reads
-from repro.pipeline.consensus import double_sided_bma
+from repro.pipeline.consensus import consensus_batch, double_sided_bma
 from repro.pipeline.reads import reads_with_prefix
+from repro.pipeline.stage_timing import stage
 
 
 @dataclass
@@ -129,6 +130,20 @@ class BlockDecoder:
         except DecodingError:
             return None
 
+    def _reconstruct_all(self, clusters: list[ReadCluster]) -> list[Molecule | None]:
+        """Consensus + parse of every cluster, consensi in one batched call."""
+        with stage("consensus"):
+            strands = consensus_batch(
+                [cluster.reads for cluster in clusters], self._layout.strand_length
+            )
+        molecules: list[Molecule | None] = []
+        for strand in strands:
+            try:
+                molecules.append(Molecule.from_strand(strand, self._layout))
+            except DecodingError:
+                molecules.append(None)
+        return molecules
+
     # ------------------------------------------------------------------
     # Candidate collection
     # ------------------------------------------------------------------
@@ -144,9 +159,9 @@ class BlockDecoder:
         # patch in a slot the target never wrote — bound slots to the
         # logged count so such artifacts can never apply.
         max_slot = self.partition.update_count(block)
-        for cluster in clusters:
+        molecules = self._reconstruct_all(clusters)
+        for cluster, molecule in zip(clusters, molecules):
             report.clusters_used += 1
-            molecule = self._reconstruct(cluster)
             if molecule is None:
                 continue
             address = self.partition.parse_unit_index(molecule.unit_index)
@@ -357,13 +372,14 @@ class BlockDecoder:
             return report
 
         signature_start, signature_length = self._signature_window()
-        clusters = cluster_reads(
-            on_prefix,
-            signature_start=signature_start,
-            signature_length=signature_length,
-            max_read_distance=self.max_read_distance,
-            distance_backend=self.distance_backend,
-        )
+        with stage("cluster"):
+            clusters = cluster_reads(
+                on_prefix,
+                signature_start=signature_start,
+                signature_length=signature_length,
+                max_read_distance=self.max_read_distance,
+                distance_backend=self.distance_backend,
+            )
         report.clusters_total = len(clusters)
 
         candidates = self._collect_candidates(clusters, block, report)
@@ -373,8 +389,9 @@ class BlockDecoder:
         if 0 not in by_slot:
             return report
 
-        prebatched = self._decode_primaries_batched(by_slot)
-        return self._finish_block(by_slot, prebatched, report)
+        with stage("syndrome_solve"):
+            prebatched = self._decode_primaries_batched(by_slot)
+            return self._finish_block(by_slot, prebatched, report)
 
     def decode_partition(self, reads: list[str]) -> dict[int, DecodeReport]:
         """Decode every written block of the partition from a full readout.
@@ -421,20 +438,21 @@ class BlockDecoder:
             reads, main_prefix, max_errors=self.max_prefix_errors
         )
         signature_start, signature_length = self._signature_window()
-        clusters = cluster_reads(
-            on_prefix,
-            signature_start=signature_start,
-            signature_length=signature_length,
-            max_read_distance=self.max_read_distance,
-            distance_backend=self.distance_backend,
-        )
+        with stage("cluster"):
+            clusters = cluster_reads(
+                on_prefix,
+                signature_start=signature_start,
+                signature_length=signature_length,
+                max_read_distance=self.max_read_distance,
+                distance_backend=self.distance_backend,
+            )
 
         # One reconstruction pass; strands are attributed to blocks by
         # their parsed unit index (mispriming keeps extra candidates).
+        molecules = self._reconstruct_all(clusters)
         per_block: dict[int, dict[tuple[int, int], list[_Candidate]]] = {}
         duplicates: dict[int, int] = {}
-        for cluster in clusters:
-            molecule = self._reconstruct(cluster)
+        for cluster, molecule in zip(clusters, molecules):
             if molecule is None:
                 continue
             address = self.partition.parse_unit_index(molecule.unit_index)
@@ -472,28 +490,29 @@ class BlockDecoder:
                         column: column_candidates[0].payload
                         for column, column_candidates in columns.items()
                     }
-        decoded_units = self._try_decode_units_batch(batch_units)
+        with stage("syndrome_solve"):
+            decoded_units = self._try_decode_units_batch(batch_units)
 
-        reports: dict[int, DecodeReport] = {}
-        for block in targets:
-            report = DecodeReport(
-                block=block,
-                reads_total=len(reads),
-                reads_on_prefix=len(on_prefix),
-                clusters_total=len(clusters),
-                clusters_used=len(clusters),
-                duplicate_strands_discarded=duplicates.get(block, 0),
-            )
-            by_slot = by_block_slot.get(block)
-            if by_slot:
-                report.strands_recovered = sum(
-                    len(columns) for columns in by_slot.values()
+            reports: dict[int, DecodeReport] = {}
+            for block in targets:
+                report = DecodeReport(
+                    block=block,
+                    reads_total=len(reads),
+                    reads_on_prefix=len(on_prefix),
+                    clusters_total=len(clusters),
+                    clusters_used=len(clusters),
+                    duplicate_strands_discarded=duplicates.get(block, 0),
                 )
-                prebatched = {
-                    slot: data
-                    for (decoded_block, slot), data in decoded_units.items()
-                    if decoded_block == block
-                }
-                self._finish_block(by_slot, prebatched, report)
-            reports[block] = report
+                by_slot = by_block_slot.get(block)
+                if by_slot:
+                    report.strands_recovered = sum(
+                        len(columns) for columns in by_slot.values()
+                    )
+                    prebatched = {
+                        slot: data
+                        for (decoded_block, slot), data in decoded_units.items()
+                        if decoded_block == block
+                    }
+                    self._finish_block(by_slot, prebatched, report)
+                reports[block] = report
         return reports

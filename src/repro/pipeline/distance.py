@@ -24,6 +24,7 @@ from __future__ import annotations
 import os
 
 from repro.exceptions import ClusteringError
+from repro.fastpath import fused_kernels_enabled
 from repro.sequence import levenshtein_distance
 
 _ENV_VARIABLE = "REPRO_DISTANCE_BACKEND"
@@ -170,9 +171,62 @@ class NumpyDistanceBackend(DistanceBackend):
     def nearest(
         self, query: str, candidates: list[str], max_distance: int
     ) -> tuple[int, int] | None:
-        # Candidates are short signatures: the Hamming fast path plus
-        # bound tightening beats array setup at any candidate count.
-        return _nearest_scalar(query, candidates, max_distance)
+        # Signatures are fixed-width slices, so the candidate set is one
+        # uint8 matrix and the Hamming distances of every candidate come
+        # out of a single array pass.  For equal-length strings the edit
+        # distance is pinned to the Hamming distance below 2 (see
+        # _bounded_distance), so only Hamming >= 3 candidates — shifted
+        # windows, i.e. indels — still need the banded DP, and those all
+        # go through one batch_distances call.  ``_nearest_scalar`` is the
+        # earliest-argmin of the exact bounded distances, which is exactly
+        # what this computes.
+        count = len(candidates)
+        if count < self._MIN_BATCH or not fused_kernels_enabled():
+            return _nearest_scalar(query, candidates, max_distance)
+        np = self._np
+        width = len(query)
+        if width == 0 or any(len(candidate) != width for candidate in candidates):
+            return _nearest_scalar(query, candidates, max_distance)
+        try:
+            blob = "".join(candidates).encode("ascii")
+            encoded_query = query.encode("ascii")
+        except UnicodeEncodeError:
+            return _nearest_scalar(query, candidates, max_distance)
+        if len(blob) != count * width:
+            return _nearest_scalar(query, candidates, max_distance)
+        matrix = np.frombuffer(blob, dtype=np.uint8).reshape(count, width)
+        hamming = (matrix != np.frombuffer(encoded_query, dtype=np.uint8)).sum(axis=1)
+        nearest_index = int(hamming.argmin())  # argmin returns the first minimum
+        lowest = int(hamming[nearest_index])
+        if lowest <= 1:
+            # No other candidate can be closer: equal lengths mean edit
+            # distance 0 or 1 exactly when Hamming is, and any Hamming >= 2
+            # candidate sits at edit distance >= 2.
+            if lowest > max_distance:
+                return None
+            return (nearest_index, lowest)
+        if max_distance < 2:
+            return None
+        # Remaining case: every candidate is at edit distance >= 2.  Run
+        # the scalar tightening scan with the Hamming column precomputed;
+        # only Hamming >= 3 candidates seen while the bound is still >= 2
+        # pay a banded DP, exactly as _bounded_distance would.
+        hamming_list = hamming.tolist()
+        best: tuple[int, int] | None = None
+        allowed = max_distance
+        for index, mismatches in enumerate(hamming_list):
+            if mismatches <= 2:
+                distance = mismatches
+            elif allowed < 2:
+                continue
+            else:
+                distance = levenshtein_distance(
+                    query, candidates[index], upper_bound=allowed
+                )
+            if distance <= allowed:
+                best = (index, distance)
+                allowed = distance - 1
+        return best
 
     def first_within_batch(
         self,

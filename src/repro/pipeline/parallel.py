@@ -1,0 +1,368 @@
+"""Process-parallel decode engine: multi-worker readout decoding.
+
+One wetlab cycle produces independent per-partition read batches (the
+concatenated reads of the cycle's :class:`~repro.wetlab.readout.ReadoutUnit`
+s, in access order), and decoding a batch — clustering, trace
+reconstruction, Reed-Solomon — is pure CPU work on immutable inputs.  The
+:class:`DecodeEngine` fans those batches out to a pool of worker
+processes, one task per partition readout:
+
+* **Determinism.**  A task carries everything its decode depends on (the
+  pickled partition, the reads, the target blocks, the decoder options),
+  tasks never share state, and results are collected in submission order —
+  so the decoded bytes, per-block reports and failure strings are
+  byte-identical for *any* worker count, including the inline ``workers=1``
+  path.  Sequencing randomness is seeded per readout unit upstream, so
+  worker scheduling cannot perturb it either.
+* **Worker resolution.**  An explicit ``workers`` argument wins, then the
+  ``REPRO_DECODE_WORKERS`` environment variable, then the CPU count.
+  ``workers=1`` decodes inline with no pool and no pickling — today's
+  serial path.
+* **Payload transport.**  Tasks ship as ordinary pickles; read batches at
+  or above :data:`SHARED_MEMORY_MIN_BYTES` take an optional
+  ``multiprocessing.shared_memory`` fast path (one ASCII blob per batch)
+  so large readouts are not copied through the executor's pipe.
+  ``REPRO_DECODE_SHM=0`` disables it.
+* **Robustness.**  A broken pool (a worker killed mid-cycle) falls back to
+  decoding the remaining tasks inline rather than failing the cycle.
+
+Workers report their per-stage wall-clock (cluster / consensus /
+syndrome+solve) with each result; the engine folds those into the
+caller's active :mod:`~repro.pipeline.stage_timing` collector, so
+benchmarks see one stage breakdown whatever the worker count.
+
+Lane scheduling (wetlab time, :func:`repro.service.simulator.schedule_lanes`)
+and worker scheduling (compute time, this module) stay separate axes: the
+first decides when simulated chemistry finishes, the second how fast the
+host decodes the resulting reads.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
+
+from repro.exceptions import DecodingError
+from repro.pipeline.stage_timing import collect_stages, record_stages
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.partition import Partition
+    from repro.pipeline.decoder import DecodeReport
+
+_WORKERS_ENV = "REPRO_DECODE_WORKERS"
+_SHM_ENV = "REPRO_DECODE_SHM"
+
+#: Read batches below this many payload bytes always travel as pickles;
+#: the shared-memory fast path only pays off once the blob dwarfs the
+#: segment setup cost.
+SHARED_MEMORY_MIN_BYTES = 1 << 20
+
+_FALSE_VALUES = frozenset({"0", "false", "no", "off"})
+
+
+def resolve_worker_count(workers: int | None = None) -> int:
+    """The effective worker count: argument, then env, then CPU count."""
+    if workers is None:
+        raw = os.environ.get(_WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise DecodingError(
+                    f"{_WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise DecodingError("decode worker count must be >= 1")
+    return workers
+
+
+def shared_memory_enabled(shared_memory: bool | None = None) -> bool:
+    """Whether large read batches ride shared memory (argument, then env)."""
+    if shared_memory is not None:
+        return shared_memory
+    raw = os.environ.get(_SHM_ENV, "1").strip().lower()
+    return raw not in _FALSE_VALUES
+
+
+@dataclass(frozen=True)
+class DecodeTask:
+    """One partition readout to decode.
+
+    Attributes:
+        partition: the partition whose blocks the reads encode (pickled to
+            the worker; it carries primers, layout and ECC geometry).
+        reads: raw sequencing reads of the partition's readout units,
+            concatenated in access order.
+        blocks: target block numbers (``None`` = every written block).
+        decoder_options: forwarded to
+            :class:`~repro.pipeline.decoder.BlockDecoder`.
+    """
+
+    partition: "Partition"
+    reads: list[str]
+    blocks: list[int] | None = None
+    decoder_options: dict = field(default_factory=dict)
+
+
+@dataclass
+class DecodeOutcome:
+    """The result of one :class:`DecodeTask`.
+
+    Attributes:
+        reports: per-block decode reports, as
+            :meth:`BlockDecoder.decode_readout` returns them.
+        stages: the task's stage timing breakdown (worker wall-clock).
+        seconds: total wall-clock of the task's decode.
+    """
+
+    reports: "dict[int, DecodeReport]"
+    stages: dict[str, float]
+    seconds: float
+
+
+def _pack_reads(reads: list[str]) -> tuple[str, int] | None:
+    """Publish a read batch into a shared-memory segment.
+
+    Returns ``(segment_name, payload_length)``, or ``None`` when the batch
+    cannot ride shared memory (non-ASCII reads, or the platform refuses a
+    segment).  Reads are newline-joined, which is safe because sequencing
+    reads are alphabetic strings.
+    """
+    try:
+        blob = "\n".join(reads).encode("ascii")
+    except UnicodeEncodeError:
+        return None
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+    except OSError:
+        return None
+    segment.buf[: len(blob)] = blob
+    name = segment.name
+    segment.close()
+    return (name, len(blob))
+
+
+def _load_reads(descriptor: tuple[str, int]) -> list[str]:
+    """Read a batch back out of a shared-memory segment (worker side)."""
+    from multiprocessing import resource_tracker, shared_memory
+
+    name, length = descriptor
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        blob = bytes(segment.buf[:length])
+    finally:
+        segment.close()
+        # Attaching registered the segment with this process's resource
+        # tracker, which would unlink it a second time (and warn) at
+        # worker exit; the parent owns the segment's lifetime.
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API is CPython detail
+            pass
+    text = blob.decode("ascii")
+    return text.split("\n") if text else [""]
+
+
+def _unlink_segment(name: str) -> None:
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:  # pragma: no cover - already gone
+        return
+    segment.close()
+    segment.unlink()
+
+
+def _run_task(
+    partition: "Partition",
+    blocks: list[int] | None,
+    decoder_options: dict,
+    reads: list[str] | None,
+    shm_descriptor: tuple[str, int] | None,
+) -> tuple["dict[int, DecodeReport]", dict[str, float], float]:
+    """Decode one task (worker entry point; also the inline path's core)."""
+    from repro.pipeline.decoder import BlockDecoder
+
+    if reads is None:
+        assert shm_descriptor is not None
+        reads = _load_reads(shm_descriptor)
+    begin = perf_counter()
+    with collect_stages() as stages:
+        decoder = BlockDecoder(partition, **decoder_options)
+        reports = decoder.decode_readout(reads, blocks)
+    return reports, dict(stages), perf_counter() - begin
+
+
+class DecodeEngine:
+    """A reusable pool of decode workers.
+
+    Args:
+        workers: worker processes (``None`` = ``REPRO_DECODE_WORKERS``,
+            then CPU count; ``1`` decodes inline).
+        shared_memory: whether big read batches ride shared memory
+            (``None`` = ``REPRO_DECODE_SHM``, default on).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        shared_memory: bool | None = None,
+    ) -> None:
+        self.workers = resolve_worker_count(workers)
+        self.shared_memory = shared_memory_enabled(shared_memory)
+        self._executor: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            # Fork keeps worker startup cheap and inherits warm numpy /
+            # Galois tables; platforms without it use their default.
+            context = (
+                get_context("fork")
+                if "fork" in get_all_start_methods()
+                else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Stop the worker processes (the engine can be reused after)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, tasks: Sequence[DecodeTask]) -> list[DecodeOutcome]:
+        """Decode every task, returning outcomes in task order.
+
+        Results are byte-identical for any worker count; stage timings are
+        folded into the caller's active collector either way.
+        """
+        if not tasks:
+            return []
+        if self.workers == 1:
+            return [self._decode_inline(task) for task in tasks]
+        return self._decode_pooled(tasks)
+
+    def _decode_inline(self, task: DecodeTask) -> DecodeOutcome:
+        reports, stages, seconds = _run_task(
+            task.partition, task.blocks, task.decoder_options, task.reads, None
+        )
+        record_stages(stages)
+        return DecodeOutcome(reports=reports, stages=stages, seconds=seconds)
+
+    def _decode_pooled(self, tasks: Sequence[DecodeTask]) -> list[DecodeOutcome]:
+        segments: list[str] = []
+        outcomes: list[DecodeOutcome | None] = [None] * len(tasks)
+        futures: list[tuple[int, Future]] = []
+        broken = False
+        try:
+            pool = self._pool()
+            for index, task in enumerate(tasks):
+                descriptor = None
+                if self.shared_memory:
+                    payload = sum(len(read) for read in task.reads)
+                    if payload >= SHARED_MEMORY_MIN_BYTES:
+                        descriptor = _pack_reads(task.reads)
+                        if descriptor is not None:
+                            segments.append(descriptor[0])
+                try:
+                    futures.append(
+                        (
+                            index,
+                            pool.submit(
+                                _run_task,
+                                task.partition,
+                                task.blocks,
+                                task.decoder_options,
+                                None if descriptor is not None else task.reads,
+                                descriptor,
+                            ),
+                        )
+                    )
+                except (BrokenProcessPool, RuntimeError):
+                    broken = True
+                    break
+            # Submission order *is* task order, so collecting in this
+            # order keeps outcomes aligned with tasks deterministically.
+            for index, future in futures:
+                try:
+                    reports, stages, seconds = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                record_stages(stages)
+                outcomes[index] = DecodeOutcome(
+                    reports=reports, stages=stages, seconds=seconds
+                )
+            if broken:
+                # A dead pool must not fail the cycle: decode whatever is
+                # missing inline and start a fresh pool next time.
+                self.shutdown()
+        finally:
+            for name in segments:
+                _unlink_segment(name)
+        return [
+            outcome
+            if outcome is not None
+            else self._decode_inline(tasks[index])
+            for index, outcome in enumerate(outcomes)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Shared engines
+# ----------------------------------------------------------------------
+_shared_engines: dict[tuple[int, bool], DecodeEngine] = {}
+
+
+def shared_engine(
+    workers: int | None = None, shared_memory: bool | None = None
+) -> DecodeEngine:
+    """A process-wide engine per ``(workers, shared_memory)`` resolution.
+
+    Worker pools are expensive to start, so every decode entry point
+    (:meth:`ObjectStore.try_decode_blocks`, the serving pipeline) shares
+    one engine per configuration; the pools are torn down at interpreter
+    exit.
+    """
+    key = (resolve_worker_count(workers), shared_memory_enabled(shared_memory))
+    engine = _shared_engines.get(key)
+    if engine is None:
+        engine = DecodeEngine(workers=key[0], shared_memory=key[1])
+        _shared_engines[key] = engine
+    return engine
+
+
+@atexit.register
+def _shutdown_shared_engines() -> None:  # pragma: no cover - exit hook
+    for engine in _shared_engines.values():
+        engine.shutdown()
+
+
+__all__ = [
+    "DecodeEngine",
+    "DecodeOutcome",
+    "DecodeTask",
+    "SHARED_MEMORY_MIN_BYTES",
+    "resolve_worker_count",
+    "shared_engine",
+    "shared_memory_enabled",
+]

@@ -177,6 +177,14 @@ class ServiceConfig:
             block-decode failures (see :data:`DecodeFailureInjector`);
             honoured under both fidelities so retry accounting is testable
             without numpy.
+        decode_workers: worker processes of the parallel decode engine
+            used for wetlab-fidelity cycle decodes (``None`` defers to
+            ``REPRO_DECODE_WORKERS``, then the CPU count; ``1`` = serial).
+            Compute-side only: lane scheduling (wetlab time) is untouched,
+            and decoded bytes are identical for any worker count.
+        decode_shared_memory: ship large per-partition read batches to
+            decode workers via ``multiprocessing.shared_memory`` (``None``
+            defers to ``REPRO_DECODE_SHM``, default on).
     """
 
     window_hours: float = 0.5
@@ -197,6 +205,8 @@ class ServiceConfig:
     decode_failure_injector: DecodeFailureInjector | None = field(
         default=None, compare=False
     )
+    decode_workers: int | None = None
+    decode_shared_memory: bool | None = None
 
     def __post_init__(self) -> None:
         if self.window_hours < 0:
@@ -222,6 +232,8 @@ class ServiceConfig:
                 f"unknown cache admission policy {self.cache_admission!r}; "
                 f"expected one of {ADMISSION_POLICIES}"
             )
+        if self.decode_workers is not None and self.decode_workers < 1:
+            raise ServiceError("decode_workers must be >= 1 when set")
 
     def sequencing_hours(self, reads: int) -> float:
         """Latency of producing ``reads`` reads on the configured model."""
@@ -878,17 +890,16 @@ class ServicePipeline:
                 # partition's pool and samples its own reads (fresh PCR
                 # and deeper coverage on retries), then decode exactly
                 # the planned block set.
-                reads: dict[str, list[str]] = {}
-                for unit in wetlab.plan_units(batch.plan):
-                    reads.setdefault(unit.partition, []).extend(
-                        wetlab.unit_reads(
-                            unit,
-                            batch_seed=batch.batch_id,
-                            reads_per_block=reads_per_block,
-                        )
-                    )
+                reads = wetlab.unit_reads_by_partition(
+                    batch.plan,
+                    batch_seed=batch.batch_id,
+                    reads_per_block=reads_per_block,
+                )
                 decoded, decode_failures = self.store.try_decode_blocks(
-                    planned, reads
+                    planned,
+                    reads,
+                    workers=config.decode_workers,
+                    shared_memory=config.decode_shared_memory,
                 )
                 for key, reason in decode_failures.items():
                     failures.setdefault(key, reason)

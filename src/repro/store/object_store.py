@@ -29,7 +29,7 @@ time-travel reads of historical object versions.
 from __future__ import annotations
 
 from repro.exceptions import StoreError
-from repro.pipeline.decoder import BlockDecoder
+from repro.pipeline.parallel import DecodeTask, shared_engine
 from repro.store.objects import ObjectRecord
 from repro.store.planner import (
     BatchReadPlan,
@@ -286,6 +286,9 @@ class ObjectStore:
         self,
         blocks_by_partition: dict[str, list[int]],
         reads_by_partition: dict[str, list[str]],
+        *,
+        workers: int | None = None,
+        shared_memory: bool | None = None,
         **decoder_options,
     ) -> dict[tuple[str, int], bytes]:
         """Decode exactly one set of blocks from per-partition reads.
@@ -301,6 +304,10 @@ class ObjectStore:
             blocks_by_partition: partition-local block numbers to decode.
             reads_by_partition: raw read strings per partition name (e.g.
                 the sequencing output of the plan's PCR accesses).
+            workers: decode worker processes (``None`` =
+                ``REPRO_DECODE_WORKERS``, then CPU count; ``1`` = serial).
+            shared_memory: ship large read batches to the workers via
+                shared memory (``None`` = ``REPRO_DECODE_SHM``).
             decoder_options: forwarded to :class:`BlockDecoder`.
 
         Returns:
@@ -312,7 +319,11 @@ class ObjectStore:
                 block cannot be decoded.
         """
         payloads, failures = self.try_decode_blocks(
-            blocks_by_partition, reads_by_partition, **decoder_options
+            blocks_by_partition,
+            reads_by_partition,
+            workers=workers,
+            shared_memory=shared_memory,
+            **decoder_options,
         )
         if failures:
             raise StoreError(next(iter(failures.values())))
@@ -322,6 +333,9 @@ class ObjectStore:
         self,
         blocks_by_partition: dict[str, list[int]],
         reads_by_partition: dict[str, list[str]],
+        *,
+        workers: int | None = None,
+        shared_memory: bool | None = None,
         **decoder_options,
     ) -> tuple[dict[tuple[str, int], bytes], dict[tuple[str, int], str]]:
         """Decode a block set, reporting per-block failures instead of raising.
@@ -330,29 +344,49 @@ class ObjectStore:
         a wetlab cycle failed (insufficient coverage, unclusterable reads)
         so only the affected requests re-enter a deeper-coverage cycle.
 
+        Each partition's readout is one task of the process-parallel
+        :class:`~repro.pipeline.parallel.DecodeEngine` (``workers`` /
+        ``shared_memory`` as in :meth:`decode_blocks`); results are
+        byte-identical for any worker count.
+
         Returns:
             ``(payloads, failures)``: decoded current contents keyed by
             ``(partition, block)``, and a human-readable failure reason
             per block that could not be decoded (missing partition reads
             fail every requested block of that partition).
         """
-        payloads: dict[tuple[str, int], bytes] = {}
-        failures: dict[tuple[str, int], str] = {}
+        targets_of: dict[str, list[int]] = {}
+        tasks: list[DecodeTask] = []
+        task_index_of: dict[str, int] = {}
         for partition_name, blocks in blocks_by_partition.items():
             if not blocks:
                 continue
-            targets = sorted(set(blocks))
+            targets_of[partition_name] = sorted(set(blocks))
             if partition_name not in reads_by_partition:
+                continue
+            task_index_of[partition_name] = len(tasks)
+            tasks.append(
+                DecodeTask(
+                    partition=self.volume.partition(partition_name),
+                    reads=reads_by_partition[partition_name],
+                    blocks=targets_of[partition_name],
+                    decoder_options=decoder_options,
+                )
+            )
+        engine = shared_engine(workers=workers, shared_memory=shared_memory)
+        outcomes = engine.decode(tasks)
+
+        payloads: dict[tuple[str, int], bytes] = {}
+        failures: dict[tuple[str, int], str] = {}
+        for partition_name, targets in targets_of.items():
+            if partition_name not in task_index_of:
                 for block in targets:
                     failures[(partition_name, block)] = (
                         f"no reads provided for partition {partition_name!r}"
                     )
                 continue
             partition = self.volume.partition(partition_name)
-            decoder = BlockDecoder(partition, **decoder_options)
-            reports = decoder.decode_readout(
-                reads_by_partition[partition_name], targets
-            )
+            reports = outcomes[task_index_of[partition_name]].reports
             for block in targets:
                 report = reports[block]
                 if not report.success or report.data is None:
@@ -373,6 +407,9 @@ class ObjectStore:
         self,
         name: str,
         reads_by_partition: dict[str, list[str]],
+        *,
+        workers: int | None = None,
+        shared_memory: bool | None = None,
         **decoder_options,
     ) -> bytes:
         """Decode an object from per-partition sequencing reads.
@@ -396,7 +433,11 @@ class ObjectStore:
                 partition_block
             )
         payloads = self.decode_blocks(
-            blocks_by_partition, reads_by_partition, **decoder_options
+            blocks_by_partition,
+            reads_by_partition,
+            workers=workers,
+            shared_memory=shared_memory,
+            **decoder_options,
         )
         pieces = [
             payloads[(extent.partition, partition_block)]

@@ -219,6 +219,27 @@ class WetlabReadout:
                 distinct cycles sample distinct reads deterministically.
             reads_per_block: optional per-cycle coverage override.
         """
+        return self.unit_reads_by_partition(
+            plan, batch_seed=batch_seed, reads_per_block=reads_per_block
+        )
+
+    def unit_reads_by_partition(
+        self,
+        plan: "BatchReadPlan",
+        *,
+        batch_seed: int = 0,
+        reads_per_block: int | None = None,
+    ) -> dict[str, list[str]]:
+        """Per-partition reads of a plan, packed for the decode engine.
+
+        Each partition's list concatenates its units' reads in access
+        order — exactly the batch the parallel decode engine takes as one
+        :class:`~repro.pipeline.parallel.DecodeTask`, so the clustering
+        pass sees the same reads in the same order however many decode
+        workers (or wetlab lanes) are in play.  Per-unit randomness is
+        seeded by ``(wetlab seed, batch_seed, access index)``, never by
+        execution order.
+        """
         reads_by_partition: dict[str, list[str]] = {}
         for unit in self.plan_units(plan):
             reads_by_partition.setdefault(unit.partition, []).extend(

@@ -149,3 +149,44 @@ class TestPolynomials:
         assert gf.poly_eval(product, x) == gf.multiply(
             gf.poly_eval(coefficients, x), gf.poly_eval(other, x)
         )
+
+
+class TestTableCache:
+    """Every field instance of one (m, polynomial) shares one exp/log table."""
+
+    def test_instances_share_table_objects(self):
+        a = GaloisField(4)
+        b = GaloisField(4)
+        assert a._exp is b._exp
+        assert a._log is b._log
+
+    def test_cached_constructor_shares_with_direct_construction(self):
+        direct = GaloisField(8)
+        cached = GaloisField.cached(8)
+        assert direct._exp is cached._exp
+
+    def test_distinct_fields_do_not_share(self):
+        assert GaloisField(4)._exp is not GaloisField(8)._exp
+
+    def test_pickle_resolves_to_the_shared_instance(self):
+        import pickle
+
+        field = GaloisField.cached(4)
+        clone = pickle.loads(pickle.dumps(field))
+        assert clone is field
+
+    def test_python_and_numpy_backends_read_one_table_source(self):
+        numpy = pytest.importorskip("numpy")
+        from repro.codec.backend.numpy_backend import _FieldTables
+        from repro.codec.reed_solomon import ReedSolomonCode
+
+        code = ReedSolomonCode(15, 11, symbol_bits=4)
+        tables = _FieldTables(code.field)
+        # The python backend reads code.field._exp directly; the numpy
+        # backend's arrays are views built from that same shared list.
+        assert code.field._exp is GaloisField.cached(4)._exp
+        assert tables.exp.tolist() == code.field._exp
+        assert tables.log.tolist() == code.field._log
+        assert numpy.array_equal(
+            tables.exp[:16], numpy.array(GaloisField(4)._exp[:16])
+        )

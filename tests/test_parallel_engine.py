@@ -1,0 +1,343 @@
+"""Tests for the process-parallel decode engine.
+
+The engine's contract is strict determinism: decoded payloads, per-block
+reports and failure strings must be byte-identical for every worker count
+(1 = inline serial, N = process pool), with or without the shared-memory
+read transport, and with the fused kernels on or off.  Everything here
+runs without numpy except the tests that explicitly request the numpy
+distance backend or wetlab-fidelity sequencing.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.exceptions import DecodingError, ServiceError
+from repro.pipeline.parallel import (
+    SHARED_MEMORY_MIN_BYTES,
+    DecodeEngine,
+    DecodeTask,
+    _load_reads,
+    _pack_reads,
+    _unlink_segment,
+    resolve_worker_count,
+    shared_memory_enabled,
+)
+from repro.pipeline.stage_timing import collect_stages, record_stages
+from repro.store import DnaVolume, ObjectStore, VolumeConfig
+from repro.workloads.objects import object_corpus
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _distance_backends() -> list[str]:
+    backends = ["python"]
+    if _numpy_available():
+        backends.append("numpy")
+    return backends
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A two-partition store with digitally perfect reads (numpy-free).
+
+    Each written partition contributes every strand three times — enough
+    coverage for clustering and consensus without a sequencing simulator,
+    so the engine's determinism is testable on the pure-Python stack.
+    """
+    volume = DnaVolume(
+        config=VolumeConfig(partition_leaf_count=16, stripe_blocks=2, stripe_width=2)
+    )
+    store = ObjectStore(volume)
+    corpus = object_corpus(
+        {f"obj-{i}": volume.block_size * 3 for i in range(3)}, seed=7
+    )
+    for name, data in corpus.items():
+        store.put(name, data)
+    blocks: dict[str, list[int]] = {}
+    reads: dict[str, list[str]] = {}
+    for partition_name in volume.partition_names:
+        partition = volume.partition(partition_name)
+        written = partition.written_blocks()
+        if not written:
+            continue
+        blocks[partition_name] = list(written)
+        reads[partition_name] = [
+            molecule.to_strand()
+            for molecule in partition.all_molecules()
+            for _ in range(3)
+        ]
+    assert len(blocks) >= 2, "the engine should get several tasks"
+    return store, blocks, reads
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODE_WORKERS", "7")
+        assert resolve_worker_count(3) == 3
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODE_WORKERS", "5")
+        assert resolve_worker_count(None) == 5
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DECODE_WORKERS", raising=False)
+        assert resolve_worker_count(None) == (os.cpu_count() or 1)
+
+    def test_rejects_non_integer_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODE_WORKERS", "many")
+        with pytest.raises(DecodingError):
+            resolve_worker_count(None)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(DecodingError):
+            resolve_worker_count(0)
+
+    def test_shared_memory_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DECODE_SHM", raising=False)
+        assert shared_memory_enabled() is True
+        monkeypatch.setenv("REPRO_DECODE_SHM", "0")
+        assert shared_memory_enabled() is False
+        assert shared_memory_enabled(True) is True
+
+    def test_service_config_validates_decode_workers(self):
+        from repro.service import ServiceConfig
+
+        with pytest.raises(ServiceError):
+            ServiceConfig(decode_workers=0)
+        assert ServiceConfig(decode_workers=2).decode_workers == 2
+
+
+# ----------------------------------------------------------------------
+# Byte-identity across worker counts and backends
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    @pytest.mark.parametrize("distance_backend", _distance_backends())
+    def test_worker_counts_decode_identically(self, workload, distance_backend):
+        store, blocks, reads = workload
+        results = {}
+        for workers in (1, 2, 4):
+            results[workers] = store.try_decode_blocks(
+                blocks, reads, workers=workers, distance_backend=distance_backend
+            )
+        payloads, failures = results[1]
+        assert not failures
+        assert set(payloads) == {
+            (name, block) for name, targets in blocks.items() for block in targets
+        }
+        assert results[2] == results[1]
+        assert results[4] == results[1]
+
+    @pytest.mark.parametrize("codec_backend", ["python", "numpy"])
+    def test_codec_backends_decode_identically(self, workload, monkeypatch, codec_backend):
+        if codec_backend == "numpy" and not _numpy_available():
+            pytest.skip("numpy codec backend unavailable")
+        store, blocks, reads = workload
+        monkeypatch.setenv("REPRO_CODEC_BACKEND", codec_backend)
+        tasks = [
+            DecodeTask(
+                partition=store.volume.partition(name),
+                reads=reads[name],
+                blocks=targets,
+            )
+            for name, targets in blocks.items()
+        ]
+        # Fresh engines so the pooled workers fork *after* the env change
+        # and resolve the same backend as the inline run.
+        serial = DecodeEngine(workers=1)
+        pooled = DecodeEngine(workers=2)
+        try:
+            inline = serial.decode(tasks)
+            forked = pooled.decode(tasks)
+        finally:
+            pooled.shutdown()
+        assert [outcome.reports for outcome in inline] == [
+            outcome.reports for outcome in forked
+        ]
+        for outcome in inline:
+            assert all(report.success for report in outcome.reports.values())
+
+    def test_fused_and_reference_kernels_decode_identically(
+        self, workload, monkeypatch
+    ):
+        store, blocks, reads = workload
+        outputs = {}
+        for flag in ("0", "1"):
+            monkeypatch.setenv("REPRO_FUSED_KERNELS", flag)
+            outputs[flag] = store.try_decode_blocks(blocks, reads, workers=1)
+        assert outputs["0"] == outputs["1"]
+        assert not outputs["1"][1]
+
+    def test_shared_memory_transport_is_invisible(self, workload):
+        store, blocks, reads = workload
+        with_shm = store.try_decode_blocks(
+            blocks, reads, workers=2, shared_memory=True
+        )
+        without_shm = store.try_decode_blocks(
+            blocks, reads, workers=2, shared_memory=False
+        )
+        assert with_shm == without_shm
+
+    def test_missing_partition_reads_fail_identically(self, workload):
+        store, blocks, reads = workload
+        partial = dict(reads)
+        dropped = next(iter(partial))
+        del partial[dropped]
+        serial = store.try_decode_blocks(blocks, partial, workers=1)
+        pooled = store.try_decode_blocks(blocks, partial, workers=2)
+        assert serial == pooled
+        for block in blocks[dropped]:
+            assert (
+                serial[1][(dropped, block)]
+                == f"no reads provided for partition {dropped!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Transport and robustness
+# ----------------------------------------------------------------------
+class TestEngineInternals:
+    def test_shared_memory_roundtrip(self):
+        reads = ["ACGT" * 64 for _ in range(16)] + ["", "A"]
+        descriptor = _pack_reads(reads)
+        assert descriptor is not None
+        try:
+            assert _load_reads(descriptor) == reads
+        finally:
+            _unlink_segment(descriptor[0])
+
+    def test_large_batches_cross_the_shm_threshold(self, workload):
+        store, blocks, reads = workload
+        padded = {
+            name: batch
+            * (SHARED_MEMORY_MIN_BYTES // max(1, sum(map(len, batch))) + 1)
+            for name, batch in reads.items()
+        }
+        assert all(
+            sum(map(len, batch)) >= SHARED_MEMORY_MIN_BYTES
+            for batch in padded.values()
+        )
+        pooled = store.try_decode_blocks(blocks, padded, workers=2)
+        serial = store.try_decode_blocks(blocks, padded, workers=1)
+        assert pooled == serial
+
+    def test_broken_pool_falls_back_inline(self, workload):
+        store, blocks, reads = workload
+        tasks = [
+            DecodeTask(
+                partition=store.volume.partition(name),
+                reads=reads[name],
+                blocks=targets,
+            )
+            for name, targets in blocks.items()
+        ]
+        engine = DecodeEngine(workers=2)
+        try:
+            expected = engine.decode(tasks)
+            # Kill the pool out from under the engine: submissions now
+            # raise, and every task must still decode (inline).
+            engine._pool().shutdown(wait=True)
+            recovered = engine.decode(tasks)
+        finally:
+            engine.shutdown()
+        assert [outcome.reports for outcome in recovered] == [
+            outcome.reports for outcome in expected
+        ]
+
+    def test_stage_timings_fold_into_parent_collector(self, workload):
+        store, blocks, reads = workload
+        with collect_stages() as stages:
+            store.try_decode_blocks(blocks, reads, workers=2)
+        assert stages.get("cluster", 0.0) > 0.0
+        assert "consensus" in stages
+
+    def test_record_stages_accumulates(self):
+        with collect_stages() as stages:
+            record_stages({"cluster": 1.0, "consensus": 0.5})
+            record_stages({"cluster": 0.25})
+        assert stages == {"cluster": 1.25, "consensus": 0.5}
+        record_stages({"cluster": 9.0})  # no active collector: no-op
+
+    def test_decode_task_pickles_with_shared_galois_tables(self, workload):
+        store, blocks, reads = workload
+        name = next(iter(blocks))
+        task = DecodeTask(
+            partition=store.volume.partition(name),
+            reads=reads[name][:4],
+            blocks=blocks[name],
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.reads == task.reads
+        assert clone.blocks == task.blocks
+
+
+# ----------------------------------------------------------------------
+# Retry cycles under workers > 1
+# ----------------------------------------------------------------------
+class TestRetryCycles:
+    def _injector(self):
+        first: list[tuple[int, tuple[str, int]]] = []
+
+        def injector(cycle_id, attempt, key):
+            if attempt == 1 and not first:
+                first.append((cycle_id, key))
+            return attempt == 1 and first[0] == (cycle_id, key)
+
+        return injector
+
+    def _run(self, fidelity: str, workers: int):
+        from repro.service import ServiceConfig, ServiceSimulator
+        from repro.workloads import multi_tenant_trace
+
+        volume = DnaVolume(
+            config=VolumeConfig(
+                partition_leaf_count=16, stripe_blocks=2, stripe_width=2
+            )
+        )
+        store = ObjectStore(volume)
+        corpus = object_corpus(
+            {f"obj-{i}": volume.block_size * 2 for i in range(3)}, seed=9
+        )
+        for name, data in corpus.items():
+            store.put(name, data)
+        catalog = {name: len(data) for name, data in corpus.items()}
+        trace = multi_tenant_trace(
+            catalog, tenants=3, requests=8, duration_hours=6.0, seed=11
+        )
+        simulator = ServiceSimulator(
+            store,
+            config=ServiceConfig(
+                window_hours=0.5,
+                reads_per_block=120,
+                retry_budget=2,
+                decode_workers=workers,
+                decode_failure_injector=self._injector(),
+            ),
+        )
+        return simulator.run(trace, "batched+cache", fidelity=fidelity)
+
+    def test_injected_failure_retries_with_workers_configured(self):
+        # Reference fidelity is numpy-free: the injected failure must ride
+        # a retry cycle and recover with multi-worker decode configured.
+        report = self._run("reference", workers=2)
+        assert report.failed == ()
+        assert report.retry_cycles >= 1
+        assert report.decode_failures >= 1
+
+    @pytest.mark.skipif(not _numpy_available(), reason="wetlab needs numpy")
+    def test_wetlab_retry_cycle_decodes_through_the_pool(self):
+        pooled = self._run("wetlab", workers=2)
+        serial = self._run("wetlab", workers=1)
+        assert pooled.failed == ()
+        assert pooled.retry_cycles >= 1
+        assert pooled.checksum == serial.checksum
