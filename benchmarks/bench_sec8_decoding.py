@@ -195,7 +195,7 @@ def test_sec8_parallel_decode_engine_speedup():
     """
     import os
 
-    from repro.pipeline.stage_timing import collect_stages, orchestration_seconds
+    from repro.observability.stages import collect_stages, orchestration_seconds
 
     store, partition_name, blocks, raw_reads = _serving_readout()
     targets = {partition_name: blocks}

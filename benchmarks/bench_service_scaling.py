@@ -17,11 +17,17 @@ Pure Python end to end — this benchmark runs with or without numpy.
 """
 
 import time
+from dataclasses import replace
+from pathlib import Path
 
 from conftest import emit_bench_json, report
 from repro.service import POLICIES, ServiceConfig, ServiceSimulator
 from repro.store import DnaVolume, ObjectStore, VolumeConfig
 from repro.workloads import multi_tenant_trace, object_corpus
+
+#: Exported Perfetto traces land next to the BENCH_*.json documents (the
+#: repo root) so CI can upload them as workflow artifacts.
+TRACE_DIR = Path(__file__).parent.parent
 
 REQUESTS = 10_000
 TENANTS = 120
@@ -64,8 +70,14 @@ def run_comparison() -> dict:
         ),
     )
     reports = simulator.compare(trace)
-    # Determinism: replay one policy and require bit-identical numbers.
-    replay = simulator.run(trace, "batched+cache")
+    # Determinism *and* tracing neutrality: replay one policy with the
+    # observability layer recording and require bit-identical numbers —
+    # enabling tracing must not change a single outcome at 10k-request
+    # scale.
+    traced = ServiceSimulator(
+        store, config=replace(simulator.config, tracing=True)
+    )
+    replay = traced.run(trace, "batched+cache")
     return {"reports": reports, "replay": replay}
 
 
@@ -91,7 +103,8 @@ def test_service_scaling():
     assert cached.sequenced_reads < batched.sequenced_reads
     assert cached.cache is not None and cached.cache.hit_rate > 0.5
 
-    # Deterministic under the fixed seed.
+    # Deterministic under the fixed seed — and the replay ran traced, so
+    # these equalities also prove tracing changed no outcome.
     replay = outcome["replay"]
     for field in (
         "checksum",
@@ -103,6 +116,16 @@ def test_service_scaling():
     ):
         assert getattr(replay, field) == getattr(cached, field), field
     assert replay.latency == cached.latency
+
+    # The trace itself: every completed request's latency must be
+    # explained (>= 95%) by its phase spans, and the Perfetto export
+    # must be well-formed JSON.
+    obs = replay.observability
+    assert obs is not None
+    coverage = obs.span_coverage()
+    assert len(coverage) == len(replay.completed) + len(replay.failed)
+    assert min(coverage.values()) >= 0.95
+    trace_path = obs.write_chrome_trace(TRACE_DIR / "TRACE_service_scaling.json")
 
     rows = [
         f"{REQUESTS} requests, {TENANTS} tenants, "
@@ -160,6 +183,16 @@ def test_service_scaling():
             ),
         },
     )
+    emit_bench_json(
+        "service_scaling",
+        "observability",
+        {
+            "traced_byte_identical": replay.checksum == cached.checksum
+            and replay.latency == cached.latency,
+            "trace_file": trace_path.name,
+            **obs.bench_payload(),
+        },
+    )
 
 
 def test_service_wetlab_fidelity_smoke():
@@ -193,9 +226,10 @@ def test_service_wetlab_fidelity_smoke():
             window_hours=0.5,
             reads_per_block=150,
             cache_capacity_bytes=block_size * 32,
+            tracing=True,
         ),
     )
-    from repro.pipeline.stage_timing import collect_stages, orchestration_seconds
+    from repro.observability.stages import collect_stages, orchestration_seconds
 
     started = time.perf_counter()
     with collect_stages() as stages:
@@ -205,6 +239,11 @@ def test_service_wetlab_fidelity_smoke():
     assert wetlab.failed == ()
     assert len(wetlab.completed) == len(trace)
     assert wetlab.checksum == reference.checksum
+    obs = wetlab.observability
+    assert obs is not None
+    coverage = obs.span_coverage()
+    assert coverage and min(coverage.values()) >= 0.95
+    obs.write_chrome_trace(TRACE_DIR / "TRACE_service_wetlab_smoke.json")
     report(
         "Service wetlab-fidelity smoke",
         [
@@ -234,6 +273,8 @@ def test_service_wetlab_fidelity_smoke():
                 ),
             },
             "checksum_matches_reference": wetlab.checksum == reference.checksum,
+            "span_coverage_min": round(min(coverage.values()), 4),
+            "trace_file": "TRACE_service_wetlab_smoke.json",
         },
     )
 

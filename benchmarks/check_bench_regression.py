@@ -64,6 +64,7 @@ GATED_METRICS = [
 REQUIRED_TRUE = [
     ("service_scaling", "wetlab_smoke.checksum_matches_reference"),
     ("service_scaling", "mixed_pipeline.checksum_matches_reference"),
+    ("service_scaling", "observability.traced_byte_identical"),
     ("decoding", "few_reads_decode.decoded_correctly"),
     ("decoding", "parallel_engine.byte_identical"),
     ("decoding", "parallel_engine.meets_speedup_target"),

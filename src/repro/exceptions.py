@@ -82,3 +82,7 @@ class StoreError(DnaStorageError):
 
 class ServiceError(DnaStorageError):
     """Raised by the multi-tenant serving layer (repro.service)."""
+
+
+class ObservabilityError(DnaStorageError):
+    """Raised by the tracing/metrics subsystem (repro.observability)."""

@@ -1,0 +1,152 @@
+"""Run-scoped metrics: counters, gauges, and histograms behind one registry.
+
+Every layer of the stack (queue, scheduler, cache, wetlab lanes, decode
+engine) records into the same :class:`MetricsRegistry` through three
+instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals (cache hits, PCR
+  reactions, retry cycles);
+* :class:`Gauge` — last-written values (lane count, synthesized
+  nucleotides at end of run);
+* :class:`Histogram` — observed distributions (queue depth at dispatch,
+  batch occupancy, per-stage decode seconds), summarized at snapshot
+  time with count/mean/percentiles.
+
+A registry is created per traced run and handed around by reference;
+layers that may run untraced take ``registry=None`` and guard on it.
+:meth:`MetricsRegistry.snapshot` renders the whole registry as one
+JSON-able dict — the shape embedded in ``BENCH_*.json`` and the text
+run summary.  Instruments are get-or-create by name; re-registering a
+name as a different kind raises :class:`ObservabilityError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ObservabilityError
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """An observed distribution, summarized at snapshot time.
+
+    Values are kept raw (runs are bounded: one observation per dispatch /
+    batch / request) and reduced to count/total/mean/min/p50/p95/max when
+    the registry snapshots.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def summary(self) -> dict:
+        if not self.values:
+            return {"count": 0}
+        # Local import: analysis.stats is pure Python, but keep the
+        # metrics module importable standalone.
+        from repro.analysis.stats import percentile
+
+        ordered = sorted(self.values)
+        total = sum(ordered)
+        return {
+            "count": len(ordered),
+            "total": total,
+            "mean": total / len(ordered),
+            "min": ordered[0],
+            "p50": percentile(ordered, 0.50),
+            "p95": percentile(ordered, 0.95),
+            "max": ordered[-1],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by dotted name; snapshot as one dict.
+
+    ``register_collector(name, callback)`` attaches a lazy source polled
+    at snapshot time — used for stats a component already maintains
+    (e.g. the decoded-block cache), so binding to the registry costs
+    nothing on the component's hot path.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: dict[str, Callable[[], dict]] = {}
+
+    def _get(self, name: str, kind: type) -> Counter | Gauge | Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def register_collector(self, prefix: str, callback: Callable[[], dict]) -> None:
+        """Poll ``callback()`` at snapshot time, merged as ``prefix.<key>``."""
+        if prefix in self._collectors:
+            raise ObservabilityError(f"collector {prefix!r} already registered")
+        self._collectors[prefix] = callback
+
+    def snapshot(self) -> dict:
+        """Render every instrument (and polled collector) as a flat dict."""
+        out: dict = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.summary()
+            else:
+                out[name] = instrument.value
+        for prefix in sorted(self._collectors):
+            for key, value in self._collectors[prefix]().items():
+                out[f"{prefix}.{key}"] = value
+        return out
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

@@ -35,7 +35,7 @@ from repro.exceptions import (
 from repro.pipeline.clustering import ReadCluster, cluster_reads
 from repro.pipeline.consensus import consensus_batch, double_sided_bma
 from repro.pipeline.reads import reads_with_prefix
-from repro.pipeline.stage_timing import stage
+from repro.observability.stages import stage
 
 
 @dataclass

@@ -28,7 +28,7 @@ processes, one task per partition readout:
 
 Workers report their per-stage wall-clock (cluster / consensus /
 syndrome+solve) with each result; the engine folds those into the
-caller's active :mod:`~repro.pipeline.stage_timing` collector, so
+caller's active :mod:`~repro.observability.stages` collector, so
 benchmarks see one stage breakdown whatever the worker count.
 
 Lane scheduling (wetlab time, :func:`repro.service.simulator.schedule_lanes`)
@@ -49,7 +49,14 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 from repro.exceptions import DecodingError
-from repro.pipeline.stage_timing import collect_stages, record_stages
+from repro.observability.stages import collect_stages, record_stages
+from repro.observability.tracing import (
+    Tracer,
+    activate,
+    current_tracer,
+    maybe_wall_span,
+    worker_track,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.partition import Partition
@@ -104,12 +111,15 @@ class DecodeTask:
         blocks: target block numbers (``None`` = every written block).
         decoder_options: forwarded to
             :class:`~repro.pipeline.decoder.BlockDecoder`.
+        label: display name used on trace spans (conventionally the
+            partition's name; diagnostics only, never affects decoding).
     """
 
     partition: "Partition"
     reads: list[str]
     blocks: list[int] | None = None
     decoder_options: dict = field(default_factory=dict)
+    label: str = ""
 
 
 @dataclass
@@ -190,18 +200,48 @@ def _run_task(
     decoder_options: dict,
     reads: list[str] | None,
     shm_descriptor: tuple[str, int] | None,
-) -> tuple["dict[int, DecodeReport]", dict[str, float], float]:
-    """Decode one task (worker entry point; also the inline path's core)."""
+    trace: bool | None = None,
+    label: str = "",
+) -> tuple["dict[int, DecodeReport]", dict[str, float], float, list]:
+    """Decode one task (worker entry point; also the inline path's core).
+
+    ``trace`` selects the span-propagation mode: ``None`` leaves the
+    ambient tracer alone (the inline path — spans land directly in the
+    caller's tracer), ``True`` runs under a fresh local tracer whose
+    spans are returned for the parent to adopt (a worker of a traced
+    run), and ``False`` explicitly sheds any tracer inherited across a
+    ``fork`` (a worker of an untraced run).
+    """
     from repro.pipeline.decoder import BlockDecoder
 
     if reads is None:
         assert shm_descriptor is not None
         reads = _load_reads(shm_descriptor)
-    begin = perf_counter()
-    with collect_stages() as stages:
+
+    def decode() -> "dict[int, DecodeReport]":
         decoder = BlockDecoder(partition, **decoder_options)
-        reports = decoder.decode_readout(reads, blocks)
-    return reports, dict(stages), perf_counter() - begin
+        return decoder.decode_readout(reads, blocks)
+
+    begin = perf_counter()
+    if trace is None:
+        with collect_stages() as stages:
+            reports = decode()
+        return reports, dict(stages), perf_counter() - begin, []
+    tracer = Tracer() if trace else None
+    with activate(tracer):
+        with collect_stages() as stages:
+            if tracer is not None:
+                with tracer.wall_span(
+                    f"decode:{label or 'task'}",
+                    track=worker_track(),
+                    blocks=len(blocks) if blocks is not None else None,
+                    reads=len(reads),
+                ):
+                    reports = decode()
+            else:
+                reports = decode()
+    spans = tracer.spans if tracer is not None else []
+    return reports, dict(stages), perf_counter() - begin, spans
 
 
 class DecodeEngine:
@@ -257,14 +297,22 @@ class DecodeEngine:
         """
         if not tasks:
             return []
-        if self.workers == 1:
-            return [self._decode_inline(task) for task in tasks]
-        return self._decode_pooled(tasks)
+        with maybe_wall_span(
+            "decode_engine", tasks=len(tasks), workers=self.workers
+        ):
+            if self.workers == 1:
+                return [self._decode_inline(task) for task in tasks]
+            return self._decode_pooled(tasks)
 
     def _decode_inline(self, task: DecodeTask) -> DecodeOutcome:
-        reports, stages, seconds = _run_task(
-            task.partition, task.blocks, task.decoder_options, task.reads, None
-        )
+        with maybe_wall_span(
+            f"decode:{task.label or 'task'}",
+            blocks=len(task.blocks) if task.blocks is not None else None,
+            reads=len(task.reads),
+        ):
+            reports, stages, seconds, _ = _run_task(
+                task.partition, task.blocks, task.decoder_options, task.reads, None
+            )
         record_stages(stages)
         return DecodeOutcome(reports=reports, stages=stages, seconds=seconds)
 
@@ -273,6 +321,11 @@ class DecodeEngine:
         outcomes: list[DecodeOutcome | None] = [None] * len(tasks)
         futures: list[tuple[int, Future]] = []
         broken = False
+        parent_tracer = current_tracer()
+        # Workers on a ``fork`` context inherit the ambient tracer; send an
+        # explicit flag so untraced runs shed it and traced runs record
+        # into a fresh local tracer whose spans ride home with the result.
+        trace_flag = parent_tracer is not None
         try:
             pool = self._pool()
             for index, task in enumerate(tasks):
@@ -294,6 +347,8 @@ class DecodeEngine:
                                 task.decoder_options,
                                 None if descriptor is not None else task.reads,
                                 descriptor,
+                                trace_flag,
+                                task.label,
                             ),
                         )
                     )
@@ -304,11 +359,13 @@ class DecodeEngine:
             # order keeps outcomes aligned with tasks deterministically.
             for index, future in futures:
                 try:
-                    reports, stages, seconds = future.result()
+                    reports, stages, seconds, spans = future.result()
                 except BrokenProcessPool:
                     broken = True
                     break
                 record_stages(stages)
+                if parent_tracer is not None and spans:
+                    parent_tracer.adopt(spans)
                 outcomes[index] = DecodeOutcome(
                     reports=reports, stages=stages, seconds=seconds
                 )

@@ -25,6 +25,10 @@ caller — for reads *and* writes.
   decode-failure retry cycles and a bounded wetlab lane pool — and
   reports throughput, tail latency, cache hit rate, synthesis volume and
   amplification waste.
+* :mod:`repro.service.telemetry` — :class:`RunTelemetry`: the per-run
+  recorder a traced pipeline run uses to build its span tree and metrics
+  snapshot (``ServiceConfig(tracing=True)`` / ``REPRO_TRACING=1``; see
+  :mod:`repro.observability`).
 
 Pure Python end to end — the serving layer imports only the sequencing
 *models* (not the simulator), so it runs without numpy.
@@ -63,6 +67,7 @@ from repro.service.simulator import (
     policy_latency_comparison,
     schedule_lanes,
 )
+from repro.service.telemetry import RunTelemetry
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -81,6 +86,7 @@ __all__ = [
     "PolicyReport",
     "ReadRequest",
     "RequestQueue",
+    "RunTelemetry",
     "ScheduledBatch",
     "ServiceConfig",
     "ServicePipeline",

@@ -152,6 +152,26 @@ class CacheStats:
         """Insertions the admission gate ruled on (admitted + denied)."""
         return self.insertions + self.admission_denials
 
+    def as_dict(self) -> dict:
+        """The counters under their normalized metric names.
+
+        One canonical spelling for every consumer (metrics registry,
+        bench JSON, text summaries): raw counters first, then the
+        derived ratios (``hit_rate`` over ``lookups``).
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "rejections": self.rejections,
+            "admission_denials": self.admission_denials,
+            "admission_attempts": self.admission_attempts,
+        }
+
 
 @dataclass
 class DecodedBlockCache:
@@ -283,6 +303,27 @@ class DecodedBlockCache:
             self.stats.invalidations += 1
             dropped = True
         return dropped
+
+    def metrics_view(self) -> dict:
+        """Normalized counters plus occupancy, as one JSON-able dict.
+
+        The shape a :class:`~repro.observability.metrics.MetricsRegistry`
+        collector polls (see :meth:`bind_metrics`); ``stats`` remains the
+        object-level view for direct inspection.
+        """
+        view = self.stats.as_dict()
+        view["used_bytes"] = self.used_bytes
+        view["capacity_bytes"] = self.capacity_bytes
+        view["entries"] = len(self._entries)
+        return view
+
+    def bind_metrics(self, registry, prefix: str = "service.cache") -> None:
+        """Expose this cache's stats through ``registry`` lazily.
+
+        Registers :meth:`metrics_view` as a snapshot-time collector under
+        ``prefix`` — nothing is added to the cache's hot path.
+        """
+        registry.register_collector(prefix, self.metrics_view)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -102,12 +102,16 @@ from __future__ import annotations
 import heapq
 import itertools
 import zlib
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.analysis.latency_model import LatencyComparison
 from repro.analysis.stats import SummaryStats, summarize
 from repro.exceptions import DnaStorageError, ServiceError
+from repro.observability.export import RunObservability
+from repro.observability.stages import collect_stages, record_stages
+from repro.observability.tracing import activate, maybe_wall_span, tracing_enabled
 from repro.service.cache import (
     ADMISSION_POLICIES,
     CacheStats,
@@ -121,6 +125,7 @@ from repro.service.queue import (
     SynthesisOrder,
 )
 from repro.service.requests import CompletedRequest, FailedRequest, ServiceRequest
+from repro.service.telemetry import RunTelemetry
 from repro.store.object_store import ObjectStore
 from repro.store.planner import plan_partition_ranges, ranges_from_block_keys
 from repro.wetlab.sequencing import IlluminaRunModel, NanoporeRunModel
@@ -185,6 +190,12 @@ class ServiceConfig:
         decode_shared_memory: ship large per-partition read batches to
             decode workers via ``multiprocessing.shared_memory`` (``None``
             defers to ``REPRO_DECODE_SHM``, default on).
+        tracing: record the run's span tree and metrics registry
+            (:mod:`repro.observability`) onto the report's
+            ``observability`` field.  ``None`` defers to the
+            ``REPRO_TRACING`` environment variable; the default is off
+            and near-free.  Enabling tracing never changes request
+            outcomes — it only observes them.
     """
 
     window_hours: float = 0.5
@@ -207,6 +218,7 @@ class ServiceConfig:
     )
     decode_workers: int | None = None
     decode_shared_memory: bool | None = None
+    tracing: bool | None = None
 
     def __post_init__(self) -> None:
         if self.window_hours < 0:
@@ -287,9 +299,14 @@ class PolicyReport:
             unknown object, store-rejected write, retry budget exhausted),
             ordered by admission id; they are excluded from latency,
             throughput and checksum accounting.
-        latency: p50/p95/p99-style summary of per-read latency hours.
+        latency: p50/p95/p99-style summary of per-read latency, in
+            **simulated hours** (see ``latency_clock``) — never host
+            wall-clock.
         write_latency: the same summary over write acknowledgments
             (``None`` when the trace carried no writes).
+        latency_clock: the clock every latency/makespan figure in this
+            report is on (``"sim_hours"``); wall-clock compute lives only
+            in ``observability`` spans/metrics, explicitly labelled.
         makespan_hours: time of the last delivery.
         throughput_per_hour: requests delivered per simulated hour.
         batches: wetlab read cycles run (retry cycles included).
@@ -315,10 +332,17 @@ class PolicyReport:
         wetlab_lanes: lane-pool width the trace was served with.
         lane_busy_hours: summed busy time of all lanes (units' PCR +
             sequencing) across all cycles.
+        lane_busy_hours_by_lane: the same busy time attributed to each
+            individual lane (index = lane id), from the cycles' actual
+            lane schedules.
         checksum: order-independent digest over per-request payload CRCs;
             equal checksums across policies mean identical decoded bytes.
         cache: cache counters (``batched+cache`` only).
         payloads: per-read payload bytes (only when ``keep_data``).
+        observability: the run's span tree and metrics snapshot
+            (:class:`~repro.observability.export.RunObservability`);
+            ``None`` unless tracing was enabled.  Excluded from report
+            equality — observing a run is not part of its outcome.
     """
 
     policy: str
@@ -349,6 +373,9 @@ class PolicyReport:
     decode_failures: int = 0
     wetlab_lanes: int = 1
     lane_busy_hours: float = 0.0
+    lane_busy_hours_by_lane: tuple[float, ...] = ()
+    latency_clock: str = "sim_hours"
+    observability: RunObservability | None = field(default=None, compare=False)
 
     @property
     def amplification_factor(self) -> float:
@@ -374,6 +401,24 @@ class PolicyReport:
         if self.makespan_hours <= 0 or self.wetlab_lanes <= 0:
             return 0.0
         return self.lane_busy_hours / (self.makespan_hours * self.wetlab_lanes)
+
+    @property
+    def lane_utilization_by_lane(self) -> tuple[float, ...]:
+        """Busy-time fraction of each lane index over the run's makespan.
+
+        Computed from the cycles' actual lane schedules (simulated
+        clock), so within any single cycle it is the true duty split
+        across lanes — not the pool-wide average.  Like
+        :attr:`lane_utilization`, values can exceed 1.0: overlapping
+        cycles each pack onto their own pool, so a lane *index* can be
+        busy in several cycles at once — that excess is the pressure
+        signal to widen the pool.
+        """
+        if self.makespan_hours <= 0:
+            return tuple(0.0 for _ in self.lane_busy_hours_by_lane)
+        return tuple(
+            busy / self.makespan_hours for busy in self.lane_busy_hours_by_lane
+        )
 
 
 class _BatchScratch:
@@ -480,12 +525,14 @@ class ServicePipeline:
     # ------------------------------------------------------------------
     def _cycle_makespan(
         self, batch: ScheduledBatch, reads_per_block: int
-    ) -> tuple[float, float]:
+    ) -> tuple[float, float, list[tuple[int, float, float]]]:
         """Lane-pool latency of one wetlab cycle.
 
         Each planned access is one readout unit (its own PCR stage plus
         its own sequencing sample); units pack greedily onto the
-        earliest-free lane.  Returns ``(makespan, busy_hours)``.
+        earliest-free lane.  Returns ``(makespan, busy_hours, schedule)``
+        where the schedule is one ``(lane, start, end)`` per unit, in
+        plan-access order (cycle-relative hours).
         """
         if batch.amplified_block_count == 0:
             # Fully cache-covered batches are served at dispatch and never
@@ -497,7 +544,7 @@ class ServicePipeline:
             for access in batch.plan.accesses
         ]
         lanes = schedule_lanes(durations, self.config.wetlab_lanes)
-        return max(end for _, _, end in lanes), sum(durations)
+        return max(end for _, _, end in lanes), sum(durations), lanes
 
     def _order_hours(self, order: SynthesisOrder) -> float:
         """Commit latency of one synthesis order (parallel vendor jobs)."""
@@ -551,6 +598,14 @@ class ServicePipeline:
         wetlab = self._wetlab_readout() if fidelity == "wetlab" else None
         config = self.config
         injector = config.decode_failure_injector
+        # Telemetry is observation only: every hook below records what
+        # happened and never touches the heap, RNG state or store, so a
+        # traced run's outcomes are byte-identical to an untraced run's.
+        tel = (
+            RunTelemetry(policy=policy, fidelity=fidelity)
+            if tracing_enabled(config.tracing)
+            else None
+        )
 
         requests: list[ServiceRequest] = []
         failed: list[FailedRequest] = []
@@ -602,6 +657,8 @@ class ServicePipeline:
             attempts: int = 0,
         ) -> None:
             fifo_remove(event.object_name, index)
+            if tel is not None:
+                tel.failed(index, now if now is not None else event.time_hours, reason)
             failed.append(
                 FailedRequest(
                     request_id=index,
@@ -688,6 +745,8 @@ class ServicePipeline:
                 if previous_cache is None
                 else _InvalidationFanout(cache, previous_cache)
             )
+            if tel is not None:
+                cache.bind_metrics(tel.metrics)
         queue = RequestQueue()
         sequence_counter = itertools.count()
         heap: list[tuple[float, int, str, object]] = [
@@ -719,6 +778,7 @@ class ServicePipeline:
             "decode_failures": 0,
             "lane_busy_hours": 0.0,
         }
+        lane_busy_by_lane = [0.0] * config.wetlab_lanes
         dispatch_scheduled = False
         next_batch_id = 0
 
@@ -780,6 +840,10 @@ class ServicePipeline:
                 )
             )
             fifo_remove(request.object_name, request.request_id)
+            if tel is not None:
+                tel.served(
+                    request, completion_hours, from_cache=from_cache, attempts=attempts
+                )
 
         def release_ready(name: str, now: float) -> None:
             """Re-admit held reads no longer behind an outstanding write.
@@ -793,6 +857,8 @@ class ServicePipeline:
                     break
                 request = held_reads.pop(rid, None)
                 if request is not None:
+                    if tel is not None:
+                        tel.released(request, now)
                     admit_read(request, now, released=True)
 
         def charge(batch: ScheduledBatch, reads_per_block: int) -> None:
@@ -804,6 +870,8 @@ class ServicePipeline:
             totals["reads"] += batch.amplified_block_count * reads_per_block
             for key in batch.requested_blocks:
                 distinct_requested.setdefault(key, None)
+            if tel is not None:
+                tel.charged(batch, reads_per_block)
 
         def start_cycle(
             batch: ScheduledBatch,
@@ -814,8 +882,20 @@ class ServicePipeline:
             reads_per_block: int,
         ) -> None:
             """Put a cycle's units on the lane pool and book its completion."""
-            makespan, busy = self._cycle_makespan(batch, reads_per_block)
+            makespan, busy, schedule = self._cycle_makespan(batch, reads_per_block)
             totals["lane_busy_hours"] += busy
+            for lane, start, end in schedule:
+                lane_busy_by_lane[lane] += end - start
+            if tel is not None:
+                tel.cycle(
+                    batch,
+                    riders,
+                    schedule,
+                    now,
+                    now + makespan,
+                    attempt,
+                    reads_per_block,
+                )
             push_event(
                 now + makespan,
                 "complete",
@@ -836,6 +916,8 @@ class ServicePipeline:
             pinned_keys = frozenset(key for key, _ in batch.pinned_payloads)
             riders: list[ServiceRequest] = []
             for request in batch.requests:
+                if tel is not None:
+                    tel.dispatched(request, now)
                 # A request whose every block was pinned from the cache
                 # needs no wetlab of its own: it is answered at dispatch,
                 # at memory speed, not at the cycle's completion.
@@ -843,6 +925,13 @@ class ServicePipeline:
                     key in pinned_keys
                     for key in blocks_by_id[request.request_id]
                 ):
+                    if tel is not None:
+                        tel.front_end(
+                            request,
+                            now,
+                            now + config.cache_service_hours,
+                            "cache_service",
+                        )
                     serve(
                         request,
                         now + config.cache_service_hours,
@@ -890,11 +979,16 @@ class ServicePipeline:
                 # partition's pool and samples its own reads (fresh PCR
                 # and deeper coverage on retries), then decode exactly
                 # the planned block set.
-                reads = wetlab.unit_reads_by_partition(
-                    batch.plan,
-                    batch_seed=batch.batch_id,
-                    reads_per_block=reads_per_block,
-                )
+                with maybe_wall_span(
+                    "wetlab_readout",
+                    batch_id=batch.batch_id,
+                    attempt=attempt,
+                ):
+                    reads = wetlab.unit_reads_by_partition(
+                        batch.plan,
+                        batch_seed=batch.batch_id,
+                        reads_per_block=reads_per_block,
+                    )
                 decoded, decode_failures = self.store.try_decode_blocks(
                     planned,
                     reads,
@@ -922,16 +1016,17 @@ class ServicePipeline:
                             f"{key[0]!r} failed the reference checksum "
                             "(misassembled readout)"
                         )
-            for key, data in decoded.items():
-                if key not in failures:
-                    # Mirror the reference path's fill sequence (lookup
-                    # miss, then insert): the miss records the block's
-                    # demand with the cache — its stats and the TinyLFU
-                    # admission sketch — before the pin makes later
-                    # serve-path lookups bypass the cache entirely.
-                    epoch = self.store.volume.block_epoch(key[0], key[1])
-                    view.get(key[0], key[1], epoch)
-                    view.put(key[0], key[1], data, epoch)
+            with maybe_wall_span("cache_fill", blocks=len(decoded)):
+                for key, data in decoded.items():
+                    if key not in failures:
+                        # Mirror the reference path's fill sequence (lookup
+                        # miss, then insert): the miss records the block's
+                        # demand with the cache — its stats and the TinyLFU
+                        # admission sketch — before the pin makes later
+                        # serve-path lookups bypass the cache entirely.
+                        epoch = self.store.volume.block_epoch(key[0], key[1])
+                        view.get(key[0], key[1], epoch)
+                        view.put(key[0], key[1], data, epoch)
             return failures
 
         def complete(
@@ -953,6 +1048,8 @@ class ServicePipeline:
             ):
                 failures = cycle_failures(batch, attempt, reads_per_block, view)
                 totals["decode_failures"] += len(failures)
+                if tel is not None:
+                    tel.decode_failures(len(failures))
             retriers: list[ServiceRequest] = []
             for request in riders:
                 if failures and any(
@@ -1012,6 +1109,8 @@ class ServicePipeline:
                     charge(retry_batch, next_reads)
                     totals["retry_cycles"] += 1
                     totals["retried_requests"] += len(retriers)
+                    if tel is not None:
+                        tel.retried(len(retriers))
                     start_cycle(
                         retry_batch,
                         tuple(retriers),
@@ -1057,6 +1156,9 @@ class ServicePipeline:
             writes = queue.take(eligible)
             if not writes:
                 return
+            if tel is not None:
+                for request in writes:
+                    tel.dispatched(request, now)
             nonlocal next_batch_id
             order = self.scheduler.schedule_writes(
                 writes, order_id=next_batch_id
@@ -1089,6 +1191,8 @@ class ServicePipeline:
                 totals["nucleotides"] += order.nucleotide_count
                 hours = self._order_hours(order)
                 totals["synthesis_hours"] += hours
+                if tel is not None:
+                    tel.synthesis_dispatched(order, now)
                 push_event(now + hours, "synthesis", order)
             if rejected and len(queue):
                 # A rejection's release_ready may have served held reads
@@ -1102,6 +1206,8 @@ class ServicePipeline:
 
         def commit_order(order: SynthesisOrder, now: float) -> None:
             """A synthesis order delivered: acknowledge its writes."""
+            if tel is not None:
+                tel.synthesis_committed(order, now)
             if wetlab is not None:
                 # The manufactured strands join their partitions' pools;
                 # only the touched pools re-synthesize.
@@ -1125,6 +1231,8 @@ class ServicePipeline:
                         batch_id=order.order_id,
                     )
                 )
+                if tel is not None:
+                    tel.served(request, now, from_cache=False, attempts=1)
             if time_travel and now <= max_as_of:
                 # Sample the committed-state timeline: later as_of reads
                 # at or past `now` observe this order's writes.  Commits
@@ -1158,6 +1266,8 @@ class ServicePipeline:
                 # the writes admitted before it to commit, then observes
                 # their bytes (never a later write's).
                 held_reads[request.request_id] = request
+                if tel is not None:
+                    tel.held(request, now)
                 return
             try:
                 blocks = self.scheduler.request_blocks(request, at=view_at)
@@ -1179,6 +1289,10 @@ class ServicePipeline:
             if not blocks:
                 # Zero-length read: a valid empty response needing no
                 # wetlab work — answered at front-end speed.
+                if tel is not None:
+                    tel.front_end(
+                        request, now, now + config.cache_service_hours, "front_end"
+                    )
                 serve(
                     request,
                     now + config.cache_service_hours,
@@ -1205,6 +1319,10 @@ class ServicePipeline:
                 # Fast path: every block is hot; no wetlab, no window.
                 for key in blocks:
                     distinct_requested.setdefault(key, None)
+                if tel is not None:
+                    tel.front_end(
+                        request, now, now + config.cache_service_hours, "cache_service"
+                    )
                 serve(
                     request,
                     now + config.cache_service_hours,
@@ -1213,21 +1331,35 @@ class ServicePipeline:
                 )
                 return
             queue.push(request)
+            if tel is not None:
+                tel.queued(request, now)
             ensure_dispatch(now)
 
         def admit_write(request: ServiceRequest, now: float) -> None:
             fifo_append(request)
             queue.push(request)
+            if tel is not None:
+                tel.queued(request, now)
             if policy == "unbatched":
                 pump_writes(now)
             else:
                 ensure_dispatch(now)
 
+        # A traced run activates its tracer (ambient — the decode engine
+        # and stage regions find it there) and opens a stage collector
+        # for the loop's extent; untraced runs skip both entirely.
+        run_stages: dict[str, float] = {}
+        scope = ExitStack()
+        if tel is not None:
+            scope.enter_context(activate(tel.tracer))
+            run_stages = scope.enter_context(collect_stages())
         try:
             while heap:
                 now, _, kind, payload = heapq.heappop(heap)
                 if kind == "arrival":
                     request = payload
+                    if tel is not None:
+                        tel.admitted(request, now)
                     if request.is_write:
                         admit_write(request, now)
                     else:
@@ -1240,6 +1372,7 @@ class ServicePipeline:
                     # in flight and the write barrier below keeps the store
                     # unmutated until its cycle delivers — same-window
                     # operations serve in arrival order.
+                    queue_depth = len(queue)
                     pending = queue.drain_op("read")
                     if pending:
                         batch = self.scheduler.schedule(
@@ -1249,6 +1382,8 @@ class ServicePipeline:
                             blocks_by_request=blocks_by_id,
                         )
                         next_batch_id += 1
+                        if tel is not None:
+                            tel.batch_scheduled(batch, queue_depth, now)
                         dispatch_batch(batch, now)
                     pump_writes(now)
                 elif kind == "synthesis":
@@ -1258,6 +1393,13 @@ class ServicePipeline:
                     complete(
                         batch, riders, view, attempt, reads_per_block, completion=now
                     )
+
+            # Close the tracing/stage scope before reporting; the run's
+            # collector shadowed any caller-opened one for the loop's
+            # extent, so fold the stage totals back out to it.
+            scope.close()
+            if tel is not None:
+                record_stages(run_stages)
 
             checksum = 0
             for item in sorted(completed, key=lambda c: c.request.request_id):
@@ -1281,6 +1423,16 @@ class ServicePipeline:
                 makespan = max(item.completion_hours for item in completed)
             else:  # every request was rejected
                 makespan = 0.0
+            observability = (
+                tel.finalize(
+                    makespan_hours=makespan,
+                    wetlab_lanes=config.wetlab_lanes,
+                    lane_busy_hours_by_lane=lane_busy_by_lane,
+                    stage_seconds=run_stages,
+                )
+                if tel is not None
+                else None
+            )
             return PolicyReport(
                 policy=policy,
                 fidelity=fidelity,
@@ -1307,11 +1459,16 @@ class ServicePipeline:
                 decode_failures=totals["decode_failures"],
                 wetlab_lanes=config.wetlab_lanes,
                 lane_busy_hours=totals["lane_busy_hours"],
+                lane_busy_hours_by_lane=tuple(lane_busy_by_lane),
                 checksum=checksum,
                 cache=cache.stats if cache is not None else None,
                 payloads=payloads if keep_data else None,
+                observability=observability,
             )
         finally:
+            # Idempotent: already closed on the clean path; on an
+            # exception this deactivates the tracer and stage collector.
+            scope.close()
             # Detach the run's cache (exceptions included) so the
             # store's prior attachment is preserved across runs, and
             # release the run's time-travel snapshots so blocks they

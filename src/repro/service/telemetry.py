@@ -1,0 +1,277 @@
+"""Run telemetry: the bridge between the serving loop and observability.
+
+:class:`RunTelemetry` is instantiated per traced
+:meth:`~repro.service.simulator.ServicePipeline.run` and records the
+sim-clock side of the trace — one root span per admitted request on its
+tenant's track, phase children (write-barrier holds, queue wait, wetlab
+cycle rides, synthesis, cache service), and per-unit lane-occupancy spans
+— plus the run's :class:`~repro.observability.metrics.MetricsRegistry`
+counters.  Wall-clock spans (decode workers, pipeline stages, readout
+sampling) are recorded by the layers below through the ambient tracer the
+pipeline activates for the event loop's extent.
+
+Every hook is a plain method the simulator's closures call behind an
+``if tel is not None`` guard, so an untraced run never constructs this
+object and pays nothing.  The hooks only *record* — they never touch the
+event heap, RNG state or store — which is what keeps traced outcomes
+byte-identical to untraced ones.
+"""
+
+from __future__ import annotations
+
+from repro.observability.export import RunObservability
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Span, Tracer
+
+
+class RunTelemetry:
+    """Span and metric recording for one traced pipeline run.
+
+    Args:
+        policy: the serving policy of the run (span/metric annotation).
+        fidelity: the read-path fidelity of the run.
+    """
+
+    def __init__(self, policy: str, fidelity: str) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.policy = policy
+        self.fidelity = fidelity
+        #: request_id -> open root span (closed on serve/ack/failure).
+        self._roots: dict[int, Span] = {}
+        #: request_id -> open write_barrier span (held reads).
+        self._barriers: dict[int, Span] = {}
+        #: request_id -> open queue_wait span.
+        self._queued: dict[int, Span] = {}
+        #: request_id -> open synthesis span (dispatched writes).
+        self._synthesis: dict[int, Span] = {}
+
+    # ------------------------------------------------------------------
+    # Request lifecycle (sim clock)
+    # ------------------------------------------------------------------
+    def admitted(self, request, now: float) -> None:
+        """Open the request's root span on its tenant's track."""
+        self._roots[request.request_id] = self.tracer.begin(
+            f"{request.op} {request.object_name}",
+            start=now,
+            track=f"tenant:{request.tenant}",
+            parent=None,
+            request_id=request.request_id,
+            tenant=request.tenant,
+            op=request.op,
+        )
+        self.metrics.counter("service.requests.admitted").inc()
+
+    def held(self, request, now: float) -> None:
+        """The read is behind an outstanding write on its object."""
+        root = self._roots.get(request.request_id)
+        if root is not None:
+            self._barriers[request.request_id] = self.tracer.begin(
+                "write_barrier", start=now, parent=root
+            )
+        self.metrics.counter("service.requests.barrier_held").inc()
+
+    def released(self, request, now: float) -> None:
+        """The write barrier cleared; the read re-enters admission."""
+        span = self._barriers.pop(request.request_id, None)
+        if span is not None:
+            self.tracer.finish(span, now)
+
+    def queued(self, request, now: float) -> None:
+        """The request entered the scheduling queue."""
+        root = self._roots.get(request.request_id)
+        if root is not None:
+            self._queued[request.request_id] = self.tracer.begin(
+                "queue_wait", start=now, parent=root
+            )
+
+    def dispatched(self, request, now: float) -> None:
+        """The request left the queue (batch dispatch / write pump)."""
+        span = self._queued.pop(request.request_id, None)
+        if span is not None:
+            self.tracer.finish(span, now)
+            self.metrics.histogram("service.queue.wait_hours").observe(
+                span.duration
+            )
+
+    def front_end(self, request, now: float, end: float, name: str) -> None:
+        """A front-end serve phase (cache hit / empty read), no wetlab."""
+        root = self._roots.get(request.request_id)
+        if root is not None:
+            self.tracer.record(name, start=now, end=end, parent=root)
+
+    def batch_scheduled(self, batch, queue_depth: int, now: float) -> None:
+        """A dispatch fired: one scheduled batch left a queue of this depth."""
+        self.metrics.histogram("service.queue.depth_at_dispatch").observe(
+            queue_depth
+        )
+        self.metrics.histogram("service.batch.occupancy").observe(
+            len(batch.requests)
+        )
+
+    def charged(self, batch, reads_per_block: int) -> None:
+        """Wetlab work charged for one scheduled batch (retries included)."""
+        self.metrics.counter("service.wetlab.pcr_reactions").inc(
+            batch.reaction_count
+        )
+        self.metrics.counter("service.wetlab.amplified_blocks").inc(
+            batch.amplified_block_count
+        )
+        self.metrics.counter("service.wetlab.sequenced_reads").inc(
+            batch.amplified_block_count * reads_per_block
+        )
+
+    def cycle(
+        self,
+        batch,
+        riders,
+        schedule,
+        now: float,
+        end: float,
+        attempt: int,
+        reads_per_block: int,
+    ) -> None:
+        """A wetlab cycle went on the lane pool; completion is booked.
+
+        Records one ``wetlab_cycle`` child per riding request and one
+        lane-occupancy span per readout unit on its lane's track.
+        """
+        for request in riders:
+            root = self._roots.get(request.request_id)
+            if root is None:
+                continue
+            self.tracer.record(
+                "wetlab_cycle",
+                start=now,
+                end=end,
+                parent=root,
+                batch_id=batch.batch_id,
+                attempt=attempt,
+                reads_per_block=reads_per_block,
+            )
+        for access, (lane, start, stop) in zip(batch.plan.accesses, schedule):
+            self.tracer.record(
+                f"unit:{access.partition}",
+                start=now + start,
+                end=now + stop,
+                track=f"lane:{lane}",
+                parent=None,
+                batch_id=batch.batch_id,
+                attempt=attempt,
+                blocks=access.block_count,
+            )
+            self.metrics.histogram("service.lane.unit_hours").observe(
+                stop - start
+            )
+        self.metrics.counter("service.wetlab.cycles").inc()
+        self.metrics.histogram("service.wetlab.cycle_hours").observe(end - now)
+
+    def retried(self, rider_count: int) -> None:
+        """A retry cycle was scheduled for decode-failed riders."""
+        self.metrics.counter("service.retry.cycles").inc()
+        self.metrics.counter("service.retry.requests").inc(rider_count)
+
+    def decode_failures(self, count: int) -> None:
+        if count:
+            self.metrics.counter("service.decode.failures").inc(count)
+
+    def synthesis_dispatched(self, order, now: float) -> None:
+        """A synthesis order went to the vendor; open per-write spans."""
+        for outcome in order.applied:
+            root = self._roots.get(outcome.request.request_id)
+            if root is not None:
+                self._synthesis[outcome.request.request_id] = self.tracer.begin(
+                    "synthesis",
+                    start=now,
+                    parent=root,
+                    order_id=order.order_id,
+                )
+        self.metrics.counter("service.synthesis.orders").inc()
+        self.metrics.counter("service.synthesis.strands").inc(
+            order.strand_count
+        )
+        self.metrics.counter("service.synthesis.nucleotides").inc(
+            order.nucleotide_count
+        )
+
+    def synthesis_committed(self, order, now: float) -> None:
+        """The order delivered; close its writes' synthesis spans."""
+        dispatched_at = None
+        for outcome in order.applied:
+            span = self._synthesis.pop(outcome.request.request_id, None)
+            if span is not None:
+                dispatched_at = span.start
+                self.tracer.finish(span, now)
+        if dispatched_at is not None:
+            self.metrics.histogram("service.synthesis.order_hours").observe(
+                now - dispatched_at
+            )
+
+    def served(
+        self, request, completion: float, *, from_cache: bool, attempts: int
+    ) -> None:
+        """The request delivered; close its root span as completed."""
+        root = self._roots.pop(request.request_id, None)
+        if root is None:
+            return
+        root.attributes["status"] = "completed"
+        root.attributes["from_cache"] = from_cache
+        if attempts > 1:
+            root.attributes["attempts"] = attempts
+        self.tracer.finish(root, completion)
+        kind = "write" if request.is_write else "read"
+        self.metrics.counter(f"service.requests.completed.{kind}").inc()
+        self.metrics.histogram(
+            f"service.request.{kind}_latency_sim_hours"
+        ).observe(completion - request.arrival_hours)
+
+    def failed(self, request_id: int, now: float, reason: str) -> None:
+        """The request was rejected; close its spans as failed."""
+        for pending in (self._barriers, self._queued, self._synthesis):
+            span = pending.pop(request_id, None)
+            if span is not None:
+                self.tracer.finish(span, now)
+        root = self._roots.pop(request_id, None)
+        if root is not None:
+            root.attributes["status"] = "failed"
+            root.attributes["reason"] = reason
+            self.tracer.finish(root, now)
+        self.metrics.counter("service.requests.failed").inc()
+
+    # ------------------------------------------------------------------
+    # Run finalization
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        *,
+        makespan_hours: float,
+        wetlab_lanes: int,
+        lane_busy_hours_by_lane,
+        stage_seconds: dict[str, float] | None = None,
+    ) -> RunObservability:
+        """Snapshot the run into a :class:`RunObservability` bundle.
+
+        Open spans (there should be none after a clean run) are left
+        open; the exporter drops them.  Gauges recorded here describe
+        end-of-run state: lane-pool shape, true per-lane busy hours, and
+        the decode stages' aggregate wall seconds.
+        """
+        self.metrics.gauge("service.run.makespan_sim_hours").set(makespan_hours)
+        self.metrics.gauge("service.lanes.count").set(wetlab_lanes)
+        for lane, busy in enumerate(lane_busy_hours_by_lane):
+            self.metrics.gauge(f"service.lane.{lane}.busy_sim_hours").set(busy)
+            if makespan_hours > 0:
+                self.metrics.gauge(f"service.lane.{lane}.utilization").set(
+                    busy / makespan_hours
+                )
+        for name, seconds in (stage_seconds or {}).items():
+            self.metrics.gauge(f"decode.stage_wall_seconds.{name}").set(seconds)
+        self.metrics.gauge("service.run.policy_is_cached").set(
+            1.0 if self.policy == "batched+cache" else 0.0
+        )
+        return RunObservability(
+            spans=list(self.tracer.spans), metrics=self.metrics.snapshot()
+        )
+
+
+__all__ = ["RunTelemetry"]

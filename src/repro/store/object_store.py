@@ -371,6 +371,7 @@ class ObjectStore:
                     reads=reads_by_partition[partition_name],
                     blocks=targets_of[partition_name],
                     decoder_options=decoder_options,
+                    label=partition_name,
                 )
             )
         engine = shared_engine(workers=workers, shared_memory=shared_memory)

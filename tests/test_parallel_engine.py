@@ -24,7 +24,7 @@ from repro.pipeline.parallel import (
     resolve_worker_count,
     shared_memory_enabled,
 )
-from repro.pipeline.stage_timing import collect_stages, record_stages
+from repro.observability.stages import collect_stages, record_stages
 from repro.store import DnaVolume, ObjectStore, VolumeConfig
 from repro.workloads.objects import object_corpus
 
