@@ -73,9 +73,30 @@ REQUIRED_TRUE = [
 ]
 
 
+#: Every stem the gate knows about (for the stray-artifact sweep).
+KNOWN_STEMS = sorted({stem for stem, _ in GATED_METRICS + REQUIRED_TRUE})
+
+
+def iter_result_files(directory: Path) -> list[Path]:
+    """``BENCH_*.json`` result files directly inside ``directory``.
+
+    Non-result artifacts are skipped explicitly — directories that
+    happen to match the glob, hidden/editor files, and anything inside
+    a bytecode cache — so a polluted checkout can't feed the gate.
+    """
+    files: list[Path] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if not path.is_file() or path.name.startswith("."):
+            continue
+        if "__pycache__" in path.parts:
+            continue
+        files.append(path)
+    return files
+
+
 def load(directory: Path, stem: str) -> dict | None:
     path = directory / f"BENCH_{stem}.json"
-    if not path.exists():
+    if not path.is_file():
         return None
     try:
         return json.loads(path.read_text(encoding="utf-8"))
@@ -118,6 +139,15 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     rows: list[str] = []
+
+    for directory in (args.baseline_dir, args.current_dir):
+        for path in iter_result_files(directory):
+            stem = path.stem.removeprefix("BENCH_")
+            if stem not in KNOWN_STEMS:
+                rows.append(
+                    f"  {path.name}: not a gated result file -> ignored "
+                    "(add it to GATED_METRICS/REQUIRED_TRUE to gate it)"
+                )
 
     for stem, metric in GATED_METRICS:
         baseline_doc = load(args.baseline_dir, stem)

@@ -1,0 +1,139 @@
+"""Baseline ratchet for reprolint.
+
+A baseline records findings that predate the linter so CI can gate on
+*new* violations immediately.  The ratchet only turns one way:
+
+* a finding matching a baseline entry is reported as *baselined* (not a
+  failure);
+* a baseline entry whose finding no longer fires is *stale* and fails
+  the run until the entry is deleted — the baseline can shrink but
+  never silently grow or rot.
+
+Entries key on the finding fingerprint (rule code + path + violating
+source line), so unrelated edits that shift line numbers don't churn
+the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import LintError
+from repro.analysis.lint.model import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted pre-existing finding."""
+
+    code: str
+    path: str
+    fingerprint: str
+
+    def as_dict(self) -> dict[str, str]:
+        return {"code": self.code, "path": self.path, "fingerprint": self.fingerprint}
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of reconciling findings against the baseline."""
+
+    #: Findings not covered by the baseline — these fail the run.
+    new: list[Finding]
+    #: Findings excused by a baseline entry.
+    baselined: list[Finding]
+    #: Entries that no longer match any finding — these also fail the run.
+    stale: list[BaselineEntry]
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has unsupported format; expected "
+            f'{{"version": {BASELINE_VERSION}, "findings": [...]}}'
+        )
+    raw_entries = payload.get("findings", [])
+    if not isinstance(raw_entries, list):
+        raise LintError(f"baseline {path}: 'findings' must be a list")
+    entries: list[BaselineEntry] = []
+    for raw in raw_entries:
+        if not isinstance(raw, dict):
+            raise LintError(f"baseline {path}: entries must be objects")
+        try:
+            entries.append(
+                BaselineEntry(
+                    code=str(raw["code"]),
+                    path=str(raw["path"]),
+                    fingerprint=str(raw["fingerprint"]),
+                )
+            )
+        except KeyError as exc:
+            raise LintError(
+                f"baseline {path}: entry missing key {exc.args[0]!r}"
+            ) from exc
+    return entries
+
+
+def reconcile(
+    findings: Sequence[Finding], entries: Iterable[BaselineEntry]
+) -> BaselineMatch:
+    """Split findings into new vs baselined and detect stale entries.
+
+    Duplicate fingerprints (the same violating line repeated) are matched
+    one-for-one: an entry excuses at most one finding occurrence.
+    """
+    remaining: dict[tuple[str, str, str], int] = {}
+    for entry in entries:
+        key = (entry.code, entry.path, entry.fingerprint)
+        remaining[key] = remaining.get(key, 0) + 1
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = (finding.code, finding.path, finding.fingerprint)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale: list[BaselineEntry] = []
+    for (code, path, fingerprint), count in sorted(remaining.items()):
+        for _ in range(count):
+            stale.append(BaselineEntry(code=code, path=path, fingerprint=fingerprint))
+    return BaselineMatch(new=new, baselined=baselined, stale=stale)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Serialize ``findings`` as the new accepted baseline."""
+    entries = [
+        BaselineEntry(
+            code=finding.code, path=finding.path, fingerprint=finding.fingerprint
+        )
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.code))
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [entry.as_dict() for entry in entries],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineEntry",
+    "BaselineMatch",
+    "load_baseline",
+    "reconcile",
+    "write_baseline",
+]

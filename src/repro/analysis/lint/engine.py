@@ -1,0 +1,249 @@
+"""File discovery, suppression handling and the reprolint driver.
+
+The engine walks the requested paths (skipping ``__pycache__``, hidden
+directories and anything that is not a ``*.py`` source file), parses
+each file once, fans it out to every applicable rule, honours inline
+suppressions, runs project-level rules, and reconciles the surviving
+findings against the baseline ratchet.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.lint.baseline import (
+    BaselineEntry,
+    load_baseline,
+    reconcile,
+)
+from repro.analysis.lint.model import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    FileContext,
+    Finding,
+    Rule,
+)
+from repro.analysis.lint.rules import ALL_RULES, RULES_BY_CODE
+
+#: Directory names never descended into: caches, VCS state, virtualenvs.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".hg", ".mypy_cache", ".venv", "venv"})
+
+#: ``# reprolint: disable=RL001,RL004 -- why this line is exempt``
+_SUPPRESSION = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Z0-9_,\s]+?)(?:\s+--\s*(\S.*?))?\s*$"
+)
+
+_PARSE_ERROR_CODE = "RL000"
+_SUPPRESSION_CODE = "RL011"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed inline suppression directive."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+
+
+@dataclass
+class LintResult:
+    """Everything a reporter or the CLI needs about one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the run should exit 0: no new findings, no stale entries."""
+        return not self.findings and not self.stale
+
+
+def discover_files(paths: Sequence[Path], root: Path) -> list[Path]:
+    """Python source files under ``paths``, resolved against ``root``.
+
+    Only ``*.py`` files are considered source: bytecode, caches and
+    hidden/VCS directories are skipped explicitly rather than relying on
+    them never containing importable code.
+    """
+    files: set[Path] = set()
+    for raw in paths:
+        path = raw if raw.is_absolute() else root / raw
+        if path.is_file():
+            if path.suffix == ".py":
+                files.add(path)
+            continue
+        if not path.is_dir():
+            continue
+        for candidate in path.rglob("*.py"):
+            parts = candidate.relative_to(path).parts
+            if any(part in SKIP_DIRS or part.startswith(".") for part in parts[:-1]):
+                continue
+            files.add(candidate)
+    return sorted(files)
+
+
+def parse_suppressions(
+    lines: Sequence[str], rel: str
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Scan source lines for suppression directives.
+
+    Returns the active suppressions (line -> suppressed codes) plus the
+    RL011 findings for malformed directives.  A directive without a
+    ``-- justification`` is an error *and stays inactive*, so a
+    suppression can never be cheaper than a justification.  Unknown rule
+    codes are warnings and suppress nothing.
+    """
+    active: dict[int, set[str]] = {}
+    problems: list[Finding] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        justification = (match.group(2) or "").strip()
+        if not justification:
+            problems.append(
+                Finding(
+                    code=_SUPPRESSION_CODE,
+                    message=(
+                        "suppression has no justification; write "
+                        "`disable=<codes> -- <why this line is exempt>` "
+                        "(unjustified suppressions are ignored)"
+                    ),
+                    path=rel,
+                    line=lineno,
+                    severity=SEVERITY_ERROR,
+                    snippet=text.strip(),
+                )
+            )
+            continue
+        known: set[str] = set()
+        for code in codes:
+            if code in RULES_BY_CODE or code == _PARSE_ERROR_CODE:
+                known.add(code)
+            else:
+                problems.append(
+                    Finding(
+                        code=_SUPPRESSION_CODE,
+                        message=f"suppression names unknown rule code {code!r}",
+                        path=rel,
+                        line=lineno,
+                        severity=SEVERITY_WARNING,
+                        snippet=text.strip(),
+                    )
+                )
+        if known:
+            active.setdefault(lineno, set()).update(known)
+    return active, problems
+
+
+def lint_file(path: Path, rel: str, rules: Sequence[Rule]) -> list[Finding]:
+    """All findings for one file: parse, run rules, apply suppressions."""
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    suppressions, findings = parse_suppressions(lines, rel)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        findings.append(
+            Finding(
+                code=_PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+                path=rel,
+                line=exc.lineno or 0,
+                severity=SEVERITY_ERROR,
+                snippet="",
+            )
+        )
+        return findings
+    ctx = FileContext(path=path, rel=rel, tree=tree, lines=lines)
+    for rule in rules:
+        if rule.applies_to(rel):
+            findings.extend(rule.check(ctx))
+    kept: list[Finding] = []
+    for finding in findings:
+        if finding.code == _SUPPRESSION_CODE:
+            kept.append(finding)  # suppression hygiene is never suppressible
+        elif finding.code in suppressions.get(finding.line, set()):
+            kept.append(
+                Finding(
+                    code=finding.code,
+                    message=finding.message,
+                    path=finding.path,
+                    line=finding.line,
+                    severity="suppressed",
+                    snippet=finding.snippet,
+                )
+            )
+        else:
+            kept.append(finding)
+    return kept
+
+
+def run_lint(
+    paths: Sequence[Path],
+    *,
+    root: Path,
+    baseline_path: Path | None = None,
+    env_docs: Path | None = None,
+    rules: Iterable[Rule] = ALL_RULES,
+) -> LintResult:
+    """Lint ``paths`` and reconcile against the baseline.
+
+    Args:
+        paths: files or directories (relative paths resolve against root).
+        root: repository root; findings report root-relative paths.
+        baseline_path: the ratchet file; ``None`` disables baselining.
+        env_docs: generated flag docs checked by RL010; ``None`` skips
+            project-level rules (used by unit-test fixtures).
+        rules: the rule registry (overridable for tests).
+
+    Returns:
+        A :class:`LintResult`; ``result.ok`` decides the exit code.
+    """
+    rule_list = list(rules)
+    result = LintResult()
+    all_findings: list[Finding] = []
+    for path in discover_files(paths, root):
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        all_findings.extend(lint_file(path, rel, rule_list))
+        result.files_checked += 1
+    if env_docs is not None:
+        for rule in rule_list:
+            if rule.project_level:
+                all_findings.extend(rule.check_project(root, env_docs))
+    all_findings.sort(key=lambda f: (f.path, f.line, f.code))
+    active = [f for f in all_findings if f.severity != "suppressed"]
+    result.suppressed = [f for f in all_findings if f.severity == "suppressed"]
+    if baseline_path is not None:
+        match = reconcile(active, load_baseline(baseline_path))
+        result.findings = match.new
+        result.baselined = match.baselined
+        result.stale = match.stale
+    else:
+        result.findings = active
+    return result
+
+
+__all__ = [
+    "SKIP_DIRS",
+    "LintResult",
+    "Suppression",
+    "discover_files",
+    "lint_file",
+    "parse_suppressions",
+    "run_lint",
+]

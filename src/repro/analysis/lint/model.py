@@ -1,0 +1,157 @@
+"""Core data model of the reprolint static-analysis pass.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`Rule` is a path-scoped check over one parsed file (or over the
+project, for registry/doc checks).  Findings carry a *fingerprint* —
+stable across line-number drift because it hashes the violating source
+line rather than its position — which is what the baseline ratchet and
+the suppression machinery key on.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar
+
+from repro.exceptions import LintError
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+_SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        code: the rule code (``RL001`` ...).
+        message: human-readable description of the violation.
+        path: repository-relative posix path of the file.
+        line: 1-based line number (0 for file/project-level findings).
+        severity: :data:`SEVERITY_ERROR` or :data:`SEVERITY_WARNING`.
+        snippet: the stripped source line, used for fingerprinting so
+            baselines survive unrelated line drift.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    severity: str = SEVERITY_ERROR
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity: hash of (code, path, snippet)."""
+        material = f"{self.code}|{self.path}|{self.snippet}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (reporters and the baseline writer)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """``path:line: CODE severity message`` (the human reporter row)."""
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: {self.code} {self.severity}: {self.message}"
+
+
+@dataclass
+class FileContext:
+    """One parsed source file handed to every applicable rule."""
+
+    path: Path
+    rel: str
+    tree: ast.Module
+    lines: list[str]
+
+    def snippet(self, line: int) -> str:
+        """The stripped source line at ``line`` (1-based; '' out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+def _in_scope(rel: str, prefixes: tuple[str, ...]) -> bool:
+    for prefix in prefixes:
+        if rel == prefix or rel.startswith(prefix.rstrip("/") + "/"):
+            return True
+    return False
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    project-level rules (registry/docs sync) override
+    :meth:`check_project` instead and set ``project_level = True``.
+    """
+
+    code: ClassVar[str] = "RL000"
+    name: ClassVar[str] = "rule"
+    severity: ClassVar[str] = SEVERITY_ERROR
+    description: ClassVar[str] = ""
+    #: Repo-relative path prefixes the rule applies to; empty = every file.
+    scopes: ClassVar[tuple[str, ...]] = ()
+    #: Repo-relative path prefixes exempt from the rule.
+    exempt: ClassVar[tuple[str, ...]] = ()
+    #: True for rules that run once per lint run instead of per file.
+    project_level: ClassVar[bool] = False
+
+    def applies_to(self, rel: str) -> bool:
+        """Whether this rule runs on the file at repo-relative ``rel``."""
+        if self.project_level:
+            return False
+        if self.scopes and not _in_scope(rel, self.scopes):
+            return False
+        return not _in_scope(rel, self.exempt)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        """Findings for one parsed file (per-file rules)."""
+        return []
+
+    def check_project(self, root: Path, env_docs: Path) -> list[Finding]:
+        """Findings for the whole run (project-level rules)."""
+        return []
+
+    def finding(
+        self,
+        ctx: FileContext,
+        line: int,
+        message: str,
+        *,
+        severity: str | None = None,
+    ) -> Finding:
+        """Build a finding for ``ctx`` at ``line`` with this rule's code."""
+        chosen = severity if severity is not None else self.severity
+        if chosen not in _SEVERITIES:
+            raise LintError(f"unknown severity {chosen!r}")
+        return Finding(
+            code=self.code,
+            message=message,
+            path=ctx.rel,
+            line=line,
+            severity=chosen,
+            snippet=ctx.snippet(line),
+        )
+
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "FileContext",
+    "Finding",
+    "Rule",
+]

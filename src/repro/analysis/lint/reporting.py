@@ -1,0 +1,45 @@
+"""Reporters for reprolint results (human text and JSON)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.engine import LintResult
+
+
+def render_human(result: LintResult) -> str:
+    """Multi-line, grep-friendly report: one finding per line + summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    for entry in result.stale:
+        lines.append(
+            f"{entry.path}: {entry.code} error: stale baseline entry "
+            f"{entry.fingerprint} no longer matches any finding; delete it "
+            "from the baseline (the ratchet only shrinks)"
+        )
+    summary = (
+        f"reprolint: {len(result.findings)} finding(s), "
+        f"{len(result.stale)} stale baseline entr(ies), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{result.files_checked} file(s) checked"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable keys; consumed by CI tooling)."""
+    payload = {
+        "findings": [finding.as_dict() for finding in result.findings],
+        "stale_baseline": [entry.as_dict() for entry in result.stale],
+        "baselined": [finding.as_dict() for finding in result.baselined],
+        "suppressed": [finding.as_dict() for finding in result.suppressed],
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2)
+
+
+__all__ = ["render_human", "render_json"]

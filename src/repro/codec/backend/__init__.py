@@ -15,8 +15,7 @@ volume layer all run on the pure-Python fallback when numpy is absent.
 
 from __future__ import annotations
 
-import os
-
+from repro import envflags
 from repro.codec.backend.base import CodecBackend
 from repro.codec.backend.python_backend import PythonBackend
 from repro.exceptions import EncodingError
@@ -55,7 +54,7 @@ def get_backend(name: str | CodecBackend | None = None) -> CodecBackend:
     """
     if isinstance(name, CodecBackend):
         return name
-    requested = name or os.environ.get(_ENV_VARIABLE, "auto")
+    requested = name or envflags.read(_ENV_VARIABLE)
     requested = requested.strip().lower()
     if requested == "auto":
         requested = "numpy" if _numpy_available() else "python"

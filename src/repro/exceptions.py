@@ -86,3 +86,11 @@ class ServiceError(DnaStorageError):
 
 class ObservabilityError(DnaStorageError):
     """Raised by the tracing/metrics subsystem (repro.observability)."""
+
+
+class ConfigError(DnaStorageError):
+    """Raised for invalid runtime configuration (repro.envflags)."""
+
+
+class LintError(DnaStorageError):
+    """Raised by the static-analysis pass (repro.analysis.lint)."""

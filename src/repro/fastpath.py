@@ -9,23 +9,19 @@ everywhere at once — the identity tests diff the two modes, and the
 decoding benchmark uses the reference serial path as the baseline its
 speedup gate is measured against.
 
-The flag is read per call (not cached) so tests and benchmarks can toggle
-it with ``monkeypatch.setenv``; the lookup is two dict probes, far off any
-inner loop.
+The flag is resolved per call through :mod:`repro.envflags` (not cached)
+so tests and benchmarks can toggle it with ``monkeypatch.setenv``; the
+lookup is a few dict probes, far off any inner loop.
 """
 
 from __future__ import annotations
 
-import os
-
-_ENV_VARIABLE = "REPRO_FUSED_KERNELS"
-
-_FALSE_VALUES = frozenset({"0", "false", "no", "off"})
+from repro import envflags
 
 
 def fused_kernels_enabled() -> bool:
     """Whether the fused/batched kernels are enabled (the default)."""
-    return os.environ.get(_ENV_VARIABLE, "1").strip().lower() not in _FALSE_VALUES
+    return envflags.enabled("REPRO_FUSED_KERNELS")
 
 
 __all__ = ["fused_kernels_enabled"]

@@ -39,12 +39,11 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Iterable, Iterator
 
+from repro import envflags
+
 #: Clock domains a span can live on (never mixed within one span).
 SIM_CLOCK = "sim_hours"
 WALL_CLOCK = "wall_seconds"
-
-_TRACING_ENV = "REPRO_TRACING"
-_FALSE_VALUES = frozenset({"", "0", "false", "no", "off"})
 
 
 def tracing_enabled(flag: bool | None = None) -> bool:
@@ -55,7 +54,18 @@ def tracing_enabled(flag: bool | None = None) -> bool:
     """
     if flag is not None:
         return flag
-    return os.environ.get(_TRACING_ENV, "").strip().lower() not in _FALSE_VALUES
+    return envflags.enabled("REPRO_TRACING")
+
+
+def wall_now() -> float:
+    """The wall clock's single read point (host ``perf_counter`` seconds).
+
+    Every wall-clock measurement outside this package routes through here
+    (or through :func:`~repro.observability.stages.stage`), so the
+    :data:`WALL_CLOCK` domain has exactly one definition — reprolint rule
+    ``RL002`` keeps raw ``time.*`` reads out of the rest of ``src/repro``.
+    """
+    return perf_counter()
 
 
 @dataclass
@@ -300,5 +310,6 @@ __all__ = [
     "current_tracer",
     "maybe_wall_span",
     "tracing_enabled",
+    "wall_now",
     "worker_track",
 ]

@@ -24,7 +24,7 @@ explicit name, then ``REPRO_CONSENSUS_BACKEND``, then autodetection.
 
 from __future__ import annotations
 
-import os
+from repro import envflags
 from collections import Counter
 from typing import Sequence
 
@@ -140,7 +140,7 @@ def available_consensus_backends() -> list[str]:
 
 
 def _resolve_backend(backend: str | None) -> str:
-    requested = (backend or os.environ.get(_ENV_VARIABLE, "auto")).strip().lower()
+    requested = (backend or envflags.read(_ENV_VARIABLE)).strip().lower()
     if requested == "auto":
         # The fused-kernel switch only moves the *default*: an explicit
         # backend name (argument or environment) is always honored.

@@ -21,7 +21,7 @@ order matches the codec engine: explicit name, then the
 
 from __future__ import annotations
 
-import os
+from repro import envflags
 
 from repro.exceptions import ClusteringError
 from repro.fastpath import fused_kernels_enabled
@@ -397,7 +397,7 @@ def get_distance_backend(
     """
     if isinstance(name, DistanceBackend):
         return name
-    requested = name or os.environ.get(_ENV_VARIABLE, "auto")
+    requested = name or envflags.read(_ENV_VARIABLE)
     requested = requested.strip().lower()
     if requested == "auto":
         requested = "numpy" if _numpy_available() else "python"

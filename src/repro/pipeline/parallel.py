@@ -45,9 +45,9 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
-from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
+from repro import envflags
 from repro.exceptions import DecodingError
 from repro.observability.stages import collect_stages, record_stages
 from repro.observability.tracing import (
@@ -55,6 +55,7 @@ from repro.observability.tracing import (
     activate,
     current_tracer,
     maybe_wall_span,
+    wall_now,
     worker_track,
 )
 
@@ -70,13 +71,37 @@ _SHM_ENV = "REPRO_DECODE_SHM"
 #: segment setup cost.
 SHARED_MEMORY_MIN_BYTES = 1 << 20
 
-_FALSE_VALUES = frozenset({"0", "false", "no", "off"})
+#: The only type names allowed to cross the worker-process boundary —
+#: :class:`DecodeTask` / :class:`DecodeOutcome` fields and the
+#: :func:`_run_task` signature may reference nothing outside this set
+#: (reprolint rule RL008).  Every non-builtin entry must pickle
+#: deterministically: ``Partition`` carries its geometry by value and its
+#: ``GaloisField`` resolves through ``GaloisField.cached`` (``__reduce__``),
+#: so workers share one per-process table source instead of re-deriving
+#: exp/log tables per task.
+PICKLE_BOUNDARY_TYPES = frozenset(
+    {
+        "Partition",
+        "DecodeReport",
+        "Span",
+        "Sequence",
+        "bool",
+        "bytes",
+        "dict",
+        "float",
+        "int",
+        "list",
+        "str",
+        "tuple",
+        "None",
+    }
+)
 
 
 def resolve_worker_count(workers: int | None = None) -> int:
     """The effective worker count: argument, then env, then CPU count."""
     if workers is None:
-        raw = os.environ.get(_WORKERS_ENV, "").strip()
+        raw = envflags.read(_WORKERS_ENV).strip()
         if raw:
             try:
                 workers = int(raw)
@@ -95,8 +120,7 @@ def shared_memory_enabled(shared_memory: bool | None = None) -> bool:
     """Whether large read batches ride shared memory (argument, then env)."""
     if shared_memory is not None:
         return shared_memory
-    raw = os.environ.get(_SHM_ENV, "1").strip().lower()
-    return raw not in _FALSE_VALUES
+    return envflags.enabled(_SHM_ENV)
 
 
 @dataclass(frozen=True)
@@ -222,11 +246,11 @@ def _run_task(
         decoder = BlockDecoder(partition, **decoder_options)
         return decoder.decode_readout(reads, blocks)
 
-    begin = perf_counter()
+    begin = wall_now()
     if trace is None:
         with collect_stages() as stages:
             reports = decode()
-        return reports, dict(stages), perf_counter() - begin, []
+        return reports, dict(stages), wall_now() - begin, []
     tracer = Tracer() if trace else None
     with activate(tracer):
         with collect_stages() as stages:
@@ -241,7 +265,7 @@ def _run_task(
             else:
                 reports = decode()
     spans = tracer.spans if tracer is not None else []
-    return reports, dict(stages), perf_counter() - begin, spans
+    return reports, dict(stages), wall_now() - begin, spans
 
 
 class DecodeEngine:

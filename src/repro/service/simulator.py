@@ -506,6 +506,10 @@ class ServicePipeline:
         """The wetlab readout engine, built on first use (needs numpy)."""
         if self.readout is None:
             try:
+                # The wetlab modules import without numpy (their entry
+                # points are gated), so probe numpy itself: sampling
+                # needs it from the very first cycle.
+                import numpy  # noqa: F401
                 from repro.wetlab.readout import WetlabReadout
             except ImportError as exc:  # pragma: no cover - no-numpy envs
                 raise ServiceError(

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # MixReport stays importable; the protocols need numpy (PCR rng).
 
 from repro.exceptions import MixingError
 from repro.wetlab.pcr import PCRConfig, PCRSimulator
@@ -57,7 +60,7 @@ def _mean_copies(pool: MolecularPool, members: set[str]) -> float:
     values = [pool.copies(seq) for seq in members if seq in pool.species]
     if not values:
         return 0.0
-    return float(np.mean(values))
+    return float(sum(values) / len(values))
 
 
 def measure_then_amplify(
@@ -78,6 +81,8 @@ def measure_then_amplify(
     combined sample is amplified with the main partition primers
     (15 cycles in the paper).
     """
+    if np is None:
+        raise MixingError("mixing protocols require numpy")
     rng = np.random.default_rng(seed)
     measured_data = measure_concentration(data_pool, error_sigma=measurement_sigma, rng=rng)
     measured_update = measure_concentration(update_pool, error_sigma=measurement_sigma, rng=rng)
@@ -120,6 +125,8 @@ def amplify_then_measure(
     and they are mixed in proportion to the number of unique oligos each
     contains so that per-molecule concentrations match.
     """
+    if np is None:
+        raise MixingError("mixing protocols require numpy")
     rng = np.random.default_rng(seed)
     config = amplification or PCRConfig.preamplification()
     simulator = PCRSimulator(config)

@@ -9,7 +9,10 @@ scaled by a multiplicative lognormal error.
 
 from __future__ import annotations
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # Measurement needs numpy's lognormal; the module stays importable.
 
 from repro.exceptions import WetlabError
 from repro.wetlab.pool import MolecularPool
@@ -39,8 +42,14 @@ def measure_concentration(
         raise WetlabError("cannot measure an empty pool")
     if error_sigma == 0:
         return total
-    generator = rng if rng is not None else np.random.default_rng()
-    return float(total * generator.lognormal(mean=0.0, sigma=error_sigma))
+    if rng is None:
+        if np is None:
+            raise WetlabError("noisy quantification requires numpy")
+        # Deterministic by default: an unseeded generator would make
+        # repeated measurements irreproducible (callers wanting fresh
+        # noise pass their own rng).
+        rng = np.random.default_rng(0)
+    return float(total * rng.lognormal(mean=0.0, sigma=error_sigma))
 
 
 def measure_mean_copies_per_species(
