@@ -756,14 +756,15 @@ class PickleBoundaryRule(Rule):
     name = "pickle-boundary"
     description = (
         "Types crossing the DecodeEngine process boundary (DecodeTask / "
-        "DecodeOutcome fields, the _run_task signature) must appear in "
-        "PICKLE_BOUNDARY_TYPES — the declared set of types proven to "
-        "pickle deterministically (GaloisField.cached precedent)."
+        "DecodeOutcome fields, the _run_task and _run_stage_task "
+        "signatures) must appear in PICKLE_BOUNDARY_TYPES — the declared "
+        "set of types proven to pickle deterministically "
+        "(GaloisField.cached precedent)."
     )
     scopes = ("src/repro/pipeline/parallel.py",)
 
     _BOUNDARY_CLASSES = ("DecodeTask", "DecodeOutcome")
-    _BOUNDARY_FUNCTION = "_run_task"
+    _BOUNDARY_FUNCTIONS: tuple[str, ...] = ("_run_task", "_run_stage_task")
 
     def check(self, ctx: FileContext) -> list[Finding]:
         declared = self._declared_types(ctx.tree)
@@ -788,7 +789,7 @@ class PickleBoundaryRule(Rule):
                         )
             elif (
                 isinstance(node, ast.FunctionDef)
-                and node.name == self._BOUNDARY_FUNCTION
+                and node.name in self._BOUNDARY_FUNCTIONS
             ):
                 checked_any = True
                 arguments = [
@@ -812,9 +813,9 @@ class PickleBoundaryRule(Rule):
                 self.finding(
                     ctx,
                     1,
-                    "expected DecodeTask/DecodeOutcome/_run_task boundary "
-                    "declarations were not found; update PickleBoundaryRule "
-                    "alongside the engine",
+                    "expected DecodeTask/DecodeOutcome/_run_task/"
+                    "_run_stage_task boundary declarations were not found; "
+                    "update PickleBoundaryRule alongside the engine",
                 )
             )
         return findings

@@ -53,6 +53,15 @@ class EnvFlag:
 
 _FLAGS: tuple[EnvFlag, ...] = (
     EnvFlag(
+        name="REPRO_CLUSTER_SHARDS",
+        default="1",
+        accepted="positive integer (1 = unsharded serial clustering)",
+        owner="repro.pipeline.clustering",
+        description="Shard count for intra-partition clustering "
+        "(signature-bucket shards agglomerate independently); clusters are "
+        "byte-identical at any shard count.",
+    ),
+    EnvFlag(
         name="REPRO_CODEC_BACKEND",
         default="auto",
         accepted="auto | numpy | python",
@@ -75,6 +84,15 @@ _FLAGS: tuple[EnvFlag, ...] = (
         owner="repro.pipeline.parallel",
         description="Ship decode-worker read batches >= 1 MiB through "
         "multiprocessing shared memory instead of the executor pipe.",
+    ),
+    EnvFlag(
+        name="REPRO_DECODE_STAGED",
+        default="1",
+        accepted="boolean (0/false/no/off disable)",
+        owner="repro.pipeline.parallel",
+        description="Let the multi-worker decode engine split readouts into "
+        "profile-staged cluster/consensus/solve pool tasks when clustering "
+        "is sharded (byte-identical either way).",
     ),
     EnvFlag(
         name="REPRO_DECODE_WORKERS",

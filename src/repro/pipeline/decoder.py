@@ -47,6 +47,64 @@ class _Candidate:
 
 
 @dataclass
+class ReadoutPlan:
+    """The prefix-filtered input of one readout decode.
+
+    Produced by :meth:`BlockDecoder.readout_plan`; downstream stages
+    (clustering, consensus, candidate collection, solving) consume the
+    plan instead of re-deriving targets and filtered reads, which lets
+    the staged decode engine run those stages as separate pool tasks.
+    """
+
+    targets: list[int]
+    reads_total: int
+    on_prefix: list[str]
+
+
+@dataclass
+class ReadoutCandidates:
+    """Per-block candidate strands collected from a readout's clusters.
+
+    ``batch_units`` holds the primary-candidate column maps of every
+    (block, slot) unit with enough columns to attempt a batched
+    Reed-Solomon decode; ``by_block_slot`` keeps the full candidate lists
+    for the per-slot fallback search of Section 8.1.
+    """
+
+    clusters_total: int
+    duplicates: dict[int, int]
+    by_block_slot: dict[int, dict[int, dict[int, list[_Candidate]]]]
+    batch_units: dict[tuple[int, int], dict[int, bytes]]
+
+
+def try_decode_units_batch(
+    partition: Partition, units: dict, keys: list | None = None
+) -> dict:
+    """Batch-decode keyed unit column maps, bisecting around failures.
+
+    All units go through one :meth:`Partition.decode_units_batch` call;
+    if any unit is uncorrectable the batch is split in half so healthy
+    units still decode in bulk and only failures drop out (they are
+    retried later by the per-slot candidate search).  A module-level
+    function so the decode engine can run the solve stage in a worker
+    without shipping a :class:`BlockDecoder`.
+    """
+    keys = list(units) if keys is None else keys
+    if not keys:
+        return {}
+    try:
+        decoded = partition.decode_units_batch([units[k] for k in keys])
+        return dict(zip(keys, decoded))
+    except (ReedSolomonError, DecodingError):
+        if len(keys) == 1:
+            return {}
+        middle = len(keys) // 2
+        results = try_decode_units_batch(partition, units, keys[:middle])
+        results.update(try_decode_units_batch(partition, units, keys[middle:]))
+        return results
+
+
+@dataclass
 class DecodeReport:
     """Everything the decoder learned while decoding one block.
 
@@ -96,6 +154,7 @@ class BlockDecoder:
         max_candidates_per_address: int = 3,
         max_decode_attempts_per_slot: int = 48,
         distance_backend=None,
+        cluster_shards: int | None = None,
     ) -> None:
         self.partition = partition
         self.max_prefix_errors = max_prefix_errors
@@ -105,6 +164,9 @@ class BlockDecoder:
         #: Distance backend used by the clustering pass (``"python"``,
         #: ``"numpy"``, ``None`` for auto); both produce identical clusters.
         self.distance_backend = distance_backend
+        #: Clustering shard count (``None`` = ``REPRO_CLUSTER_SHARDS``);
+        #: any value yields byte-identical clusters.
+        self.cluster_shards = cluster_shards
 
     # ------------------------------------------------------------------
     # Internals
@@ -130,12 +192,15 @@ class BlockDecoder:
         except DecodingError:
             return None
 
-    def _reconstruct_all(self, clusters: list[ReadCluster]) -> list[Molecule | None]:
-        """Consensus + parse of every cluster, consensi in one batched call."""
+    def consensus_strands(self, clusters: list[ReadCluster]) -> list[str]:
+        """Reconstruct every cluster's consensus strand in one batched call."""
         with stage("consensus"):
-            strands = consensus_batch(
+            return consensus_batch(
                 [cluster.reads for cluster in clusters], self._layout.strand_length
             )
+
+    def parse_strands(self, strands: list[str]) -> list[Molecule | None]:
+        """Parse consensus strands into molecules (None for malformed ones)."""
         molecules: list[Molecule | None] = []
         for strand in strands:
             try:
@@ -143,6 +208,10 @@ class BlockDecoder:
             except DecodingError:
                 molecules.append(None)
         return molecules
+
+    def _reconstruct_all(self, clusters: list[ReadCluster]) -> list[Molecule | None]:
+        """Consensus + parse of every cluster, consensi in one batched call."""
+        return self.parse_strands(self.consensus_strands(clusters))
 
     # ------------------------------------------------------------------
     # Candidate collection
@@ -191,28 +260,6 @@ class BlockDecoder:
         except (ReedSolomonError, DecodingError):
             return None
 
-    def _try_decode_units_batch(self, units: dict, keys: list | None = None) -> dict:
-        """Batch-decode keyed unit column maps, bisecting around failures.
-
-        All units go through one :meth:`Partition.decode_units_batch` call;
-        if any unit is uncorrectable the batch is split in half so healthy
-        units still decode in bulk and only failures drop out (they are
-        retried later by the per-slot candidate search).
-        """
-        keys = list(units) if keys is None else keys
-        if not keys:
-            return {}
-        try:
-            decoded = self.partition.decode_units_batch([units[k] for k in keys])
-            return dict(zip(keys, decoded))
-        except (ReedSolomonError, DecodingError):
-            if len(keys) == 1:
-                return {}
-            middle = len(keys) // 2
-            results = self._try_decode_units_batch(units, keys[:middle])
-            results.update(self._try_decode_units_batch(units, keys[middle:]))
-            return results
-
     def _decode_primaries_batched(
         self, by_slot: dict[int, dict[int, list[_Candidate]]]
     ) -> dict[int, bytes]:
@@ -233,7 +280,7 @@ class BlockDecoder:
             for slot in sorted(by_slot)
             if len(by_slot[slot]) >= data_columns
         }
-        return self._try_decode_units_batch(primaries)
+        return try_decode_units_batch(self.partition, primaries)
 
     def _finish_block(
         self,
@@ -379,6 +426,7 @@ class BlockDecoder:
                 signature_length=signature_length,
                 max_read_distance=self.max_read_distance,
                 distance_backend=self.distance_backend,
+                shards=self.cluster_shards,
             )
         report.clusters_total = len(clusters)
 
@@ -406,50 +454,53 @@ class BlockDecoder:
             reports[block] = self.decode_block(reads, block)
         return reports
 
-    def decode_readout(
-        self,
-        reads: list[str],
-        blocks: list[int] | None = None,
-    ) -> dict[int, DecodeReport]:
-        """Decode many blocks from one readout with a single clustering pass.
-
-        Unlike :meth:`decode_partition` (which re-filters and re-clusters
-        the readout for every block), this batched path clusters the reads
-        once against the partition's main primer, attributes each
-        reconstructed strand to its parsed block address, and then decodes
-        every recovered encoding unit — all blocks, all update slots — in
-        one batched Reed-Solomon pass, falling back to the per-slot
-        candidate search only for units the batch could not correct.
-
-        Args:
-            reads: read strings of a whole-partition (or multi-block
-                range) retrieval.
-            blocks: block numbers to decode; defaults to every written
-                block of the partition.
-
-        Returns:
-            One :class:`DecodeReport` per requested block.  Cluster counts
-            in the reports refer to the shared clustering pass.
-        """
+    # ------------------------------------------------------------------
+    # Readout decode, decomposed by stage.  ``decode_readout`` composes
+    # these pieces inline; the staged decode engine drives the same
+    # pieces with the cluster shards, consensus batches and the batched
+    # solve running as separate pool tasks — byte-identical either way.
+    # ------------------------------------------------------------------
+    def readout_plan(
+        self, reads: list[str], blocks: list[int] | None = None
+    ) -> ReadoutPlan:
+        """Resolve targets and prefix-filter the readout's reads."""
         targets = self.partition.written_blocks() if blocks is None else list(blocks)
-        target_set = set(targets)
         main_prefix = self.partition.config.primers.forward
         on_prefix = reads_with_prefix(
             reads, main_prefix, max_errors=self.max_prefix_errors
         )
+        return ReadoutPlan(
+            targets=targets, reads_total=len(reads), on_prefix=on_prefix
+        )
+
+    def cluster_readout(self, plan: ReadoutPlan) -> list[ReadCluster]:
+        """Cluster the plan's on-prefix reads (one shared pass per readout)."""
         signature_start, signature_length = self._signature_window()
         with stage("cluster"):
-            clusters = cluster_reads(
-                on_prefix,
+            return cluster_reads(
+                plan.on_prefix,
                 signature_start=signature_start,
                 signature_length=signature_length,
                 max_read_distance=self.max_read_distance,
                 distance_backend=self.distance_backend,
+                shards=self.cluster_shards,
             )
 
-        # One reconstruction pass; strands are attributed to blocks by
-        # their parsed unit index (mispriming keeps extra candidates).
-        molecules = self._reconstruct_all(clusters)
+    def collect_readout(
+        self,
+        plan: ReadoutPlan,
+        clusters: list[ReadCluster],
+        strands: list[str],
+    ) -> ReadoutCandidates:
+        """Attribute consensus strands to blocks and build the solve batch.
+
+        Strands are attributed by their parsed unit index (mispriming
+        keeps extra candidates, Section 8.1); the primary candidates of
+        every (block, slot) unit with enough columns become one entry of
+        the batched Reed-Solomon solve.
+        """
+        target_set = set(plan.targets)
+        molecules = self.parse_strands(strands)
         per_block: dict[int, dict[tuple[int, int], list[_Candidate]]] = {}
         duplicates: dict[int, int] = {}
         for cluster, molecule in zip(clusters, molecules):
@@ -475,7 +526,6 @@ class BlockDecoder:
                         _Candidate(payload=molecule.payload, cluster_size=cluster.size)
                     )
 
-        # Batch-decode the primary candidates of every (block, slot) unit.
         data_columns = self.partition.config.unit_layout.data_molecules
         by_block_slot: dict[int, dict[int, dict[int, list[_Candidate]]]] = {}
         batch_units: dict[tuple[int, int], dict[int, bytes]] = {}
@@ -490,29 +540,79 @@ class BlockDecoder:
                         column: column_candidates[0].payload
                         for column, column_candidates in columns.items()
                     }
-        with stage("syndrome_solve"):
-            decoded_units = self._try_decode_units_batch(batch_units)
+        return ReadoutCandidates(
+            clusters_total=len(clusters),
+            duplicates=duplicates,
+            by_block_slot=by_block_slot,
+            batch_units=batch_units,
+        )
 
-            reports: dict[int, DecodeReport] = {}
-            for block in targets:
-                report = DecodeReport(
-                    block=block,
-                    reads_total=len(reads),
-                    reads_on_prefix=len(on_prefix),
-                    clusters_total=len(clusters),
-                    clusters_used=len(clusters),
-                    duplicate_strands_discarded=duplicates.get(block, 0),
+    def finish_readout(
+        self,
+        plan: ReadoutPlan,
+        collected: ReadoutCandidates,
+        decoded_units: dict,
+    ) -> dict[int, DecodeReport]:
+        """Assemble per-block reports from the batch-solved units.
+
+        Units missing from ``decoded_units`` go through the per-slot
+        candidate search of Section 8.1 (inside :meth:`_finish_block`).
+        """
+        reports: dict[int, DecodeReport] = {}
+        for block in plan.targets:
+            report = DecodeReport(
+                block=block,
+                reads_total=plan.reads_total,
+                reads_on_prefix=len(plan.on_prefix),
+                clusters_total=collected.clusters_total,
+                clusters_used=collected.clusters_total,
+                duplicate_strands_discarded=collected.duplicates.get(block, 0),
+            )
+            by_slot = collected.by_block_slot.get(block)
+            if by_slot:
+                report.strands_recovered = sum(
+                    len(columns) for columns in by_slot.values()
                 )
-                by_slot = by_block_slot.get(block)
-                if by_slot:
-                    report.strands_recovered = sum(
-                        len(columns) for columns in by_slot.values()
-                    )
-                    prebatched = {
-                        slot: data
-                        for (decoded_block, slot), data in decoded_units.items()
-                        if decoded_block == block
-                    }
-                    self._finish_block(by_slot, prebatched, report)
-                reports[block] = report
+                prebatched = {
+                    slot: data
+                    for (decoded_block, slot), data in decoded_units.items()
+                    if decoded_block == block
+                }
+                self._finish_block(by_slot, prebatched, report)
+            reports[block] = report
         return reports
+
+    def decode_readout(
+        self,
+        reads: list[str],
+        blocks: list[int] | None = None,
+    ) -> dict[int, DecodeReport]:
+        """Decode many blocks from one readout with a single clustering pass.
+
+        Unlike :meth:`decode_partition` (which re-filters and re-clusters
+        the readout for every block), this batched path clusters the reads
+        once against the partition's main primer, attributes each
+        reconstructed strand to its parsed block address, and then decodes
+        every recovered encoding unit — all blocks, all update slots — in
+        one batched Reed-Solomon pass, falling back to the per-slot
+        candidate search only for units the batch could not correct.
+
+        Args:
+            reads: read strings of a whole-partition (or multi-block
+                range) retrieval.
+            blocks: block numbers to decode; defaults to every written
+                block of the partition.
+
+        Returns:
+            One :class:`DecodeReport` per requested block.  Cluster counts
+            in the reports refer to the shared clustering pass.
+        """
+        plan = self.readout_plan(reads, blocks)
+        clusters = self.cluster_readout(plan)
+        strands = self.consensus_strands(clusters)
+        collected = self.collect_readout(plan, clusters, strands)
+        with stage("syndrome_solve"):
+            decoded_units = try_decode_units_batch(
+                self.partition, collected.batch_units
+            )
+            return self.finish_readout(plan, collected, decoded_units)

@@ -5,7 +5,7 @@ concatenated reads of the cycle's :class:`~repro.wetlab.readout.ReadoutUnit`
 s, in access order), and decoding a batch — clustering, trace
 reconstruction, Reed-Solomon — is pure CPU work on immutable inputs.  The
 :class:`DecodeEngine` fans those batches out to a pool of worker
-processes, one task per partition readout:
+processes:
 
 * **Determinism.**  A task carries everything its decode depends on (the
   pickled partition, the reads, the target blocks, the decoder options),
@@ -20,9 +20,22 @@ processes, one task per partition readout:
   serial path.
 * **Payload transport.**  Tasks ship as ordinary pickles; read batches at
   or above :data:`SHARED_MEMORY_MIN_BYTES` take an optional
-  ``multiprocessing.shared_memory`` fast path (one ASCII blob per batch)
-  so large readouts are not copied through the executor's pipe.
-  ``REPRO_DECODE_SHM=0`` disables it.
+  ``multiprocessing.shared_memory`` fast path.  A :class:`_SegmentArena`
+  packs every big blob of a decode batch into **one** segment (length-
+  prefixed ASCII, ``(name, offset, length)`` descriptors) instead of one
+  segment per task, and guarantees the unlink on every exit path,
+  including a broken pool.  ``REPRO_DECODE_SHM=0`` disables it.
+* **Intra-partition staging.**  With ``REPRO_CLUSTER_SHARDS`` > 1 a
+  multi-worker engine decomposes each readout into *stage tasks* —
+  cluster shards (:func:`repro.pipeline.clustering.cluster_shard`),
+  consensus batches
+  (:func:`repro.pipeline.consensus.split_consensus_batches`) and the
+  batched syndrome solve — scheduled by a :class:`StageProfile` (EWMA
+  seconds-per-unit fed back from workers), so a hot partition's cluster
+  shards interleave with other partitions' consensus work instead of
+  head-of-line blocking one worker.  ``REPRO_DECODE_STAGED=0`` restores
+  one-task-per-partition scheduling; results are byte-identical in every
+  mode because the stage pieces are exactly the serial path's phases.
 * **Robustness.**  A broken pool (a worker killed mid-cycle) falls back to
   decoding the remaining tasks inline rather than failing the cycle.
 
@@ -41,7 +54,7 @@ from __future__ import annotations
 
 import atexit
 import os
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
@@ -49,7 +62,8 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro import envflags
 from repro.exceptions import DecodingError
-from repro.observability.stages import collect_stages, record_stages
+from repro.fastpath import staged_decode_enabled
+from repro.observability.stages import collect_stages, record_stages, stage
 from repro.observability.tracing import (
     Tracer,
     activate,
@@ -58,10 +72,28 @@ from repro.observability.tracing import (
     wall_now,
     worker_track,
 )
+from repro.pipeline.clustering import (
+    DEFAULT_MAX_READ_DISTANCE,
+    DEFAULT_MAX_SIGNATURE_ERRORS,
+    DEFAULT_MIN_KMER_SIMILARITY,
+    ClusterShard,
+    ReadCluster,
+    build_shard_payloads,
+    merge_shard_clusters,
+    resolve_cluster_shards,
+    route_reads,
+)
+from repro.pipeline.consensus import split_consensus_batches
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.partition import Partition
-    from repro.pipeline.decoder import DecodeReport
+    from repro.pipeline.decoder import (
+        BlockDecoder,
+        DecodeReport,
+        ReadoutCandidates,
+        ReadoutPlan,
+        RoutedReads,
+    )
 
 _WORKERS_ENV = "REPRO_DECODE_WORKERS"
 _SHM_ENV = "REPRO_DECODE_SHM"
@@ -71,14 +103,28 @@ _SHM_ENV = "REPRO_DECODE_SHM"
 #: segment setup cost.
 SHARED_MEMORY_MIN_BYTES = 1 << 20
 
+#: A syndrome solve predicted to run at least this long goes to a worker;
+#: cheaper solves run inline in the parent, where the submission +
+#: pickling round-trip would cost more than the solve itself.  An
+#: unprofiled solve goes to a worker once so the profile learns its rate.
+_REMOTE_SOLVE_MIN_SECONDS = 0.05
+
+#: Stage-collector name per staged-task kind (the solve kind feeds the
+#: ``syndrome_solve`` stage the serial decoder reports).
+_STAGE_OF_KIND = {
+    "cluster": "cluster",
+    "consensus": "consensus",
+    "solve": "syndrome_solve",
+}
+
 #: The only type names allowed to cross the worker-process boundary —
 #: :class:`DecodeTask` / :class:`DecodeOutcome` fields and the
-#: :func:`_run_task` signature may reference nothing outside this set
-#: (reprolint rule RL008).  Every non-builtin entry must pickle
-#: deterministically: ``Partition`` carries its geometry by value and its
-#: ``GaloisField`` resolves through ``GaloisField.cached`` (``__reduce__``),
-#: so workers share one per-process table source instead of re-deriving
-#: exp/log tables per task.
+#: :func:`_run_task` / :func:`_run_stage_task` signatures may reference
+#: nothing outside this set (reprolint rule RL008).  Every non-builtin
+#: entry must pickle deterministically: ``Partition`` carries its geometry
+#: by value and its ``GaloisField`` resolves through ``GaloisField.cached``
+#: (``__reduce__``), so workers share one per-process table source instead
+#: of re-deriving exp/log tables per task.
 PICKLE_BOUNDARY_TYPES = frozenset(
     {
         "Partition",
@@ -153,8 +199,10 @@ class DecodeOutcome:
     Attributes:
         reports: per-block decode reports, as
             :meth:`BlockDecoder.decode_readout` returns them.
-        stages: the task's stage timing breakdown (worker wall-clock).
-        seconds: total wall-clock of the task's decode.
+        stages: the task's stage timing breakdown (worker wall-clock;
+            under staged decoding the sum over the task's stage tasks).
+        seconds: total wall-clock of the task's decode (elapsed time from
+            first to last stage under staged decoding).
     """
 
     reports: "dict[int, DecodeReport]"
@@ -162,38 +210,128 @@ class DecodeOutcome:
     seconds: float
 
 
-def _pack_reads(reads: list[str]) -> tuple[str, int] | None:
-    """Publish a read batch into a shared-memory segment.
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+def _encode_reads(reads: Sequence[str]) -> bytes | None:
+    """One length-prefixed ASCII blob for a read batch.
 
-    Returns ``(segment_name, payload_length)``, or ``None`` when the batch
-    cannot ride shared memory (non-ASCII reads, or the platform refuses a
-    segment).  Reads are newline-joined, which is safe because sequencing
-    reads are alphabetic strings.
+    Layout: a comma-separated length header, one newline, then the
+    concatenated read bodies (sliced back out by length, so reads may
+    contain any ASCII byte).  ``None`` when the reads cannot encode.
     """
     try:
-        blob = "\n".join(reads).encode("ascii")
+        header = ",".join(str(len(read)) for read in reads)
+        body = "".join(reads)
+        return (header + "\n" + body).encode("ascii")
     except UnicodeEncodeError:
         return None
-    from multiprocessing import shared_memory
 
+
+def _decode_reads(blob: bytes) -> list[str]:
+    """Invert :func:`_encode_reads`."""
+    text = blob.decode("ascii")
+    header, _, body = text.partition("\n")
+    if not header:
+        return []
+    reads: list[str] = []
+    position = 0
+    for length in (int(part) for part in header.split(",")):
+        reads.append(body[position : position + length])
+        position += length
+    return reads
+
+
+def _encode_read_groups(groups: Sequence[Sequence[str]]) -> bytes | None:
+    """One length-prefixed ASCII blob for clustered read groups.
+
+    Same layout as :func:`_encode_reads` with a two-level header:
+    per-group comma-separated read lengths, groups joined by ``;``.
+    """
     try:
-        segment = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
-    except OSError:
+        header = ";".join(
+            ",".join(str(len(read)) for read in group) for group in groups
+        )
+        body = "".join(read for group in groups for read in group)
+        return (header + "\n" + body).encode("ascii")
+    except UnicodeEncodeError:
         return None
-    segment.buf[: len(blob)] = blob
-    name = segment.name
-    segment.close()
-    return (name, len(blob))
 
 
-def _load_reads(descriptor: tuple[str, int]) -> list[str]:
-    """Read a batch back out of a shared-memory segment (worker side)."""
+def _decode_read_groups(blob: bytes) -> list[list[str]]:
+    """Invert :func:`_encode_read_groups`."""
+    text = blob.decode("ascii")
+    header, _, body = text.partition("\n")
+    if not header:
+        return []
+    groups: list[list[str]] = []
+    position = 0
+    for part in header.split(";"):
+        group: list[str] = []
+        if part:
+            for length in (int(piece) for piece in part.split(",")):
+                group.append(body[position : position + length])
+                position += length
+        groups.append(group)
+    return groups
+
+
+class _SegmentArena:
+    """Shared-memory segments owned by one decode batch.
+
+    :meth:`publish` packs many blobs into **one** segment per call and
+    hands back ``(name, offset, length)`` descriptors, so a batch of
+    tasks (or a wave of stage tasks) shares a single segment instead of
+    paying one create/unlink per task.  :meth:`release` unlinks every
+    segment the arena created — the parent owns segment lifetime
+    unconditionally (workers only attach), so calling it in a ``finally``
+    guarantees no leak even when the pool breaks mid-batch.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list = []
+
+    def publish(
+        self, blobs: Sequence[bytes]
+    ) -> list[tuple[str, int, int]] | None:
+        """Pack ``blobs`` into one fresh segment; ``None`` if unavailable."""
+        total = sum(len(blob) for blob in blobs)
+        if not blobs or total == 0:
+            return None
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=total)
+        except OSError:
+            return None
+        descriptors: list[tuple[str, int, int]] = []
+        offset = 0
+        for blob in blobs:
+            segment.buf[offset : offset + len(blob)] = blob
+            descriptors.append((segment.name, offset, len(blob)))
+            offset += len(blob)
+        self._segments.append(segment)
+        segment.close()
+        return descriptors
+
+    def release(self) -> None:
+        """Unlink every segment this arena created (idempotent)."""
+        for segment in self._segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+
+def _load_blob(descriptor: tuple[str, int, int]) -> bytes:
+    """Copy one published blob out of its shared segment (worker side)."""
     from multiprocessing import resource_tracker, shared_memory
 
-    name, length = descriptor
+    name, offset, length = descriptor
     segment = shared_memory.SharedMemory(name=name)
     try:
-        blob = bytes(segment.buf[:length])
+        blob = bytes(segment.buf[offset : offset + length])
     finally:
         segment.close()
         # Attaching registered the segment with this process's resource
@@ -203,8 +341,17 @@ def _load_reads(descriptor: tuple[str, int]) -> list[str]:
             resource_tracker.unregister(segment._name, "shared_memory")
         except Exception:  # pragma: no cover - tracker API is CPython detail
             pass
-    text = blob.decode("ascii")
-    return text.split("\n") if text else [""]
+    return blob
+
+
+def _load_reads(descriptor: tuple[str, int, int]) -> list[str]:
+    """Read a batch back out of a shared-memory segment (worker side)."""
+    return _decode_reads(_load_blob(descriptor))
+
+
+def _load_read_groups(descriptor: tuple[str, int, int]) -> list[list[str]]:
+    """Read clustered groups back out of a shared segment (worker side)."""
+    return _decode_read_groups(_load_blob(descriptor))
 
 
 def _unlink_segment(name: str) -> None:
@@ -223,7 +370,7 @@ def _run_task(
     blocks: list[int] | None,
     decoder_options: dict,
     reads: list[str] | None,
-    shm_descriptor: tuple[str, int] | None,
+    shm_descriptor: tuple | None,
     trace: bool | None = None,
     label: str = "",
 ) -> tuple["dict[int, DecodeReport]", dict[str, float], float, list]:
@@ -268,6 +415,152 @@ def _run_task(
     return reports, dict(stages), wall_now() - begin, spans
 
 
+def _run_stage_task(
+    kind: str,
+    payload: tuple,
+    options: dict,
+    shm_descriptor: tuple | None = None,
+    trace: bool | None = None,
+    label: str = "",
+) -> tuple:
+    """Run one decode stage (worker entry point of the staged engine).
+
+    ``kind`` selects the stage: ``"cluster"`` agglomerates one clustering
+    shard (payload ``(reads, buckets)``), ``"consensus"`` reconstructs a
+    batch of cluster strands (payload ``(groups, length)``), ``"solve"``
+    batch-decodes encoding units (payload ``(partition, units)``).  A
+    ``None`` first payload element means the blob rides shared memory and
+    ``shm_descriptor`` locates it.  Returns ``(result, stages, seconds,
+    spans)`` with the same ``trace`` semantics as :func:`_run_task`.
+    """
+    stage_name = _STAGE_OF_KIND.get(kind)
+    if stage_name is None:
+        raise DecodingError(f"unknown decode stage kind {kind!r}")
+
+    def execute():
+        with stage(stage_name):
+            if kind == "cluster":
+                from repro.pipeline.clustering import cluster_shard
+
+                reads, buckets = payload
+                if reads is None:
+                    assert shm_descriptor is not None
+                    reads = _load_reads(shm_descriptor)
+                return cluster_shard(reads, buckets, **options)
+            if kind == "consensus":
+                from repro.pipeline.consensus import consensus_batch
+
+                groups, length = payload
+                if groups is None:
+                    assert shm_descriptor is not None
+                    groups = _load_read_groups(shm_descriptor)
+                return consensus_batch(
+                    groups, length, backend=options.get("backend")
+                )
+            from repro.pipeline.decoder import try_decode_units_batch
+
+            partition, units = payload
+            return try_decode_units_batch(partition, units)
+
+    begin = wall_now()
+    if trace is None:
+        with collect_stages() as stages:
+            result = execute()
+        return result, dict(stages), wall_now() - begin, []
+    tracer = Tracer() if trace else None
+    with activate(tracer):
+        with collect_stages() as stages:
+            if tracer is not None:
+                with tracer.wall_span(
+                    f"{kind}:{label or 'stage'}",
+                    track=worker_track(),
+                    kind=kind,
+                ):
+                    result = execute()
+            else:
+                result = execute()
+    spans = tracer.spans if tracer is not None else []
+    return result, dict(stages), wall_now() - begin, spans
+
+
+class StageProfile:
+    """EWMA seconds-per-unit per decode stage, fed back from workers.
+
+    Units are stage-appropriate sizes (reads for clustering and
+    consensus, encoding units for solves); the staged scheduler uses the
+    predictions to submit the longest stage tasks first and to keep
+    trivially small solves inline.  Predictions only shape *scheduling
+    order*, never results, so a cold or wildly wrong profile still
+    decodes byte-identically.
+    """
+
+    #: Weight of the newest observation (higher = adapts faster).
+    alpha = 0.4
+
+    def __init__(self) -> None:
+        self._rates: dict[str, float] = {}
+
+    def observe(self, stage_name: str, units: int, seconds: float) -> None:
+        """Fold one completed stage task into the profile."""
+        if seconds < 0.0:
+            return
+        rate = seconds / max(1, units)
+        previous = self._rates.get(stage_name)
+        if previous is None:
+            self._rates[stage_name] = rate
+        else:
+            self._rates[stage_name] = previous + (rate - previous) * self.alpha
+
+    def predict(self, stage_name: str, units: int) -> float | None:
+        """Predicted seconds for ``units`` of a stage (None = no data yet)."""
+        rate = self._rates.get(stage_name)
+        if rate is None:
+            return None
+        return rate * max(1, units)
+
+    def snapshot(self) -> dict[str, float]:
+        """The current per-stage seconds-per-unit rates (diagnostics)."""
+        return dict(self._rates)
+
+
+@dataclass
+class _StageSubmission:
+    """One stage task queued for a submission wave."""
+
+    task_index: int
+    kind: str
+    position: int
+    units: int
+    payload: tuple
+    options: dict
+    label: str
+    blob: bytes | None = None
+
+
+@dataclass
+class _StagedTask:
+    """Parent-side state of one :class:`DecodeTask` in the staged engine."""
+
+    index: int
+    task: DecodeTask
+    decoder: "BlockDecoder"
+    begin: float
+    plan: "ReadoutPlan | None" = None
+    routed: "RoutedReads | None" = None
+    payloads: list[ClusterShard] = field(default_factory=list)
+    shard_outputs: list = field(default_factory=list)
+    shards_remaining: int = 0
+    clusters: list[ReadCluster] = field(default_factory=list)
+    strand_parts: list = field(default_factory=list)
+    batches_remaining: int = 0
+    collected: "ReadoutCandidates | None" = None
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def fold(self, stages: dict[str, float]) -> None:
+        for name, seconds in stages.items():
+            self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+
 class DecodeEngine:
     """A reusable pool of decode workers.
 
@@ -276,15 +569,23 @@ class DecodeEngine:
             then CPU count; ``1`` decodes inline).
         shared_memory: whether big read batches ride shared memory
             (``None`` = ``REPRO_DECODE_SHM``, default on).
+        cluster_shards: intra-partition clustering shard count (``None``
+            = ``REPRO_CLUSTER_SHARDS``, then 1).  With shards > 1 a
+            multi-worker engine decomposes readouts into profile-staged
+            stage tasks (see :func:`repro.fastpath.staged_decode_enabled`);
+            results are byte-identical at any shard count.
     """
 
     def __init__(
         self,
         workers: int | None = None,
         shared_memory: bool | None = None,
+        cluster_shards: int | None = None,
     ) -> None:
         self.workers = resolve_worker_count(workers)
         self.shared_memory = shared_memory_enabled(shared_memory)
+        self.cluster_shards = resolve_cluster_shards(cluster_shards)
+        self.profile = StageProfile()
         self._executor: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------
@@ -316,17 +617,46 @@ class DecodeEngine:
     def decode(self, tasks: Sequence[DecodeTask]) -> list[DecodeOutcome]:
         """Decode every task, returning outcomes in task order.
 
-        Results are byte-identical for any worker count; stage timings are
-        folded into the caller's active collector either way.
+        Results are byte-identical for any worker count, shard count and
+        staging mode; stage timings are folded into the caller's active
+        collector either way.
         """
         if not tasks:
             return []
         with maybe_wall_span(
-            "decode_engine", tasks=len(tasks), workers=self.workers
+            "decode_engine",
+            tasks=len(tasks),
+            workers=self.workers,
+            shards=self.cluster_shards,
         ):
             if self.workers == 1:
                 return [self._decode_inline(task) for task in tasks]
+            if self._staged_eligible(tasks):
+                return self._decode_staged(tasks)
             return self._decode_pooled(tasks)
+
+    def _task_options(self, task: DecodeTask) -> dict:
+        """Decoder options with the engine's shard count folded in."""
+        if self.cluster_shards <= 1 or "cluster_shards" in task.decoder_options:
+            return task.decoder_options
+        return {**task.decoder_options, "cluster_shards": self.cluster_shards}
+
+    def _staged_eligible(self, tasks: Sequence[DecodeTask]) -> bool:
+        """Whether this decode batch can run as staged stage tasks.
+
+        Staging requires shards (otherwise the monolithic task *is* the
+        unit of parallelism), the staged flag, and pickleable decoder
+        options — a distance-backend *instance* cannot cross the worker
+        boundary, so such tasks keep the monolithic path where the
+        backend object never leaves the worker-side decoder.
+        """
+        if self.cluster_shards <= 1 or not staged_decode_enabled():
+            return False
+        for task in tasks:
+            backend = task.decoder_options.get("distance_backend")
+            if backend is not None and not isinstance(backend, str):
+                return False
+        return True
 
     def _decode_inline(self, task: DecodeTask) -> DecodeOutcome:
         with maybe_wall_span(
@@ -335,13 +665,13 @@ class DecodeEngine:
             reads=len(task.reads),
         ):
             reports, stages, seconds, _ = _run_task(
-                task.partition, task.blocks, task.decoder_options, task.reads, None
+                task.partition, task.blocks, self._task_options(task),
+                task.reads, None,
             )
         record_stages(stages)
         return DecodeOutcome(reports=reports, stages=stages, seconds=seconds)
 
     def _decode_pooled(self, tasks: Sequence[DecodeTask]) -> list[DecodeOutcome]:
-        segments: list[str] = []
         outcomes: list[DecodeOutcome | None] = [None] * len(tasks)
         futures: list[tuple[int, Future]] = []
         broken = False
@@ -350,16 +680,28 @@ class DecodeEngine:
         # explicit flag so untraced runs shed it and traced runs record
         # into a fresh local tracer whose spans ride home with the result.
         trace_flag = parent_tracer is not None
+        arena = _SegmentArena()
         try:
-            pool = self._pool()
-            for index, task in enumerate(tasks):
-                descriptor = None
-                if self.shared_memory:
+            # Pack every big batch into ONE shared segment up front: a
+            # single create/unlink per decode() call instead of one per
+            # task.
+            descriptors: dict[int, tuple[str, int, int]] = {}
+            if self.shared_memory:
+                blobs: dict[int, bytes] = {}
+                for index, task in enumerate(tasks):
                     payload = sum(len(read) for read in task.reads)
                     if payload >= SHARED_MEMORY_MIN_BYTES:
-                        descriptor = _pack_reads(task.reads)
-                        if descriptor is not None:
-                            segments.append(descriptor[0])
+                        blob = _encode_reads(task.reads)
+                        if blob is not None:
+                            blobs[index] = blob
+                if blobs:
+                    order = sorted(blobs)
+                    published = arena.publish([blobs[i] for i in order])
+                    if published is not None:
+                        descriptors = dict(zip(order, published))
+            pool = self._pool()
+            for index, task in enumerate(tasks):
+                descriptor = descriptors.get(index)
                 try:
                     futures.append(
                         (
@@ -368,7 +710,7 @@ class DecodeEngine:
                                 _run_task,
                                 task.partition,
                                 task.blocks,
-                                task.decoder_options,
+                                self._task_options(task),
                                 None if descriptor is not None else task.reads,
                                 descriptor,
                                 trace_flag,
@@ -398,8 +740,7 @@ class DecodeEngine:
                 # missing inline and start a fresh pool next time.
                 self.shutdown()
         finally:
-            for name in segments:
-                _unlink_segment(name)
+            arena.release()
         return [
             outcome
             if outcome is not None
@@ -407,27 +748,516 @@ class DecodeEngine:
             for index, outcome in enumerate(outcomes)
         ]
 
+    # ------------------------------------------------------------------
+    # Staged decoding (intra-partition parallelism)
+    # ------------------------------------------------------------------
+    def _timed_stage(self, state: _StagedTask, name: str, fn):
+        """Run a parent-side stage piece under the stage collector."""
+        begin = wall_now()
+        with stage(name):
+            result = fn()
+        state.fold({name: wall_now() - begin})
+        return result
+
+    def _submission_cost(self, submission: _StageSubmission) -> float:
+        predicted = self.profile.predict(
+            _STAGE_OF_KIND[submission.kind], submission.units
+        )
+        return predicted if predicted is not None else float(submission.units)
+
+    def _decode_staged(self, tasks: Sequence[DecodeTask]) -> list[DecodeOutcome]:
+        """Decode tasks as interleaved cluster/consensus/solve stage tasks.
+
+        An event loop over ``concurrent.futures.wait``: each completed
+        stage task advances its owning readout's state machine (route →
+        shard clustering → merge → consensus batches → collect → solve →
+        finish), and every wave of new stage tasks is submitted longest-
+        predicted-first, so one partition's hot cluster shards interleave
+        with other partitions' consensus and solve work.  Completed
+        futures are processed in submission order (RL003: never in set
+        order), which — together with per-task positions — keeps every
+        merge deterministic.
+        """
+        from repro.pipeline.decoder import BlockDecoder
+
+        shards = self.cluster_shards
+        outcomes: list[DecodeOutcome | None] = [None] * len(tasks)
+        parent_tracer = current_tracer()
+        trace_flag = parent_tracer is not None
+        arena = _SegmentArena()
+        broken = False
+        sequence = 0
+        # future -> (task_index, kind, position, units, submit_seq)
+        waiting: dict[Future, tuple[int, str, int, int, int]] = {}
+        states: list[_StagedTask] = []
+
+        try:
+            pool = self._pool()
+
+            def flush(wave: list[_StageSubmission]) -> None:
+                nonlocal broken, sequence
+                if not wave or broken:
+                    return
+                descriptors: dict[int, tuple[str, int, int]] = {}
+                if self.shared_memory:
+                    with_blob = [
+                        i for i, sub in enumerate(wave) if sub.blob is not None
+                    ]
+                    if with_blob:
+                        published = arena.publish(
+                            [wave[i].blob for i in with_blob]
+                        )
+                        if published is not None:
+                            descriptors = dict(zip(with_blob, published))
+                order = sorted(
+                    range(len(wave)),
+                    key=lambda i: (
+                        -self._submission_cost(wave[i]),
+                        wave[i].task_index,
+                        wave[i].position,
+                    ),
+                )
+                for i in order:
+                    if broken:
+                        return
+                    sub = wave[i]
+                    descriptor = descriptors.get(i)
+                    payload = (
+                        sub.payload
+                        if descriptor is None
+                        else (None,) + sub.payload[1:]
+                    )
+                    try:
+                        future = pool.submit(
+                            _run_stage_task,
+                            sub.kind,
+                            payload,
+                            sub.options,
+                            descriptor,
+                            trace_flag,
+                            sub.label,
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        broken = True
+                        return
+                    waiting[future] = (
+                        sub.task_index, sub.kind, sub.position, sub.units,
+                        sequence,
+                    )
+                    sequence += 1
+
+            wave: list[_StageSubmission] = []
+            for index, task in enumerate(tasks):
+                state = _StagedTask(
+                    index=index,
+                    task=task,
+                    decoder=BlockDecoder(task.partition, **task.decoder_options),
+                    begin=wall_now(),
+                )
+                states.append(state)
+                state.plan = state.decoder.readout_plan(task.reads, task.blocks)
+                wave.extend(self._staged_route(state, shards, outcomes))
+            flush(wave)
+
+            while waiting and not broken:
+                done, _ = wait(list(waiting), return_when=FIRST_COMPLETED)
+                wave = []
+                for future in sorted(done, key=lambda f: waiting[f][4]):
+                    task_index, kind, position, units, _seq = waiting.pop(future)
+                    try:
+                        result, stages, seconds, spans = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        break
+                    state = states[task_index]
+                    state.fold(stages)
+                    record_stages(stages)
+                    if parent_tracer is not None and spans:
+                        parent_tracer.adopt(spans)
+                    self.profile.observe(_STAGE_OF_KIND[kind], units, seconds)
+                    wave.extend(
+                        self._staged_advance(
+                            state, kind, position, result, outcomes
+                        )
+                    )
+                flush(wave)
+            if broken:
+                self.shutdown()
+        finally:
+            arena.release()
+        # Tasks interrupted by a broken pool decode inline from scratch —
+        # partial stage results are discarded so the fallback is exactly
+        # the serial path.
+        return [
+            outcome
+            if outcome is not None
+            else self._decode_inline(tasks[index])
+            for index, outcome in enumerate(outcomes)
+        ]
+
+    def _staged_route(
+        self,
+        state: _StagedTask,
+        shards: int,
+        outcomes: list[DecodeOutcome | None],
+    ) -> list[_StageSubmission]:
+        """Route one readout's reads (sequential phase 1) and shard it."""
+        decoder = state.decoder
+        signature_start, signature_length = decoder._signature_window()
+
+        def route() -> None:
+            state.routed = route_reads(
+                state.plan.on_prefix,
+                signature_start=signature_start,
+                signature_length=signature_length,
+                max_signature_errors=DEFAULT_MAX_SIGNATURE_ERRORS,
+                distance_backend=decoder.distance_backend,
+            )
+            state.payloads = build_shard_payloads(
+                state.plan.on_prefix, state.routed.bucket_reads, shards
+            )
+
+        self._timed_stage(state, "cluster", route)
+        if not state.payloads:
+            state.shard_outputs = []
+            return self._staged_after_cluster(state, outcomes)
+        state.shard_outputs = [None] * len(state.payloads)
+        state.shards_remaining = len(state.payloads)
+        options = {
+            "max_read_distance": decoder.max_read_distance,
+            "min_kmer_similarity": DEFAULT_MIN_KMER_SIMILARITY,
+            "distance_backend": decoder.distance_backend,
+        }
+        submissions: list[_StageSubmission] = []
+        label = state.task.label or "task"
+        for position, payload in enumerate(state.payloads):
+            blob = None
+            if (
+                self.shared_memory
+                and sum(len(read) for read in payload.reads)
+                >= SHARED_MEMORY_MIN_BYTES
+            ):
+                blob = _encode_reads(payload.reads)
+            submissions.append(
+                _StageSubmission(
+                    task_index=state.index,
+                    kind="cluster",
+                    position=position,
+                    units=len(payload.reads),
+                    payload=(payload.reads, payload.buckets),
+                    options=options,
+                    label=f"{label}#{payload.shard}/{shards}",
+                    blob=blob,
+                )
+            )
+        return submissions
+
+    def _staged_advance(
+        self,
+        state: _StagedTask,
+        kind: str,
+        position: int,
+        result,
+        outcomes: list[DecodeOutcome | None],
+    ) -> list[_StageSubmission]:
+        """Fold one completed stage task; return the next submissions."""
+        if kind == "cluster":
+            state.shard_outputs[position] = result
+            state.shards_remaining -= 1
+            if state.shards_remaining:
+                return []
+            return self._staged_after_cluster(state, outcomes)
+        if kind == "consensus":
+            state.strand_parts[position] = result
+            state.batches_remaining -= 1
+            if state.batches_remaining:
+                return []
+            strands = [
+                strand for part in state.strand_parts for strand in part
+            ]
+            return self._staged_after_consensus(state, strands, outcomes)
+        self._staged_finish(state, result, outcomes)
+        return []
+
+    def _staged_after_cluster(
+        self, state: _StagedTask, outcomes: list[DecodeOutcome | None]
+    ) -> list[_StageSubmission]:
+        """Merge shard outputs; fan the clusters out as consensus batches."""
+        def merge() -> None:
+            state.clusters = merge_shard_clusters(
+                state.routed, state.shard_outputs
+            )
+
+        self._timed_stage(state, "cluster", merge)
+        groups = [cluster.reads for cluster in state.clusters]
+        if not groups:
+            return self._staged_after_consensus(state, [], outcomes)
+        batches = split_consensus_batches(groups, self.cluster_shards)
+        state.strand_parts = [None] * len(batches)
+        state.batches_remaining = len(batches)
+        length = state.decoder._layout.strand_length
+        label = state.task.label or "task"
+        submissions: list[_StageSubmission] = []
+        for position, chunk in enumerate(batches):
+            blob = None
+            if (
+                self.shared_memory
+                and sum(len(read) for group in chunk for read in group)
+                >= SHARED_MEMORY_MIN_BYTES
+            ):
+                blob = _encode_read_groups(chunk)
+            submissions.append(
+                _StageSubmission(
+                    task_index=state.index,
+                    kind="consensus",
+                    position=position,
+                    units=sum(len(group) for group in chunk),
+                    payload=(chunk, length),
+                    options={"backend": None},
+                    label=f"{label}[{position + 1}/{len(batches)}]",
+                    blob=blob,
+                )
+            )
+        return submissions
+
+    def _staged_after_consensus(
+        self,
+        state: _StagedTask,
+        strands: list[str],
+        outcomes: list[DecodeOutcome | None],
+    ) -> list[_StageSubmission]:
+        """Collect candidates; solve remotely only when predictably big."""
+        state.collected = state.decoder.collect_readout(
+            state.plan, state.clusters, strands
+        )
+        units = state.collected.batch_units
+        predicted = self.profile.predict("syndrome_solve", len(units))
+        if units and (
+            predicted is None or predicted >= _REMOTE_SOLVE_MIN_SECONDS
+        ):
+            return [
+                _StageSubmission(
+                    task_index=state.index,
+                    kind="solve",
+                    position=0,
+                    units=len(units),
+                    payload=(state.task.partition, units),
+                    options={},
+                    label=state.task.label or "task",
+                )
+            ]
+
+        def solve() -> dict:
+            from repro.pipeline.decoder import try_decode_units_batch
+
+            return try_decode_units_batch(state.task.partition, units)
+
+        begin = wall_now()
+        decoded_units = self._timed_stage(state, "syndrome_solve", solve)
+        self.profile.observe(
+            "syndrome_solve", max(1, len(units)), wall_now() - begin
+        )
+        self._staged_finish(state, decoded_units, outcomes)
+        return []
+
+    def _staged_finish(
+        self,
+        state: _StagedTask,
+        decoded_units: dict,
+        outcomes: list[DecodeOutcome | None],
+    ) -> None:
+        """Assemble the task's reports (always in the parent)."""
+        def finish() -> "dict[int, DecodeReport]":
+            return state.decoder.finish_readout(
+                state.plan, state.collected, decoded_units
+            )
+
+        reports = self._timed_stage(state, "syndrome_solve", finish)
+        outcomes[state.index] = DecodeOutcome(
+            reports=reports,
+            stages=dict(state.stages),
+            seconds=wall_now() - state.begin,
+        )
+
+    # ------------------------------------------------------------------
+    # Sharded clustering as a standalone service (benchmarks, callers
+    # that want clusters rather than decoded blocks)
+    # ------------------------------------------------------------------
+    def cluster_sharded(
+        self,
+        reads: list[str],
+        *,
+        signature_start: int,
+        signature_length: int,
+        max_signature_errors: int = DEFAULT_MAX_SIGNATURE_ERRORS,
+        max_read_distance: int = DEFAULT_MAX_READ_DISTANCE,
+        min_kmer_similarity: float = DEFAULT_MIN_KMER_SIMILARITY,
+        distance_backend: str | None = None,
+        shards: int | None = None,
+    ) -> tuple[list[ReadCluster], list[dict]]:
+        """Cluster one read batch with shard agglomeration on the pool.
+
+        Byte-identical to
+        :func:`repro.pipeline.clustering.cluster_reads` at any shard and
+        worker count (it drives the same route/shard/merge primitives).
+        Returns ``(clusters, shard_stats)`` where ``shard_stats`` holds
+        one ``{shard, buckets, reads, seconds}`` row per non-empty shard,
+        in shard order — the per-shard cluster-stage breakdown the
+        decoding benchmark publishes.
+
+        ``distance_backend`` must be a backend *name* (or ``None``):
+        backend instances cannot cross the worker pickle boundary.
+        """
+        if distance_backend is not None and not isinstance(distance_backend, str):
+            raise DecodingError(
+                "cluster_sharded needs a distance-backend name (or None); "
+                "backend instances cannot cross the worker boundary"
+            )
+        shard_count = (
+            self.cluster_shards if shards is None else resolve_cluster_shards(shards)
+        )
+        parent_tracer = current_tracer()
+        trace_flag = parent_tracer is not None
+        with maybe_wall_span(
+            "cluster_sharded", shards=shard_count, reads=len(reads)
+        ):
+            routed = route_reads(
+                reads,
+                signature_start=signature_start,
+                signature_length=signature_length,
+                max_signature_errors=max_signature_errors,
+                distance_backend=distance_backend,
+            )
+            payloads = build_shard_payloads(
+                reads, routed.bucket_reads, shard_count
+            )
+            options = {
+                "max_read_distance": max_read_distance,
+                "min_kmer_similarity": min_kmer_similarity,
+                "distance_backend": distance_backend,
+            }
+            outputs: list = [None] * len(payloads)
+            stats: list[dict | None] = [None] * len(payloads)
+            arena = _SegmentArena()
+            broken = False
+            try:
+                futures: list[tuple[int, Future]] = []
+                if self.workers > 1 and len(payloads) > 1:
+                    descriptors: dict[int, tuple[str, int, int]] = {}
+                    if self.shared_memory:
+                        blobs: dict[int, bytes] = {}
+                        for position, payload in enumerate(payloads):
+                            size = sum(len(read) for read in payload.reads)
+                            if size >= SHARED_MEMORY_MIN_BYTES:
+                                blob = _encode_reads(payload.reads)
+                                if blob is not None:
+                                    blobs[position] = blob
+                        if blobs:
+                            order = sorted(blobs)
+                            published = arena.publish(
+                                [blobs[i] for i in order]
+                            )
+                            if published is not None:
+                                descriptors = dict(zip(order, published))
+                    pool = self._pool()
+                    for position, payload in enumerate(payloads):
+                        descriptor = descriptors.get(position)
+                        try:
+                            futures.append(
+                                (
+                                    position,
+                                    pool.submit(
+                                        _run_stage_task,
+                                        "cluster",
+                                        (
+                                            None
+                                            if descriptor is not None
+                                            else payload.reads,
+                                            payload.buckets,
+                                        ),
+                                        options,
+                                        descriptor,
+                                        trace_flag,
+                                        f"shard#{payload.shard}/{shard_count}",
+                                    ),
+                                )
+                            )
+                        except (BrokenProcessPool, RuntimeError):
+                            broken = True
+                            break
+                    for position, future in futures:
+                        try:
+                            result, stages, seconds, spans = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            break
+                        record_stages(stages)
+                        if parent_tracer is not None and spans:
+                            parent_tracer.adopt(spans)
+                        self.profile.observe(
+                            "cluster", len(payloads[position].reads), seconds
+                        )
+                        outputs[position] = result
+                        stats[position] = {
+                            "shard": payloads[position].shard,
+                            "buckets": len(payloads[position].buckets),
+                            "reads": len(payloads[position].reads),
+                            "seconds": seconds,
+                        }
+                    if broken:
+                        self.shutdown()
+                # Inline whatever never ran (workers == 1, a single
+                # payload, or a pool that broke mid-batch).
+                for position, payload in enumerate(payloads):
+                    if outputs[position] is not None:
+                        continue
+                    result, stages, seconds, _ = _run_stage_task(
+                        "cluster", (payload.reads, payload.buckets), options
+                    )
+                    record_stages(stages)
+                    self.profile.observe("cluster", len(payload.reads), seconds)
+                    outputs[position] = result
+                    stats[position] = {
+                        "shard": payload.shard,
+                        "buckets": len(payload.buckets),
+                        "reads": len(payload.reads),
+                        "seconds": seconds,
+                    }
+            finally:
+                arena.release()
+            clusters = merge_shard_clusters(routed, outputs)
+            return clusters, [stat for stat in stats if stat is not None]
+
 
 # ----------------------------------------------------------------------
 # Shared engines
 # ----------------------------------------------------------------------
-_shared_engines: dict[tuple[int, bool], DecodeEngine] = {}
+_shared_engines: dict[tuple[int, bool, int], DecodeEngine] = {}
 
 
 def shared_engine(
-    workers: int | None = None, shared_memory: bool | None = None
+    workers: int | None = None,
+    shared_memory: bool | None = None,
+    cluster_shards: int | None = None,
 ) -> DecodeEngine:
-    """A process-wide engine per ``(workers, shared_memory)`` resolution.
+    """A process-wide engine per resolved configuration.
 
     Worker pools are expensive to start, so every decode entry point
     (:meth:`ObjectStore.try_decode_blocks`, the serving pipeline) shares
-    one engine per configuration; the pools are torn down at interpreter
-    exit.
+    one engine per ``(workers, shared_memory, cluster_shards)``
+    resolution; the pools are torn down at interpreter exit.  Sharing
+    also keeps the engine's :class:`StageProfile` warm across cycles.
     """
-    key = (resolve_worker_count(workers), shared_memory_enabled(shared_memory))
+    key = (
+        resolve_worker_count(workers),
+        shared_memory_enabled(shared_memory),
+        resolve_cluster_shards(cluster_shards),
+    )
     engine = _shared_engines.get(key)
     if engine is None:
-        engine = DecodeEngine(workers=key[0], shared_memory=key[1])
+        engine = DecodeEngine(
+            workers=key[0], shared_memory=key[1], cluster_shards=key[2]
+        )
         _shared_engines[key] = engine
     return engine
 
@@ -443,6 +1273,7 @@ __all__ = [
     "DecodeOutcome",
     "DecodeTask",
     "SHARED_MEMORY_MIN_BYTES",
+    "StageProfile",
     "resolve_worker_count",
     "shared_engine",
     "shared_memory_enabled",

@@ -190,6 +190,11 @@ class ServiceConfig:
         decode_shared_memory: ship large per-partition read batches to
             decode workers via ``multiprocessing.shared_memory`` (``None``
             defers to ``REPRO_DECODE_SHM``, default on).
+        decode_cluster_shards: intra-partition clustering shard count of
+            the decode engine (``None`` defers to ``REPRO_CLUSTER_SHARDS``,
+            then 1 = unsharded).  Compute-side only, like
+            ``decode_workers``: clusters and decoded bytes are
+            byte-identical at any shard count.
         tracing: record the run's span tree and metrics registry
             (:mod:`repro.observability`) onto the report's
             ``observability`` field.  ``None`` defers to the
@@ -218,6 +223,7 @@ class ServiceConfig:
     )
     decode_workers: int | None = None
     decode_shared_memory: bool | None = None
+    decode_cluster_shards: int | None = None
     tracing: bool | None = None
 
     def __post_init__(self) -> None:
@@ -246,6 +252,8 @@ class ServiceConfig:
             )
         if self.decode_workers is not None and self.decode_workers < 1:
             raise ServiceError("decode_workers must be >= 1 when set")
+        if self.decode_cluster_shards is not None and self.decode_cluster_shards < 1:
+            raise ServiceError("decode_cluster_shards must be >= 1 when set")
 
     def sequencing_hours(self, reads: int) -> float:
         """Latency of producing ``reads`` reads on the configured model."""
@@ -998,6 +1006,7 @@ class ServicePipeline:
                     reads,
                     workers=config.decode_workers,
                     shared_memory=config.decode_shared_memory,
+                    cluster_shards=config.decode_cluster_shards,
                 )
                 for key, reason in decode_failures.items():
                     failures.setdefault(key, reason)

@@ -289,6 +289,7 @@ class ObjectStore:
         *,
         workers: int | None = None,
         shared_memory: bool | None = None,
+        cluster_shards: int | None = None,
         **decoder_options,
     ) -> dict[tuple[str, int], bytes]:
         """Decode exactly one set of blocks from per-partition reads.
@@ -308,6 +309,9 @@ class ObjectStore:
                 ``REPRO_DECODE_WORKERS``, then CPU count; ``1`` = serial).
             shared_memory: ship large read batches to the workers via
                 shared memory (``None`` = ``REPRO_DECODE_SHM``).
+            cluster_shards: intra-partition clustering shard count
+                (``None`` = ``REPRO_CLUSTER_SHARDS``, then 1); results
+                are byte-identical at any shard count.
             decoder_options: forwarded to :class:`BlockDecoder`.
 
         Returns:
@@ -323,6 +327,7 @@ class ObjectStore:
             reads_by_partition,
             workers=workers,
             shared_memory=shared_memory,
+            cluster_shards=cluster_shards,
             **decoder_options,
         )
         if failures:
@@ -336,6 +341,7 @@ class ObjectStore:
         *,
         workers: int | None = None,
         shared_memory: bool | None = None,
+        cluster_shards: int | None = None,
         **decoder_options,
     ) -> tuple[dict[tuple[str, int], bytes], dict[tuple[str, int], str]]:
         """Decode a block set, reporting per-block failures instead of raising.
@@ -374,7 +380,11 @@ class ObjectStore:
                     label=partition_name,
                 )
             )
-        engine = shared_engine(workers=workers, shared_memory=shared_memory)
+        engine = shared_engine(
+            workers=workers,
+            shared_memory=shared_memory,
+            cluster_shards=cluster_shards,
+        )
         outcomes = engine.decode(tasks)
 
         payloads: dict[tuple[str, int], bytes] = {}
@@ -411,6 +421,7 @@ class ObjectStore:
         *,
         workers: int | None = None,
         shared_memory: bool | None = None,
+        cluster_shards: int | None = None,
         **decoder_options,
     ) -> bytes:
         """Decode an object from per-partition sequencing reads.
@@ -438,6 +449,7 @@ class ObjectStore:
             reads_by_partition,
             workers=workers,
             shared_memory=shared_memory,
+            cluster_shards=cluster_shards,
             **decoder_options,
         )
         pieces = [

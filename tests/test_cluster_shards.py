@@ -1,0 +1,277 @@
+"""Shard-count invariance of the clustering pipeline.
+
+``REPRO_CLUSTER_SHARDS`` partitions the signature-bucket space so
+agglomeration can run per shard; the merge must reproduce the serial
+clustering byte for byte at any shard count, with either distance
+backend, with the fused kernels on or off, at any worker count — and in
+the presence of corrupted signatures whose own hash straddles a shard
+boundary (reads are routed by the deletion-neighborhood index to their
+home bucket's shard, never by the corrupt signature's hash).  Everything
+here runs without numpy except the tests that request the numpy backend.
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import ClusteringError
+from repro.pipeline.clustering import (
+    cluster_reads,
+    resolve_cluster_shards,
+    shard_of_signature,
+)
+from repro.store import DnaVolume, ObjectStore, VolumeConfig
+from repro.workloads.objects import object_corpus
+
+PRIMER = "ATCGTGCAAGCTTGACCTGA"
+SIGNATURE_START = len(PRIMER)
+SIGNATURE_LENGTH = 13
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _random_strand(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice("ACGT") for _ in range(length))
+
+
+def _corrupt(strand: str, rng: random.Random, rate: float = 0.02) -> str:
+    """Substitutions, deletions and insertions at ``rate`` per base."""
+    out = []
+    for base in strand:
+        roll = rng.random()
+        if roll < rate:  # substitution
+            out.append(rng.choice("ACGT".replace(base, "")))
+        elif roll < rate * 1.3:  # deletion
+            continue
+        elif roll < rate * 1.6:  # insertion
+            out.append(base)
+            out.append(rng.choice("ACGT"))
+        else:
+            out.append(base)
+    return "".join(out)
+
+
+def _noisy_workload(seed: int = 5, strands: int = 8, copies: int = 10) -> list[str]:
+    rng = random.Random(seed)
+    reads: list[str] = []
+    for _ in range(strands):
+        strand = PRIMER + _random_strand(rng, 120)
+        reads.append(strand)
+        for _ in range(copies):
+            reads.append(_corrupt(strand, rng))
+    return reads
+
+
+def _fingerprint(clusters) -> list[tuple[str, list[str]]]:
+    """Full byte-level identity: bucket signature and member reads in order."""
+    return [(cluster.signature, cluster.reads) for cluster in clusters]
+
+
+# ----------------------------------------------------------------------
+# Shard-count resolution and the signature hash
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_SHARDS", "8")
+        assert resolve_cluster_shards(3) == 3
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_SHARDS", "6")
+        assert resolve_cluster_shards(None) == 6
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLUSTER_SHARDS", raising=False)
+        assert resolve_cluster_shards(None) == 1
+
+    def test_rejects_non_integer_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_SHARDS", "lots")
+        with pytest.raises(ClusteringError):
+            resolve_cluster_shards(None)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ClusteringError):
+            resolve_cluster_shards(0)
+
+
+class TestShardHash:
+    def test_hash_is_stable_across_processes(self):
+        # crc32-based, never Python's randomized hash(): these pinned
+        # values must hold in every interpreter invocation.
+        assert shard_of_signature("ACGTACGTACGTA", 4) == shard_of_signature(
+            "ACGTACGTACGTA", 4
+        )
+        values = [shard_of_signature(f"SIG-{i}", 7) for i in range(8)]
+        assert values == [shard_of_signature(f"SIG-{i}", 7) for i in range(8)]
+        assert all(0 <= value < 7 for value in values)
+
+    def test_single_shard_is_zero(self):
+        assert shard_of_signature("ACGTACGTACGTA", 1) == 0
+        assert shard_of_signature("ACGTACGTACGTA", 0) == 0
+
+    def test_spreads_buckets_across_shards(self):
+        shards = sorted(
+            {shard_of_signature(f"BUCKET{i:03d}", 7) for i in range(64)}
+        )
+        assert len(shards) > 1
+
+
+# ----------------------------------------------------------------------
+# Cluster-level invariance matrix
+# ----------------------------------------------------------------------
+class TestClusterInvariance:
+    @pytest.mark.parametrize("fused", ["0", "1"])
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_shard_counts_cluster_identically(self, monkeypatch, backend, fused):
+        if backend == "numpy" and not _numpy_available():
+            pytest.skip("numpy distance backend unavailable")
+        monkeypatch.setenv("REPRO_FUSED_KERNELS", fused)
+        reads = _noisy_workload()
+        serial = cluster_reads(
+            reads,
+            signature_start=SIGNATURE_START,
+            signature_length=SIGNATURE_LENGTH,
+            distance_backend=backend,
+        )
+        assert serial, "the workload should form clusters"
+        expected = _fingerprint(serial)
+        for shards in SHARD_COUNTS:
+            sharded = cluster_reads(
+                reads,
+                signature_start=SIGNATURE_START,
+                signature_length=SIGNATURE_LENGTH,
+                distance_backend=backend,
+                shards=shards,
+            )
+            assert _fingerprint(sharded) == expected, f"shards={shards}"
+
+    def test_environment_shard_count_is_equivalent(self, monkeypatch):
+        reads = _noisy_workload(seed=6, strands=4, copies=6)
+        serial = cluster_reads(
+            reads,
+            signature_start=SIGNATURE_START,
+            signature_length=SIGNATURE_LENGTH,
+        )
+        monkeypatch.setenv("REPRO_CLUSTER_SHARDS", "4")
+        sharded = cluster_reads(
+            reads,
+            signature_start=SIGNATURE_START,
+            signature_length=SIGNATURE_LENGTH,
+        )
+        assert _fingerprint(sharded) == _fingerprint(serial)
+
+    def test_corrupted_signatures_straddling_shard_boundaries(self):
+        """Reads whose corrupt signature hashes to a *different* shard
+        than their home bucket must still land in the home bucket."""
+        rng = random.Random(11)
+        strand = PRIMER + _random_strand(rng, 120)
+        signature = strand[SIGNATURE_START : SIGNATURE_START + SIGNATURE_LENGTH]
+        home = shard_of_signature(signature, 4)
+        straddlers = []
+        for position in range(SIGNATURE_LENGTH):
+            for base in "ACGT":
+                if base == signature[position]:
+                    continue
+                variant = (
+                    signature[:position] + base + signature[position + 1 :]
+                )
+                if shard_of_signature(variant, 4) != home:
+                    straddlers.append(variant)
+        assert straddlers, "single-base corruptions should cross shards"
+        corrupted = [
+            strand[:SIGNATURE_START]
+            + variant
+            + strand[SIGNATURE_START + SIGNATURE_LENGTH :]
+            for variant in straddlers[:3]
+        ]
+        reads = [strand] * 6 + corrupted
+        serial = cluster_reads(
+            reads,
+            signature_start=SIGNATURE_START,
+            signature_length=SIGNATURE_LENGTH,
+        )
+        # Routing wins over the corrupt hash: one bucket holds everything.
+        assert serial[0].size == len(reads)
+        for shards in SHARD_COUNTS[1:]:
+            sharded = cluster_reads(
+                reads,
+                signature_start=SIGNATURE_START,
+                signature_length=SIGNATURE_LENGTH,
+                shards=shards,
+            )
+            assert _fingerprint(sharded) == _fingerprint(serial), (
+                f"shards={shards}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Decode-level invariance (shards x workers x backend)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def store_workload():
+    """A written store plus per-partition reads (numpy-free coverage)."""
+    volume = DnaVolume(
+        config=VolumeConfig(partition_leaf_count=16, stripe_blocks=2, stripe_width=2)
+    )
+    store = ObjectStore(volume)
+    corpus = object_corpus(
+        {f"obj-{i}": volume.block_size * 3 for i in range(3)}, seed=7
+    )
+    for name, data in corpus.items():
+        store.put(name, data)
+    blocks: dict[str, list[int]] = {}
+    reads: dict[str, list[str]] = {}
+    for partition_name in volume.partition_names:
+        partition = volume.partition(partition_name)
+        written = partition.written_blocks()
+        if not written:
+            continue
+        blocks[partition_name] = list(written)
+        reads[partition_name] = [
+            molecule.to_strand()
+            for molecule in partition.all_molecules()
+            for _ in range(3)
+        ]
+    return store, blocks, reads
+
+
+class TestDecodeInvariance:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_shards_and_workers_decode_identically(self, store_workload, backend):
+        if backend == "numpy" and not _numpy_available():
+            pytest.skip("numpy distance backend unavailable")
+        store, blocks, reads = store_workload
+        baseline = store.try_decode_blocks(
+            blocks, reads, workers=1, cluster_shards=1, distance_backend=backend
+        )
+        assert not baseline[1]
+        for workers in (1, 2):
+            for shards in SHARD_COUNTS[1:]:
+                decoded = store.try_decode_blocks(
+                    blocks,
+                    reads,
+                    workers=workers,
+                    cluster_shards=shards,
+                    distance_backend=backend,
+                )
+                assert decoded == baseline, f"workers={workers} shards={shards}"
+
+    @pytest.mark.parametrize("fused", ["0", "1"])
+    def test_fused_modes_decode_identically_when_sharded(
+        self, store_workload, monkeypatch, fused
+    ):
+        store, blocks, reads = store_workload
+        baseline = store.try_decode_blocks(blocks, reads, workers=1)
+        monkeypatch.setenv("REPRO_FUSED_KERNELS", fused)
+        # workers=1 keeps the fused toggle visible to the decode (forked
+        # pools would have resolved the flag at fork time).
+        sharded = store.try_decode_blocks(
+            blocks, reads, workers=1, cluster_shards=4
+        )
+        assert sharded == baseline

@@ -10,9 +10,11 @@ from repro.exceptions import ConfigError
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 EXPECTED_FLAGS = (
+    "REPRO_CLUSTER_SHARDS",
     "REPRO_CODEC_BACKEND",
     "REPRO_CONSENSUS_BACKEND",
     "REPRO_DECODE_SHM",
+    "REPRO_DECODE_STAGED",
     "REPRO_DECODE_WORKERS",
     "REPRO_DISTANCE_BACKEND",
     "REPRO_FUSED_KERNELS",

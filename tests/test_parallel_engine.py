@@ -10,6 +10,7 @@ distance backend or wetlab-fidelity sequencing.
 
 import os
 import pickle
+from multiprocessing import shared_memory
 
 import pytest
 
@@ -18,9 +19,14 @@ from repro.pipeline.parallel import (
     SHARED_MEMORY_MIN_BYTES,
     DecodeEngine,
     DecodeTask,
+    StageProfile,
+    _decode_read_groups,
+    _decode_reads,
+    _encode_read_groups,
+    _encode_reads,
+    _load_read_groups,
     _load_reads,
-    _pack_reads,
-    _unlink_segment,
+    _SegmentArena,
     resolve_worker_count,
     shared_memory_enabled,
 )
@@ -117,6 +123,13 @@ class TestResolution:
             ServiceConfig(decode_workers=0)
         assert ServiceConfig(decode_workers=2).decode_workers == 2
 
+    def test_service_config_validates_cluster_shards(self):
+        from repro.service import ServiceConfig
+
+        with pytest.raises(ServiceError):
+            ServiceConfig(decode_cluster_shards=0)
+        assert ServiceConfig(decode_cluster_shards=4).decode_cluster_shards == 4
+
 
 # ----------------------------------------------------------------------
 # Byte-identity across worker counts and backends
@@ -188,6 +201,19 @@ class TestByteIdentity:
         )
         assert with_shm == without_shm
 
+    @pytest.mark.parametrize("staged", ["1", "0"])
+    def test_sharded_staged_decode_is_byte_identical(
+        self, workload, monkeypatch, staged
+    ):
+        store, blocks, reads = workload
+        baseline = store.try_decode_blocks(blocks, reads, workers=1)
+        assert not baseline[1]
+        monkeypatch.setenv("REPRO_DECODE_STAGED", staged)
+        sharded = store.try_decode_blocks(
+            blocks, reads, workers=2, cluster_shards=4
+        )
+        assert sharded == baseline
+
     def test_missing_partition_reads_fail_identically(self, workload):
         store, blocks, reads = workload
         partial = dict(reads)
@@ -207,14 +233,111 @@ class TestByteIdentity:
 # Transport and robustness
 # ----------------------------------------------------------------------
 class TestEngineInternals:
-    def test_shared_memory_roundtrip(self):
+    def test_read_blob_roundtrip(self):
         reads = ["ACGT" * 64 for _ in range(16)] + ["", "A"]
-        descriptor = _pack_reads(reads)
-        assert descriptor is not None
+        blob = _encode_reads(reads)
+        assert blob is not None
+        assert _decode_reads(blob) == reads
+        assert _decode_reads(_encode_reads([])) == []
+        assert _encode_reads(["ACGT", "π"]) is None  # non-ASCII: pickle path
+
+    def test_read_group_blob_roundtrip(self):
+        groups = [["ACGT", ""], [], ["TTT", "AA"]]
+        blob = _encode_read_groups(groups)
+        assert blob is not None
+        assert _decode_read_groups(blob) == groups
+        assert _decode_read_groups(_encode_read_groups([])) == []
+
+    def test_arena_packs_many_blobs_into_one_segment(self):
+        reads = ["ACGT" * 64 for _ in range(16)] + ["", "A"]
+        groups = [["ACGT", ""], [], ["TTT"]]
+        arena = _SegmentArena()
+        descriptors = arena.publish(
+            [_encode_reads(reads), _encode_read_groups(groups)]
+        )
+        assert descriptors is not None
         try:
-            assert _load_reads(descriptor) == reads
+            assert len({name for name, _, _ in descriptors}) == 1
+            assert _load_reads(descriptors[0]) == reads
+            assert _load_read_groups(descriptors[1]) == groups
         finally:
-            _unlink_segment(descriptor[0])
+            arena.release()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=descriptors[0][0])
+
+    def _spy_on_publishes(self, monkeypatch):
+        """Record every arena publish (blob count + descriptors)."""
+        import repro.pipeline.parallel as parallel
+
+        publishes = []
+        original = parallel._SegmentArena.publish
+
+        def spying(arena, blobs):
+            result = original(arena, blobs)
+            publishes.append((len(blobs), result))
+            return result
+
+        monkeypatch.setattr(parallel, "SHARED_MEMORY_MIN_BYTES", 1)
+        monkeypatch.setattr(parallel._SegmentArena, "publish", spying)
+        return publishes
+
+    def test_pooled_batch_shares_one_segment(self, workload, monkeypatch):
+        store, blocks, reads = workload
+        publishes = self._spy_on_publishes(monkeypatch)
+        tasks = [
+            DecodeTask(
+                partition=store.volume.partition(name),
+                reads=reads[name],
+                blocks=targets,
+            )
+            for name, targets in blocks.items()
+        ]
+        engine = DecodeEngine(workers=2, shared_memory=True, cluster_shards=1)
+        try:
+            outcomes = engine.decode(tasks)
+        finally:
+            engine.shutdown()
+        assert len(outcomes) == len(tasks)
+        # One publish for the whole batch, one segment for every task blob.
+        assert len(publishes) == 1
+        blob_count, descriptors = publishes[0]
+        assert blob_count == len(tasks)
+        assert descriptors is not None
+        names = sorted({name for name, _, _ in descriptors})
+        assert len(names) == 1
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=names[0])
+
+    def test_segments_unlinked_when_pool_breaks(self, workload, monkeypatch):
+        store, blocks, reads = workload
+        publishes = self._spy_on_publishes(monkeypatch)
+        tasks = [
+            DecodeTask(
+                partition=store.volume.partition(name),
+                reads=reads[name],
+                blocks=targets,
+            )
+            for name, targets in blocks.items()
+        ]
+        engine = DecodeEngine(workers=2, shared_memory=True, cluster_shards=1)
+        try:
+            baseline = DecodeEngine(workers=1).decode(tasks)
+            # Kill the pool before the batch: segments are published
+            # first, every submission then fails, and the engine must
+            # both decode inline and unlink what it published.
+            engine._pool().shutdown(wait=True)
+            recovered = engine.decode(tasks)
+        finally:
+            engine.shutdown()
+        assert [outcome.reports for outcome in recovered] == [
+            outcome.reports for outcome in baseline
+        ]
+        assert publishes, "the batch should have published segments"
+        for _, descriptors in publishes:
+            assert descriptors is not None
+            for name in sorted({name for name, _, _ in descriptors}):
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
 
     def test_large_batches_cross_the_shm_threshold(self, workload):
         store, blocks, reads = workload
@@ -253,6 +376,62 @@ class TestEngineInternals:
         assert [outcome.reports for outcome in recovered] == [
             outcome.reports for outcome in expected
         ]
+
+    def test_staged_broken_pool_falls_back_inline(self, workload, monkeypatch):
+        store, blocks, reads = workload
+        monkeypatch.setenv("REPRO_DECODE_STAGED", "1")
+        tasks = [
+            DecodeTask(
+                partition=store.volume.partition(name),
+                reads=reads[name],
+                blocks=targets,
+            )
+            for name, targets in blocks.items()
+        ]
+        engine = DecodeEngine(workers=2, cluster_shards=4)
+        try:
+            expected = engine.decode(tasks)
+            engine._pool().shutdown(wait=True)
+            recovered = engine.decode(tasks)
+        finally:
+            engine.shutdown()
+        assert [outcome.reports for outcome in recovered] == [
+            outcome.reports for outcome in expected
+        ]
+
+    def test_stage_profile_predicts_after_observation(self):
+        profile = StageProfile()
+        assert profile.predict("cluster", 100) is None
+        profile.observe("cluster", 100, 1.0)
+        assert profile.predict("cluster", 200) == pytest.approx(2.0)
+        # EWMA: 0.1 + (0.3 - 0.1) * alpha, alpha = 0.4
+        profile.observe("solve", 10, 1.0)
+        profile.observe("solve", 10, 3.0)
+        assert profile.predict("solve", 10) == pytest.approx(1.8)
+        assert profile.snapshot()["solve"] == pytest.approx(0.18)
+        profile.observe("solve", 10, -1.0)  # clock skew: ignored
+        assert profile.snapshot()["solve"] == pytest.approx(0.18)
+
+    def test_staged_decode_warms_the_stage_profile(self, workload, monkeypatch):
+        store, blocks, reads = workload
+        monkeypatch.setenv("REPRO_DECODE_STAGED", "1")
+        tasks = [
+            DecodeTask(
+                partition=store.volume.partition(name),
+                reads=reads[name],
+                blocks=targets,
+            )
+            for name, targets in blocks.items()
+        ]
+        engine = DecodeEngine(workers=2, cluster_shards=4)
+        try:
+            engine.decode(tasks)
+        finally:
+            engine.shutdown()
+        rates = engine.profile.snapshot()
+        assert rates.get("cluster", 0.0) > 0.0
+        assert rates.get("consensus", 0.0) > 0.0
+        assert rates.get("syndrome_solve", 0.0) > 0.0
 
     def test_stage_timings_fold_into_parent_collector(self, workload):
         store, blocks, reads = workload
