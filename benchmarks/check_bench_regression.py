@@ -18,7 +18,11 @@ Gated metrics (higher is better):
   tolerance);
 * ``decoding``: ``parallel_engine.fused_speedup`` — the fused-kernel
   parallel decode engine's end-to-end readout-decode speedup over the
-  reference serial path (``REPRO_FUSED_KERNELS=0``, one worker).
+  reference serial path (``REPRO_FUSED_KERNELS=0``, one worker);
+* ``qos_isolation``: ``isolation.p99_protection_factor`` — how much of
+  the scanning aggressor's victim-p99 damage the QoS admission layer
+  undoes (unprotected p99 over protected p99, simulation-exact under a
+  fixed seed).
 
 Conditionally gated metrics (gated only when the paired condition flag is
 true in the current run — a wall-clock parallelism ratio is meaningless
@@ -47,7 +51,11 @@ Boolean invariants (must be true in both baseline and current):
   meet the >= 2x fused-speedup target;
 * sharded clustering (and the staged decode built on it) is
   byte-identical to the serial path at every shard count;
-* snapshot-compare byte parity with the rebuild path.
+* snapshot-compare byte parity with the rebuild path;
+* QoS isolation: the protected victims' p99 stays bounded, the
+  admission layer is byte-transparent (QoS off serves exactly the
+  store's bytes; toggling QoS on changes timing only), and the shared
+  lane pool's utilizations are true ratios in [0, 1].
 
 Usage::
 
@@ -71,6 +79,7 @@ GATED_METRICS = [
     ("service_scaling", "policies.pcr_reduction_cached"),
     ("decoding", "clustering_backend.speedup"),
     ("decoding", "parallel_engine.fused_speedup"),
+    ("qos_isolation", "isolation.p99_protection_factor"),
 ]
 
 #: (file stem, metric path, condition path, absolute floor or None) ->
@@ -103,6 +112,10 @@ REQUIRED_TRUE = [
     ("decoding", "parallel_engine.meets_speedup_target"),
     ("snapshot_compare", "policy_parity.policies_byte_identical"),
     ("snapshot_compare", "time_travel.historical_read_correct"),
+    ("qos_isolation", "isolation.victim_p99_bounded"),
+    ("qos_isolation", "isolation.qos_off_byte_identical"),
+    ("qos_isolation", "isolation.qos_toggle_byte_identical"),
+    ("qos_isolation", "lanes.utilization_within_bounds"),
 ]
 
 

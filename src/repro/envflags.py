@@ -119,6 +119,14 @@ _FLAGS: tuple[EnvFlag, ...] = (
         "(default) and their byte-identical reference implementations.",
     ),
     EnvFlag(
+        name="REPRO_QOS_SCALE_REQUESTS",
+        default="100000",
+        accepted="positive integer",
+        owner="benchmarks.bench_qos_isolation",
+        description="Request count of the QoS isolation benchmark's trace "
+        "(CI smoke runs shrink it; the weekly wetlab-full job scales it up).",
+    ),
+    EnvFlag(
         name="REPRO_TRACING",
         default="0",
         accepted="boolean (1/true/yes/on enable)",

@@ -25,6 +25,13 @@ caller — for reads *and* writes.
   decode-failure retry cycles and a bounded wetlab lane pool — and
   reports throughput, tail latency, cache hit rate, synthesis volume and
   amplification waste.
+* :mod:`repro.service.scheduler_qos` — :class:`SharedLanePool` (the
+  run-global thermocycler/flow-cell lanes every cycle books onto, giving
+  true per-lane utilization ≤ 1.0) and the tenant QoS admission layer:
+  :class:`TenantQoS` profiles, token-bucket rate limits, priority
+  classes and weighted-fair window shares
+  (``ServiceConfig(qos=QoSConfig(...))``; default off, byte-identical
+  per-request results either way).
 * :mod:`repro.service.telemetry` — :class:`RunTelemetry`: the per-run
   recorder a traced pipeline run uses to build its span tree and metrics
   snapshot (``ServiceConfig(tracing=True)`` / ``REPRO_TRACING=1``; see
@@ -57,6 +64,15 @@ from repro.service.requests import (
     ReadRequest,
     ServiceRequest,
 )
+from repro.service.scheduler_qos import (
+    AdmissionDecision,
+    QoSAdmission,
+    QoSConfig,
+    SharedLanePool,
+    TenantQoS,
+    TokenBucket,
+    weighted_fair_shares,
+)
 from repro.service.simulator import (
     FIDELITIES,
     POLICIES,
@@ -75,6 +91,7 @@ __all__ = [
     "OPERATIONS",
     "POLICIES",
     "WRITE_OPERATIONS",
+    "AdmissionDecision",
     "BatchScheduler",
     "CacheStats",
     "CompletedRequest",
@@ -84,6 +101,8 @@ __all__ = [
     "PartitionSynthesisJob",
     "PinnedCacheView",
     "PolicyReport",
+    "QoSAdmission",
+    "QoSConfig",
     "ReadRequest",
     "RequestQueue",
     "RunTelemetry",
@@ -92,8 +111,12 @@ __all__ = [
     "ServicePipeline",
     "ServiceRequest",
     "ServiceSimulator",
+    "SharedLanePool",
     "SynthesisOrder",
+    "TenantQoS",
+    "TokenBucket",
     "WriteOutcome",
     "policy_latency_comparison",
     "schedule_lanes",
+    "weighted_fair_shares",
 ]

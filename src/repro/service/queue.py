@@ -58,6 +58,15 @@ class RequestQueue:
         """Remove and return the pending requests of one operation."""
         return self.take(lambda request: request.op == op)
 
+    def peek_op(self, op: str) -> list[ServiceRequest]:
+        """The pending requests of one operation, oldest first, *not* removed.
+
+        The QoS admission engine inspects the queued reads with this
+        before deciding which subset to :meth:`take`; everything else
+        keeps its queue position.
+        """
+        return [request for request in self._pending if request.op == op]
+
     def take(self, predicate) -> list[ServiceRequest]:
         """Remove and return the requests matching ``predicate`` (in order).
 

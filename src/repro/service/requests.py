@@ -47,6 +47,13 @@ class ServiceRequest:
             snapshot timeline).  Reads only; historical state is
             immutable, so such reads neither wait for pending writes nor
             block them.
+        priority: optional per-request QoS admission class (0 = most
+            urgent), overriding the tenant profile's class when the
+            pipeline runs with a :class:`~repro.service.scheduler_qos.
+            QoSConfig`; ignored (and harmless) otherwise.
+        deadline_hours: optional per-request completion budget from
+            arrival (simulated hours), overriding the tenant profile's
+            deadline; violations are counted, never dropped.
     """
 
     request_id: int
@@ -58,6 +65,8 @@ class ServiceRequest:
     op: str = "read"
     payload: bytes | None = None
     as_of: float | None = None
+    priority: int | None = None
+    deadline_hours: float | None = None
 
     def __post_init__(self) -> None:
         if self.op not in OPERATIONS:
@@ -88,6 +97,10 @@ class ServiceRequest:
                 raise ServiceError("as_of is only valid on read requests")
             if self.as_of < 0:
                 raise ServiceError("as_of must be non-negative")
+        if self.priority is not None and self.priority < 0:
+            raise ServiceError("priority must be non-negative (0 = most urgent)")
+        if self.deadline_hours is not None and self.deadline_hours <= 0:
+            raise ServiceError("deadline_hours must be positive when set")
 
     @property
     def is_write(self) -> bool:

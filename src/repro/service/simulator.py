@@ -23,14 +23,27 @@ write's synthesis to commit (so it observes the written bytes), and a
 write waits for in-flight reads of its object before mutating the store —
 no request ever observes a torn state.
 
-**Wetlab cycles run on a bounded lane pool** (``config.wetlab_lanes``):
-each cycle's per-partition accesses are independent
-:class:`repro.wetlab.readout.ReadoutUnit` s (own PCR, own sequencing
-sample) greedily packed onto the earliest-free thermocycler/flow-cell
-lane; the cycle completes when its slowest lane drains, so independent
-partitions amplify and sequence concurrently and lane contention is
-modelled.  Unit seeding is lane-independent: the decoded bytes are
-identical for any lane count.
+**Wetlab cycles run on a shared, persistent lane pool**
+(``config.wetlab_lanes``, one :class:`~repro.service.scheduler_qos.
+SharedLanePool` per run): each cycle's per-partition accesses are
+independent :class:`repro.wetlab.readout.ReadoutUnit` s (own PCR, own
+sequencing sample) booked onto the lane that can start them earliest.
+Lanes are physical stations shared by *every* cycle of the run —
+overlapping cycles queue onto busy lanes instead of conjuring a fresh
+pool, so a cycle completes when its slowest unit drains *including* the
+time it waited for lane access, and per-lane busy time over the schedule
+horizon is a true utilization ``<= 1.0``.  Unit seeding is
+lane-independent: the decoded bytes are identical for any lane count.
+
+**Tenant QoS is an optional admission layer** (``config.qos``, default
+off): per-tenant token-bucket rate limits, priority/deadline classes and
+weighted-fair division of a per-window block budget decide which queued
+reads enter each batch (:class:`~repro.service.scheduler_qos.
+QoSAdmission`); everything else stays queued for a later window.  Like
+tracing, enabling QoS never changes a request's decoded bytes — the
+per-object FIFO barrier pins what every read observes — it only reshapes
+when work is admitted.  The unbatched policy has no admission window and
+ignores QoS.
 
 **Decode failures retry instead of aborting.**  Under
 ``fidelity="wetlab"``, a block that fails to decode no longer raises out
@@ -125,9 +138,11 @@ from repro.service.queue import (
     SynthesisOrder,
 )
 from repro.service.requests import CompletedRequest, FailedRequest, ServiceRequest
+from repro.service.scheduler_qos import QoSAdmission, QoSConfig, SharedLanePool
 from repro.service.telemetry import RunTelemetry
 from repro.store.object_store import ObjectStore
 from repro.store.planner import plan_partition_ranges, ranges_from_block_keys
+from repro.wetlab.readout import plan_units
 from repro.wetlab.sequencing import IlluminaRunModel, NanoporeRunModel
 from repro.workloads.service_traces import RequestEvent
 
@@ -154,10 +169,12 @@ class ServiceConfig:
             a block from ~30 precise-access reads, Section 7.3).
         sequencer: ``"nanopore"`` (streaming, latency scales with reads)
             or ``"illumina"`` (fixed-run, latency quantized in runs).
-        wetlab_lanes: thermocycler/flow-cell lanes available per cycle;
-            a cycle's readout units pack greedily onto the earliest-free
-            lane, so independent partitions run concurrently and the
-            cycle's latency is the slowest lane's drain time.
+        wetlab_lanes: thermocycler/flow-cell lanes of the run's *shared*
+            pool; a cycle's readout units book onto the lane that can
+            start them earliest, queueing behind earlier cycles' work
+            (the pool is persistent hardware, not per-cycle), so the
+            cycle's latency is its slowest unit's completion including
+            lane-queue time.
         retry_budget: retry cycles a request may ride after its first
             cycle fails to decode a needed block (0 = fail immediately).
         retry_coverage_factor: sequencing-coverage multiplier applied per
@@ -201,6 +218,14 @@ class ServiceConfig:
             ``REPRO_TRACING`` environment variable; the default is off
             and near-free.  Enabling tracing never changes request
             outcomes — it only observes them.
+        qos: optional per-tenant QoS policy
+            (:class:`~repro.service.scheduler_qos.QoSConfig`): token
+            bucket rate limits, priority/deadline classes and
+            weighted-fair admission of queued reads into each dispatch
+            window.  Default off; like tracing, enabling it never
+            changes decoded bytes — only when work is admitted.  Applies
+            to the batched policies (the unbatched policy has no
+            admission window); requires a positive ``window_hours``.
     """
 
     window_hours: float = 0.5
@@ -225,6 +250,7 @@ class ServiceConfig:
     decode_shared_memory: bool | None = None
     decode_cluster_shards: int | None = None
     tracing: bool | None = None
+    qos: QoSConfig | None = None
 
     def __post_init__(self) -> None:
         if self.window_hours < 0:
@@ -254,6 +280,11 @@ class ServiceConfig:
             raise ServiceError("decode_workers must be >= 1 when set")
         if self.decode_cluster_shards is not None and self.decode_cluster_shards < 1:
             raise ServiceError("decode_cluster_shards must be >= 1 when set")
+        if self.qos is not None and self.window_hours <= 0:
+            # Deferred requests re-arm the dispatch one window later; a
+            # zero-width window would re-run the same admission pass at
+            # the same instant forever.
+            raise ServiceError("qos admission requires a positive window_hours")
 
     def sequencing_hours(self, reads: int) -> float:
         """Latency of producing ``reads`` reads on the configured model."""
@@ -271,13 +302,19 @@ class ServiceConfig:
 def schedule_lanes(
     durations: "list[float]", lane_count: int
 ) -> list[tuple[int, float, float]]:
-    """Greedy earliest-free-lane packing of unit durations.
+    """Greedy earliest-free-lane packing of unit durations (one cycle).
 
     Units are assigned in submission order to the lane that frees up
     first (ties broken by lane index), mirroring a lab queueing jobs onto
     identical thermocycler/flow-cell stations.  Returns one
     ``(lane, start_hours, end_hours)`` tuple per unit, in unit order —
     fully deterministic for a given input.
+
+    Times are relative to an empty pool: this is the standalone packing
+    primitive.  The pipeline itself books cycles through a persistent
+    :class:`~repro.service.scheduler_qos.SharedLanePool`, which is this
+    same greedy rule applied to lanes whose free-at frontiers survive
+    across cycles (an empty pool reproduces these schedules exactly).
     """
     if lane_count <= 0:
         raise ServiceError("lane_count must be positive")
@@ -341,8 +378,20 @@ class PolicyReport:
         lane_busy_hours: summed busy time of all lanes (units' PCR +
             sequencing) across all cycles.
         lane_busy_hours_by_lane: the same busy time attributed to each
-            individual lane (index = lane id), from the cycles' actual
-            lane schedules.
+            individual lane (index = lane id), from the run's shared
+            lane pool — busy intervals on one lane never overlap.
+        lane_schedule_horizon_hours: the shared pool's last booked
+            completion; the utilization denominator (equals the
+            makespan except when a run's final cycle served nobody).
+        qos_enabled: whether a QoS admission layer was active.
+        qos_throttled: dispatch-time events where a token bucket held a
+            queued read back (one request can count several times
+            across consecutive windows).
+        qos_deferred: dispatch-time events where the window block
+            budget deferred an eligible read to a later window.
+        deadline_violations: served reads that finished past their QoS
+            deadline budget (request override or tenant profile);
+            counted only, never dropped.  0 when QoS is off.
         checksum: order-independent digest over per-request payload CRCs;
             equal checksums across policies mean identical decoded bytes.
         cache: cache counters (``batched+cache`` only).
@@ -382,6 +431,11 @@ class PolicyReport:
     wetlab_lanes: int = 1
     lane_busy_hours: float = 0.0
     lane_busy_hours_by_lane: tuple[float, ...] = ()
+    lane_schedule_horizon_hours: float = 0.0
+    qos_enabled: bool = False
+    qos_throttled: int = 0
+    qos_deferred: int = 0
+    deadline_violations: int = 0
     latency_clock: str = "sim_hours"
     observability: RunObservability | None = field(default=None, compare=False)
 
@@ -398,35 +452,57 @@ class PolicyReport:
         return self.amplified_blocks / self.distinct_requested_blocks
 
     @property
-    def lane_utilization(self) -> float:
-        """Busy-hours pressure on one lane pool over the makespan.
+    def _lane_horizon(self) -> float:
+        """Utilization denominator: the schedule horizon, never shorter
+        than the makespan (pre-shared-pool reports carry horizon 0.0)."""
+        return max(self.makespan_hours, self.lane_schedule_horizon_hours)
 
-        Each cycle packs its units onto its own pool of
-        ``wetlab_lanes`` stations, so values above 1.0 mean overlapping
-        cycles together demanded more than one pool's worth of lane time
-        — the signal to widen the pool or the scheduling window.
+    @property
+    def lane_utilization(self) -> float:
+        """True pool-wide lane utilization, in ``[0, 1]``.
+
+        Lanes are one shared, persistent pool: every busy interval on a
+        lane is disjoint, so summed busy hours over ``lanes x horizon``
+        can never exceed 1.0.  (It equals the mean of
+        :attr:`lane_utilization_by_lane` exactly — the old >1.0
+        "pressure" reading is gone; sustained values near 1.0 with
+        growing latencies are now the signal to widen the pool.)
         """
-        if self.makespan_hours <= 0 or self.wetlab_lanes <= 0:
+        horizon = self._lane_horizon
+        if horizon <= 0 or self.wetlab_lanes <= 0:
             return 0.0
-        return self.lane_busy_hours / (self.makespan_hours * self.wetlab_lanes)
+        return self.lane_busy_hours / (horizon * self.wetlab_lanes)
 
     @property
     def lane_utilization_by_lane(self) -> tuple[float, ...]:
-        """Busy-time fraction of each lane index over the run's makespan.
+        """Busy-time fraction of each physical lane over the horizon.
 
-        Computed from the cycles' actual lane schedules (simulated
-        clock), so within any single cycle it is the true duty split
-        across lanes — not the pool-wide average.  Like
-        :attr:`lane_utilization`, values can exceed 1.0: overlapping
-        cycles each pack onto their own pool, so a lane *index* can be
-        busy in several cycles at once — that excess is the pressure
-        signal to widen the pool.
+        Computed from the shared pool's actual bookings (simulated
+        clock).  A lane is one station: its busy intervals never
+        overlap, so every entry is a true duty factor in ``[0, 1]`` and
+        the tuple's mean equals :attr:`lane_utilization`.
         """
-        if self.makespan_hours <= 0:
+        horizon = self._lane_horizon
+        if horizon <= 0:
             return tuple(0.0 for _ in self.lane_busy_hours_by_lane)
-        return tuple(
-            busy / self.makespan_hours for busy in self.lane_busy_hours_by_lane
-        )
+        return tuple(busy / horizon for busy in self.lane_busy_hours_by_lane)
+
+    def latency_by_tenant(self) -> dict[str, SummaryStats]:
+        """Per-tenant read-latency summaries (tenants in sorted order).
+
+        The raw material of QoS isolation claims: a well-behaved
+        tenant's p99 here is what the admission layer protects.
+        """
+        by_tenant: dict[str, list[float]] = {}
+        for item in self.completed:
+            if item.request.op == "read":
+                by_tenant.setdefault(item.request.tenant, []).append(
+                    item.latency_hours
+                )
+        return {
+            tenant: summarize(latencies)
+            for tenant, latencies in sorted(by_tenant.items())
+        }
 
 
 class _BatchScratch:
@@ -535,28 +611,28 @@ class ServicePipeline:
     # ------------------------------------------------------------------
     # Wetlab charging
     # ------------------------------------------------------------------
-    def _cycle_makespan(
+    def _cycle_durations(
         self, batch: ScheduledBatch, reads_per_block: int
-    ) -> tuple[float, float, list[tuple[int, float, float]]]:
-        """Lane-pool latency of one wetlab cycle.
+    ) -> list[float]:
+        """Lane occupancy of each of one cycle's readout units.
 
-        Each planned access is one readout unit (its own PCR stage plus
-        its own sequencing sample); units pack greedily onto the
-        earliest-free lane.  Returns ``(makespan, busy_hours, schedule)``
-        where the schedule is one ``(lane, start, end)`` per unit, in
-        plan-access order (cycle-relative hours).
+        Each planned access is one :class:`ReadoutUnit` (its own PCR
+        stage plus its own sequencing sample); the unit is the handoff
+        currency to the run's shared lane pool, which books these
+        durations onto physical lanes in plan-access order.
         """
         if batch.amplified_block_count == 0:
             # Fully cache-covered batches are served at dispatch and never
             # schedule a cycle; reaching here is a scheduling bug.
             raise ServiceError("an empty plan has no wetlab cycle to charge")
-        durations = [
-            self.config.pcr_hours
-            + self.config.sequencing_hours(access.block_count * reads_per_block)
-            for access in batch.plan.accesses
+        return [
+            unit.wetlab_hours(
+                pcr_hours=self.config.pcr_hours,
+                sequencing_hours=self.config.sequencing_hours,
+                reads_per_block=reads_per_block,
+            )
+            for unit in plan_units(batch.plan)
         ]
-        lanes = schedule_lanes(durations, self.config.wetlab_lanes)
-        return max(end for _, _, end in lanes), sum(durations), lanes
 
     def _order_hours(self, order: SynthesisOrder) -> float:
         """Commit latency of one synthesis order (parallel vendor jobs)."""
@@ -705,6 +781,8 @@ class ServicePipeline:
                         op=getattr(event, "op", "read"),
                         payload=getattr(event, "payload", None),
                         as_of=getattr(event, "as_of", None),
+                        priority=getattr(event, "priority", None),
+                        deadline_hours=getattr(event, "deadline_hours", None),
                     )
                 )
             except DnaStorageError as exc:
@@ -789,8 +867,20 @@ class ServicePipeline:
             "retried_requests": 0,
             "decode_failures": 0,
             "lane_busy_hours": 0.0,
+            "qos_throttled": 0,
+            "qos_deferred": 0,
+            "deadline_violations": 0,
         }
-        lane_busy_by_lane = [0.0] * config.wetlab_lanes
+        # One persistent pool of physical lanes for the whole run: every
+        # cycle (retries included) books its units onto these frontiers.
+        lane_pool = SharedLanePool(config.wetlab_lanes)
+        # QoS gates the *batch* admission window; the unbatched policy
+        # dispatches at arrival and has no window to gate.
+        qos_admission = (
+            QoSAdmission(config.qos)
+            if config.qos is not None and policy != "unbatched"
+            else None
+        )
         dispatch_scheduled = False
         next_batch_id = 0
 
@@ -852,6 +942,20 @@ class ServicePipeline:
                 )
             )
             fifo_remove(request.object_name, request.request_id)
+            if config.qos is not None and request.op == "read":
+                # Deadline accounting (reads only): the request's own
+                # budget wins over its tenant profile's; violations are
+                # counted, never dropped.
+                budget = request.deadline_hours
+                if budget is None:
+                    budget = config.qos.profile(request.tenant).deadline_hours
+                if (
+                    budget is not None
+                    and completion_hours - request.arrival_hours > budget + 1e-9
+                ):
+                    totals["deadline_violations"] += 1
+                    if tel is not None:
+                        tel.deadline_violation(request, completion_hours)
             if tel is not None:
                 tel.served(
                     request, completion_hours, from_cache=from_cache, attempts=attempts
@@ -893,23 +997,24 @@ class ServicePipeline:
             attempt: int,
             reads_per_block: int,
         ) -> None:
-            """Put a cycle's units on the lane pool and book its completion."""
-            makespan, busy, schedule = self._cycle_makespan(batch, reads_per_block)
-            totals["lane_busy_hours"] += busy
-            for lane, start, end in schedule:
-                lane_busy_by_lane[lane] += end - start
+            """Put a cycle's units on the shared lane pool and book its
+            completion (the last of its units' absolute end times)."""
+            durations = self._cycle_durations(batch, reads_per_block)
+            schedule = lane_pool.schedule(now, durations)
+            completion = max(end for _, _, end in schedule)
+            totals["lane_busy_hours"] += sum(durations)
             if tel is not None:
                 tel.cycle(
                     batch,
                     riders,
                     schedule,
                     now,
-                    now + makespan,
+                    completion,
                     attempt,
                     reads_per_block,
                 )
             push_event(
-                now + makespan,
+                completion,
                 "complete",
                 (batch, riders, view, attempt, reads_per_block),
             )
@@ -1386,7 +1491,29 @@ class ServicePipeline:
                     # unmutated until its cycle delivers — same-window
                     # operations serve in arrival order.
                     queue_depth = len(queue)
-                    pending = queue.drain_op("read")
+                    if qos_admission is None:
+                        pending = queue.drain_op("read")
+                    else:
+                        # QoS admission: only rate-eligible requests within
+                        # their tenant's fair share enter this window's
+                        # batch; the rest stay queued (in arrival order)
+                        # for the next window.
+                        waiting = queue.peek_op("read")
+                        decision = qos_admission.admit(
+                            waiting,
+                            now,
+                            lambda r: len(blocks_by_id[r.request_id]),
+                        )
+                        totals["qos_throttled"] += len(decision.throttled)
+                        totals["qos_deferred"] += len(decision.deferred)
+                        if tel is not None:
+                            tel.qos_decision(decision, now)
+                        admitted_ids = {
+                            r.request_id for r in decision.admitted
+                        }
+                        pending = queue.take(
+                            lambda r: r.request_id in admitted_ids
+                        )
                     if pending:
                         batch = self.scheduler.schedule(
                             pending,
@@ -1399,6 +1526,14 @@ class ServicePipeline:
                             tel.batch_scheduled(batch, queue_depth, now)
                         dispatch_batch(batch, now)
                     pump_writes(now)
+                    # Deferred reads need a future window: re-arm the
+                    # dispatch timer so their buckets refill / shares free
+                    # up (window_hours > 0 is enforced by ServiceConfig,
+                    # and the admission's progress guarantee admits at
+                    # least one eligible request per window, so this
+                    # terminates).
+                    if qos_admission is not None and queue.peek_op("read"):
+                        ensure_dispatch(now)
                 elif kind == "synthesis":
                     commit_order(payload, now)
                 else:  # complete: deliver the riders and publish their blocks
@@ -1440,7 +1575,8 @@ class ServicePipeline:
                 tel.finalize(
                     makespan_hours=makespan,
                     wetlab_lanes=config.wetlab_lanes,
-                    lane_busy_hours_by_lane=lane_busy_by_lane,
+                    lane_busy_hours_by_lane=list(lane_pool.busy_hours_by_lane),
+                    lane_schedule_horizon_hours=lane_pool.horizon_hours,
                     stage_seconds=run_stages,
                 )
                 if tel is not None
@@ -1472,7 +1608,12 @@ class ServicePipeline:
                 decode_failures=totals["decode_failures"],
                 wetlab_lanes=config.wetlab_lanes,
                 lane_busy_hours=totals["lane_busy_hours"],
-                lane_busy_hours_by_lane=tuple(lane_busy_by_lane),
+                lane_busy_hours_by_lane=lane_pool.busy_hours_by_lane,
+                lane_schedule_horizon_hours=lane_pool.horizon_hours,
+                qos_enabled=qos_admission is not None,
+                qos_throttled=totals["qos_throttled"],
+                qos_deferred=totals["qos_deferred"],
+                deadline_violations=totals["deadline_violations"],
                 checksum=checksum,
                 cache=cache.stats if cache is not None else None,
                 payloads=payloads if keep_data else None,

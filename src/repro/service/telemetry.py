@@ -134,7 +134,11 @@ class RunTelemetry:
         """A wetlab cycle went on the lane pool; completion is booked.
 
         Records one ``wetlab_cycle`` child per riding request and one
-        lane-occupancy span per readout unit on its lane's track.
+        lane-occupancy span per readout unit on its lane's track.  The
+        schedule's times are *absolute* sim hours on the shared pool; a
+        unit that started after dispatch waited behind an earlier cycle's
+        work on its lane, recorded as a ``lane_wait`` span and the
+        ``service.lane.queue_hours`` histogram.
         """
         for request in riders:
             root = self._roots.get(request.request_id)
@@ -150,10 +154,24 @@ class RunTelemetry:
                 reads_per_block=reads_per_block,
             )
         for access, (lane, start, stop) in zip(batch.plan.accesses, schedule):
+            wait = start - now
+            if wait > 1e-9:
+                self.tracer.record(
+                    "lane_wait",
+                    start=now,
+                    end=start,
+                    track=f"lane:{lane}",
+                    parent=None,
+                    batch_id=batch.batch_id,
+                    partition=access.partition,
+                )
+            self.metrics.histogram("service.lane.queue_hours").observe(
+                max(wait, 0.0)
+            )
             self.tracer.record(
                 f"unit:{access.partition}",
-                start=now + start,
-                end=now + stop,
+                start=start,
+                end=stop,
                 track=f"lane:{lane}",
                 parent=None,
                 batch_id=batch.batch_id,
@@ -165,6 +183,35 @@ class RunTelemetry:
             )
         self.metrics.counter("service.wetlab.cycles").inc()
         self.metrics.histogram("service.wetlab.cycle_hours").observe(end - now)
+
+    # ------------------------------------------------------------------
+    # Tenant QoS (admission decisions, deadlines)
+    # ------------------------------------------------------------------
+    def qos_decision(self, decision, now: float) -> None:
+        """One admission window's QoS verdicts, counted per tenant.
+
+        Throttled/deferred are *event* counts (a request deferred across
+        three windows counts three times — each window it waited).
+        """
+        for verdict, requests in (
+            ("admitted", decision.admitted),
+            ("throttled", decision.throttled),
+            ("deferred", decision.deferred),
+        ):
+            if not requests:
+                continue
+            self.metrics.counter(f"service.qos.{verdict}").inc(len(requests))
+            for request in requests:
+                self.metrics.counter(
+                    f"service.qos.{verdict}.{request.tenant}"
+                ).inc()
+
+    def deadline_violation(self, request, completion: float) -> None:
+        """A served read overran its deadline budget (counted, not dropped)."""
+        self.metrics.counter("service.qos.deadline_violations").inc()
+        self.metrics.counter(
+            f"service.qos.deadline_violations.{request.tenant}"
+        ).inc()
 
     def retried(self, rider_count: int) -> None:
         """A retry cycle was scheduled for decode-failed riders."""
@@ -247,6 +294,7 @@ class RunTelemetry:
         makespan_hours: float,
         wetlab_lanes: int,
         lane_busy_hours_by_lane,
+        lane_schedule_horizon_hours: float = 0.0,
         stage_seconds: dict[str, float] | None = None,
     ) -> RunObservability:
         """Snapshot the run into a :class:`RunObservability` bundle.
@@ -254,15 +302,20 @@ class RunTelemetry:
         Open spans (there should be none after a clean run) are left
         open; the exporter drops them.  Gauges recorded here describe
         end-of-run state: lane-pool shape, true per-lane busy hours, and
-        the decode stages' aggregate wall seconds.
+        the decode stages' aggregate wall seconds.  Utilization gauges
+        divide by the same horizon the report's
+        :meth:`~repro.service.simulator.PolicyReport.lane_utilization`
+        uses — the later of the makespan and the pool's last lane end —
+        so they land in ``[0, 1]`` and agree with the report.
         """
         self.metrics.gauge("service.run.makespan_sim_hours").set(makespan_hours)
         self.metrics.gauge("service.lanes.count").set(wetlab_lanes)
+        horizon = max(makespan_hours, lane_schedule_horizon_hours)
         for lane, busy in enumerate(lane_busy_hours_by_lane):
             self.metrics.gauge(f"service.lane.{lane}.busy_sim_hours").set(busy)
-            if makespan_hours > 0:
+            if horizon > 0:
                 self.metrics.gauge(f"service.lane.{lane}.utilization").set(
-                    busy / makespan_hours
+                    busy / horizon
                 )
         for name, seconds in (stage_seconds or {}).items():
             self.metrics.gauge(f"decode.stage_wall_seconds.{name}").set(seconds)

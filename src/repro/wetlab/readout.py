@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.exceptions import WetlabError
 from repro.wetlab.errors import ErrorModel
@@ -73,6 +73,45 @@ class ReadoutUnit:
     def block_count(self) -> int:
         """Blocks retrieved by the unit's access."""
         return self.access.block_count
+
+    def wetlab_hours(
+        self,
+        *,
+        pcr_hours: float,
+        sequencing_hours: "Callable[[int], float]",
+        reads_per_block: int,
+    ) -> float:
+        """Lane occupancy of the unit: its PCR stage plus its sequencing.
+
+        This is the duration the serving pipeline books on a shared lane
+        when it hands the unit to the
+        :class:`~repro.service.scheduler_qos.SharedLanePool` — the unit
+        is the common currency between the wetlab model (what physically
+        runs) and the lane scheduler (when it runs).
+        """
+        if pcr_hours < 0:
+            raise WetlabError("pcr_hours must be non-negative")
+        if reads_per_block <= 0:
+            raise WetlabError("reads_per_block must be positive")
+        return pcr_hours + sequencing_hours(self.block_count * reads_per_block)
+
+
+def plan_units(plan: "BatchReadPlan") -> list[ReadoutUnit]:
+    """The independently executable :class:`ReadoutUnit` s of one plan.
+
+    Pure plan geometry — no pools, no numpy — so both halves of the
+    serving path share it: the lane scheduler books one unit per access
+    onto the shared pool, and :class:`WetlabReadout` executes the same
+    units when the cycle physically runs.
+    """
+    return [
+        ReadoutUnit(
+            access=access,
+            access_index=access_index,
+            label=f"{access.partition}-{plan.object_name}",
+        )
+        for access_index, access in enumerate(plan.accesses)
+    ]
 
 
 class WetlabReadout:
@@ -153,14 +192,7 @@ class WetlabReadout:
     # ------------------------------------------------------------------
     def plan_units(self, plan: "BatchReadPlan") -> list[ReadoutUnit]:
         """The independently executable units of one cycle's plan."""
-        return [
-            ReadoutUnit(
-                access=access,
-                access_index=access_index,
-                label=f"{access.partition}-{plan.object_name}",
-            )
-            for access_index, access in enumerate(plan.accesses)
-        ]
+        return plan_units(plan)
 
     def unit_reads(
         self,
@@ -250,4 +282,4 @@ class WetlabReadout:
         return reads_by_partition
 
 
-__all__ = ["ReadoutUnit", "WetlabReadout"]
+__all__ = ["ReadoutUnit", "WetlabReadout", "plan_units"]

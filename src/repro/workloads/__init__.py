@@ -22,7 +22,11 @@ from repro.workloads.generator import (
     zipfian_access_trace,
 )
 from repro.workloads.objects import object_corpus, synthetic_object
-from repro.workloads.service_traces import RequestEvent, multi_tenant_trace
+from repro.workloads.service_traces import (
+    RequestEvent,
+    multi_tenant_trace,
+    tenant_qos_profiles,
+)
 from repro.workloads.text import alice_like_text, paragraphs_to_blocks
 
 __all__ = [
@@ -32,6 +36,7 @@ __all__ = [
     "filler_file",
     "multi_tenant_trace",
     "random_blocks",
+    "tenant_qos_profiles",
     "update_trace",
     "zipfian_access_trace",
     "alice_like_text",

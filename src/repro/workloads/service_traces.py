@@ -58,6 +58,11 @@ class RequestEvent:
         payload: the bytes written (``put``/``update`` events only).
         as_of: optional historical timestamp of a time-travel read — the
             object is served as of the committed store state then.
+        priority: optional per-request QoS admission class (0 = most
+            urgent), forwarded onto the request when the pipeline runs
+            with a :class:`~repro.service.scheduler_qos.QoSConfig`.
+        deadline_hours: optional completion budget from arrival
+            (simulated hours) for QoS deadline accounting.
     """
 
     time_hours: float
@@ -68,6 +73,8 @@ class RequestEvent:
     op: str = "read"
     payload: bytes | None = None
     as_of: float | None = None
+    priority: int | None = None
+    deadline_hours: float | None = None
 
 
 def _diurnal_arrivals(
@@ -141,6 +148,8 @@ def multi_tenant_trace(
     burst_duty: float = 0.25,
     size_popularity_bias: float = 0.0,
     time_travel_fraction: float = 0.0,
+    aggressor_fraction: float = 0.0,
+    aggressor_tenant: str = "aggressor",
 ) -> list[RequestEvent]:
     """Generate a multi-tenant Zipfian trace over an object catalog.
 
@@ -179,6 +188,10 @@ def multi_tenant_trace(
             reads: they carry ``as_of`` drawn uniformly from the trace's
             past (before their own arrival), querying the object's
             historical version through the pipeline's snapshot timeline.
+        aggressor_fraction: fraction of events reassigned to one extra
+            *aggressor* tenant on top of the Zipfian mix — a single
+            tenant issuing a flood of traffic, for QoS isolation studies.
+        aggressor_tenant: name of the aggressor tenant.
 
     Returns:
         Request events sorted by arrival time.
@@ -211,6 +224,10 @@ def multi_tenant_trace(
         raise DnaStorageError("size_popularity_bias must be in [-1, 1]")
     if not 0.0 <= time_travel_fraction <= 1.0:
         raise DnaStorageError("time_travel_fraction must be in [0, 1]")
+    if not 0.0 <= aggressor_fraction <= 1.0:
+        raise DnaStorageError("aggressor_fraction must be in [0, 1]")
+    if aggressor_fraction and not aggressor_tenant:
+        raise DnaStorageError("aggressor_tenant must be non-empty")
 
     rng = random.Random(seed)
     names = _size_biased_ranks(rng, catalog, size_popularity_bias)
@@ -265,6 +282,10 @@ def multi_tenant_trace(
                     if tenant_active(candidate, time_hours):
                         tenant = candidate
                         break
+        if aggressor_fraction and rng.random() < aggressor_fraction:
+            # Draw-gated (like every knob): with the knob off the RNG
+            # stream — and so the whole trace — is bit-identical.
+            tenant = aggressor_tenant
         size = catalog[name]
         op = "read"
         if mixed:
@@ -326,3 +347,68 @@ def multi_tenant_trace(
             )
         )
     return events
+
+
+#: TenantQoS field names tenant_qos_profiles accepts in its overrides.
+_QOS_PROFILE_FIELDS = (
+    "weight",
+    "rate_blocks_per_hour",
+    "burst_blocks",
+    "priority",
+    "deadline_hours",
+)
+
+
+def tenant_qos_profiles(
+    trace: list[RequestEvent],
+    *,
+    weight: float = 1.0,
+    rate_blocks_per_hour: float | None = None,
+    burst_blocks: float | None = None,
+    priority: int = 1,
+    deadline_hours: float | None = None,
+    overrides: dict[str, dict[str, object]] | None = None,
+) -> dict[str, dict[str, object]]:
+    """QoS profile mappings for every tenant appearing in a trace.
+
+    Builds the ``profiles`` argument of a
+    :class:`~repro.service.scheduler_qos.QoSConfig`: one plain mapping
+    per tenant (first-seen order), each carrying the baseline keyword
+    values, with ``overrides`` replacing individual fields for named
+    tenants — e.g. demoting a known aggressor to a low weight and a hard
+    rate limit while every other tenant keeps the default profile.
+
+    The result stays plain dicts (no service-layer import), so workload
+    construction remains dependency-free; ``QoSConfig`` coerces them.
+
+    Args:
+        trace: the generated request events.
+        weight / rate_blocks_per_hour / burst_blocks / priority /
+            deadline_hours: baseline profile fields applied to every
+            tenant (see :class:`~repro.service.scheduler_qos.TenantQoS`).
+        overrides: per-tenant field replacements, keyed by tenant name;
+            unknown field names are rejected.  Tenants named here but
+            absent from the trace are still emitted (a profile for a
+            tenant that never shows up is harmless).
+    """
+    base: dict[str, object] = {
+        "weight": weight,
+        "rate_blocks_per_hour": rate_blocks_per_hour,
+        "burst_blocks": burst_blocks,
+        "priority": priority,
+        "deadline_hours": deadline_hours,
+    }
+    profiles: dict[str, dict[str, object]] = {}
+    for event in trace:
+        if event.tenant not in profiles:
+            profiles[event.tenant] = dict(base)
+    for tenant, fields in (overrides or {}).items():
+        unknown = sorted(set(fields) - set(_QOS_PROFILE_FIELDS))
+        if unknown:
+            raise DnaStorageError(
+                f"unknown TenantQoS fields in override for {tenant!r}: "
+                f"{', '.join(unknown)} (expected {_QOS_PROFILE_FIELDS})"
+            )
+        profile = profiles.setdefault(tenant, dict(base))
+        profile.update(fields)
+    return profiles

@@ -18,6 +18,7 @@ EXPECTED_FLAGS = (
     "REPRO_DECODE_WORKERS",
     "REPRO_DISTANCE_BACKEND",
     "REPRO_FUSED_KERNELS",
+    "REPRO_QOS_SCALE_REQUESTS",
     "REPRO_TRACING",
 )
 
@@ -32,7 +33,9 @@ class TestRegistry:
 
     def test_every_flag_documents_itself(self):
         for spec in envflags.registered_flags():
-            assert spec.owner.startswith("repro.")
+            # Owners are dotted module paths in the library or the
+            # benchmark suite.
+            assert spec.owner.startswith(("repro.", "benchmarks."))
             assert spec.description
             assert spec.accepted
 

@@ -1,0 +1,73 @@
+"""Meta-tests for the CI test manifest (``tests/manifest.py``).
+
+The no-numpy CI job derives its file list from the manifest, so these
+tests are the local early warning: adding a test file without
+classifying it fails here (and in CI's ``--check`` step) instead of
+silently skipping the new file in the no-numpy matrix leg.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import manifest
+
+
+class TestClassification:
+    def test_every_test_file_is_classified(self):
+        assert manifest.unclassified() == ()
+
+    def test_no_stale_entries(self):
+        assert manifest.stale() == ()
+
+    def test_no_overlap_between_tuples(self):
+        overlap = set(manifest.NUMPY_FREE) & set(manifest.NEEDS_NUMPY)
+        assert overlap == set()
+
+    def test_tuples_are_sorted_and_unique(self):
+        for names in (manifest.NUMPY_FREE, manifest.NEEDS_NUMPY):
+            assert list(names) == sorted(set(names))
+
+    def test_check_reports_clean(self):
+        assert manifest.check() == []
+
+    def test_classification_covers_discovery_exactly(self):
+        classified = set(manifest.NUMPY_FREE) | set(manifest.NEEDS_NUMPY)
+        assert classified == set(manifest.discovered())
+
+    def test_this_file_is_numpy_free(self):
+        # The meta-test itself must run in the no-numpy job.
+        assert "test_manifest.py" in manifest.NUMPY_FREE
+
+    def test_paths_are_repo_relative(self):
+        paths = manifest.paths(manifest.NUMPY_FREE)
+        assert all(path.startswith("tests/test_") for path in paths)
+        assert len(paths) == len(manifest.NUMPY_FREE)
+
+
+class TestCli:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, str(Path(manifest.__file__)), *args],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_numpy_free_output_matches_module(self):
+        result = self.run_cli("--numpy-free")
+        assert result.returncode == 0
+        assert result.stdout.split() == manifest.paths(manifest.NUMPY_FREE)
+
+    def test_needs_numpy_output_matches_module(self):
+        result = self.run_cli("--needs-numpy")
+        assert result.returncode == 0
+        assert result.stdout.split() == manifest.paths(manifest.NEEDS_NUMPY)
+
+    def test_check_passes_on_current_tree(self):
+        result = self.run_cli("--check")
+        assert result.returncode == 0, result.stderr
+        assert "manifest: ok" in result.stdout
+
+    def test_exactly_one_mode_required(self):
+        assert self.run_cli().returncode != 0
+        assert self.run_cli("--numpy-free", "--check").returncode != 0
